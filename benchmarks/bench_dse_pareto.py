@@ -1,0 +1,56 @@
+"""E7 — Design-time operating-point tables (Section VI.A).
+
+The paper benchmarks the three applications exhaustively on the Odroid XU4
+and obtains 36 Pareto configurations for the audio filter, 35 for pedestrian
+recognition and 28 for speaker recognition (summed over input sizes).  Our
+substitution runs the trace-driven DSE over every core allocation and input
+size; this benchmark prints the resulting table sizes and checks the
+qualitative properties the runtime manager relies on.
+"""
+
+from repro.dse import DesignSpaceExplorer
+from repro.dataflow import paper_applications
+
+#: Pareto-point counts reported in Section VI.A of the paper.
+PAPER_PARETO_COUNTS = {
+    "audio_filter": 36,
+    "pedestrian_recognition": 35,
+    "speaker_recognition": 28,
+}
+
+
+def test_dse_pareto_tables(benchmark, full_tables, platform, scale_note):
+    """Print the per-application Pareto counts and validate table shapes."""
+    per_application: dict[str, int] = {}
+    for name, table in full_tables.items():
+        application = name.split("/")[0]
+        per_application[application] = per_application.get(application, 0) + len(table)
+
+    print(f"\nE7 — DSE-generated operating points {scale_note}")
+    print(f"{'application':26s} {'paper':>6s} {'ours':>6s}")
+    for application, paper_count in PAPER_PARETO_COUNTS.items():
+        print(f"{application:26s} {paper_count:6d} {per_application[application]:6d}")
+
+    # Every variant table is Pareto-optimal and spans both core types.
+    for name, table in full_tables.items():
+        assert table.is_pareto_optimal(), name
+        assert any(point.resources[0] > 0 for point in table), name
+        assert any(point.resources[1] > 0 for point in table), name
+        # Big-core-only points are faster but hungrier than little-only points
+        # (the Table II trade-off), whenever both extremes exist.
+        little_only = [p for p in table if p.resources[1] == 0]
+        big_only = [p for p in table if p.resources[0] == 0]
+        if little_only and big_only:
+            assert min(p.execution_time for p in big_only) < min(
+                p.execution_time for p in little_only
+            )
+            assert min(p.energy for p in little_only) < min(p.energy for p in big_only)
+
+    # Same order of magnitude as the paper's table sizes.
+    for application, count in per_application.items():
+        assert 10 <= count <= 80, (application, count)
+
+    # Benchmark: exploring one application variant end to end.
+    explorer = DesignSpaceExplorer(platform)
+    graph = paper_applications()["pedestrian_recognition"].variant("medium")
+    benchmark(explorer.explore, graph)

@@ -1,0 +1,54 @@
+"""E3 — Fig. 2: scheduling success rate for tight deadlines.
+
+Runs the three schedulers over the tight-deadline part of the workload and
+prints the per-job-count success rates.  Expected shape (paper): all three are
+equal for one job, EX-MEM dominates for three and four jobs (by up to ~14 %),
+and MMKP-MDF stays within a few percentage points of MMKP-LR.
+"""
+
+from repro.analysis import format_fig2_scheduling_rate
+from repro.schedulers import MMKPMDFScheduler
+from repro.workload.testgen import DeadlineLevel
+
+#: Fig. 2 of the paper (tight deadlines): scheduler -> rate per job count [%].
+PAPER_FIG2 = {
+    "ex-mem": {1: 82.9, 2: 73.8, 3: 81.8, 4: 61.2},
+    "mmkp-lr": {1: 82.9, 2: 72.9, 3: 76.2, 4: 48.1},
+    "mmkp-mdf": {1: 82.9, 2: 71.5, 3: 72.6, 4: 47.1},
+}
+
+
+def test_fig2_scheduling_rate(
+    benchmark, suite_results, bench_suite, platform, bench_tables, scale_note
+):
+    """Print the regenerated Fig. 2 rows and check the qualitative shape."""
+    names = ["ex-mem", "mmkp-lr", "mmkp-mdf"]
+    print(f"\nE3 — Fig. 2 scheduling rate, tight deadlines {scale_note}")
+    print(format_fig2_scheduling_rate(suite_results, names, DeadlineLevel.TIGHT))
+    print("paper reference:", PAPER_FIG2)
+
+    rates = {name: suite_results.scheduling_rate(name, DeadlineLevel.TIGHT) for name in names}
+    job_counts = sorted(rates["ex-mem"])
+
+    # Shape 1: EX-MEM never schedules fewer cases than the heuristics.
+    for name in ("mmkp-lr", "mmkp-mdf"):
+        for jobs in job_counts:
+            assert rates[name][jobs] <= rates["ex-mem"][jobs] + 1e-9
+
+    # Shape 2: single-job cases are identical across all three schedulers.
+    single = {name: rates[name].get(1) for name in names}
+    assert len({round(v, 6) for v in single.values()}) == 1
+
+    # Shape 3: with weak deadlines everybody schedules (almost) everything
+    # (the paper reports 100 % for all three algorithms).
+    for name in names:
+        weak = suite_results.scheduling_rate(name, DeadlineLevel.WEAK)
+        assert all(rate >= 75.0 for rate in weak.values()), (name, weak)
+
+    # Benchmark: one MMKP-MDF activation on a representative 4-job tight case.
+    tight_cases = bench_suite.filtered(DeadlineLevel.TIGHT, 4) or bench_suite.filtered(
+        DeadlineLevel.TIGHT
+    )
+    problem = tight_cases[0].problem(platform, bench_tables)
+    scheduler = MMKPMDFScheduler()
+    benchmark(scheduler.schedule, problem)

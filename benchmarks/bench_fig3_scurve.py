@@ -1,0 +1,38 @@
+"""E5 — Fig. 3: S-curves of relative energy consumption.
+
+Prints the sorted per-test energy ratios of MMKP-LR and MMKP-MDF relative to
+EX-MEM and the share of tests scheduled optimally.  Expected shape (paper):
+the MMKP-MDF curve hugs 1.0 for most tests (69.6 % optimal) while the MMKP-LR
+curve departs from 1.0 much earlier (9.0 % optimal) and reaches larger ratios.
+"""
+
+from repro.analysis import format_fig3_scurve
+from repro.analysis.stats import geometric_mean
+
+#: Optimal-schedule shares reported with Fig. 3 of the paper.
+PAPER_OPTIMAL_SHARE = {"mmkp-mdf": 0.696, "mmkp-lr": 0.090}
+
+
+def test_fig3_scurves(benchmark, suite_results, scale_note):
+    """Print the regenerated S-curves and compare curve positions."""
+    heuristics = ["mmkp-lr", "mmkp-mdf"]
+    print(f"\nE5 — Fig. 3 S-curves of relative energy {scale_note}")
+    print(format_fig3_scurve(suite_results, heuristics, "ex-mem", num_points=12))
+    print("paper optimal-schedule share:", PAPER_OPTIMAL_SHARE)
+
+    mdf_curve = suite_results.relative_energy_curve("mmkp-mdf", "ex-mem")
+    lr_curve = suite_results.relative_energy_curve("mmkp-lr", "ex-mem")
+    assert mdf_curve and lr_curve
+
+    # Shape 1: MMKP-MDF schedules a larger share of tests optimally.
+    mdf_share = suite_results.optimal_share("mmkp-mdf", "ex-mem")
+    lr_share = suite_results.optimal_share("mmkp-lr", "ex-mem")
+    print(f"optimal share: mmkp-mdf {mdf_share:.1%}, mmkp-lr {lr_share:.1%}")
+    assert mdf_share >= lr_share
+
+    # Shape 2: the MMKP-MDF curve lies below the MMKP-LR curve on (geometric)
+    # average — the same ordering Fig. 3 shows.
+    assert geometric_mean(mdf_curve) <= geometric_mean(lr_curve) + 1e-9
+
+    # Benchmark: sorting/aggregating the curves is the analysis cost.
+    benchmark(suite_results.relative_energy_curve, "mmkp-mdf", "ex-mem")

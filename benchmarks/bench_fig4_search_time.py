@@ -1,0 +1,74 @@
+"""E6 — Fig. 4: scheduling overhead (search time) per job count.
+
+Two complementary views are produced:
+
+* The aggregate statistics (median/mean/max per job count) over the whole
+  workload, printed from the shared suite results — this is what the paper's
+  box plots show.
+* pytest-benchmark measurements of a single representative activation per
+  (scheduler, job count), which give calibrated per-call timings on this host.
+
+Expected shape (paper): EX-MEM grows exponentially with the job count
+(average 152 s at four jobs on the authors' machine), MMKP-LR needs
+milliseconds to hundreds of milliseconds, and MMKP-MDF is roughly an order of
+magnitude faster than MMKP-LR.
+"""
+
+import pytest
+
+from repro.analysis import format_fig4_search_time
+from repro.schedulers import ExMemScheduler, MMKPLRScheduler, MMKPMDFScheduler
+from repro.workload.testgen import DeadlineLevel
+
+#: Average search times reported in the paper for four jobs (seconds).
+PAPER_FOUR_JOB_AVERAGES = {"ex-mem": 152.0, "mmkp-lr": 0.163, "mmkp-mdf": 0.0057}
+
+_SCHEDULERS = {
+    "ex-mem": ExMemScheduler,
+    "mmkp-lr": MMKPLRScheduler,
+    "mmkp-mdf": MMKPMDFScheduler,
+}
+
+
+def test_fig4_aggregate_search_times(suite_results, scale_note, benchmark):
+    """Print the box-plot statistics behind Fig. 4 and check the ordering."""
+    names = list(_SCHEDULERS)
+    print(f"\nE6 — Fig. 4 scheduling overhead {scale_note}")
+    print(format_fig4_search_time(suite_results, names))
+    print("paper four-job averages [s]:", PAPER_FOUR_JOB_AVERAGES)
+
+    stats = {name: suite_results.search_time_stats(name) for name in names}
+    job_counts = sorted(stats["mmkp-mdf"])
+    largest = job_counts[-1]
+
+    # Shape 1: MMKP-MDF is the fastest and EX-MEM the slowest at the largest
+    # job count (mean values).
+    assert stats["mmkp-mdf"][largest].mean < stats["mmkp-lr"][largest].mean
+    assert stats["mmkp-lr"][largest].mean < stats["ex-mem"][largest].mean
+
+    # Shape 2: MMKP-MDF beats MMKP-LR by roughly an order of magnitude.
+    assert stats["mmkp-mdf"][largest].mean * 5 < stats["mmkp-lr"][largest].mean
+
+    # Shape 3: every scheduler gets slower as the job count grows.
+    for name in names:
+        means = [stats[name][jobs].mean for jobs in job_counts]
+        assert means[0] < means[-1]
+
+    # Benchmark the cheap aggregation itself so this test also reports a number.
+    benchmark(suite_results.search_time_stats, "mmkp-mdf")
+
+
+@pytest.mark.parametrize("scheduler_name", list(_SCHEDULERS))
+@pytest.mark.parametrize("num_jobs", [1, 2, 3, 4])
+def test_fig4_single_activation(
+    benchmark, scheduler_name, num_jobs, bench_suite, platform, bench_tables
+):
+    """Calibrated per-activation timing for one (scheduler, job count) pair."""
+    cases = bench_suite.filtered(DeadlineLevel.TIGHT, num_jobs) or bench_suite.filtered(
+        num_jobs=num_jobs
+    )
+    if not cases:
+        pytest.skip(f"no generated test case with {num_jobs} jobs")
+    problem = cases[0].problem(platform, bench_tables)
+    scheduler = _SCHEDULERS[scheduler_name]()
+    benchmark(scheduler.schedule, problem)

@@ -1,0 +1,61 @@
+"""E4 — Table IV: geometric-mean energy relative to EX-MEM.
+
+Runs MMKP-LR and MMKP-MDF against the EX-MEM reference over the workload and
+prints the geometric means per (deadline level, job count) bucket.  Expected
+shape (paper): both heuristics are optimal for a single job, MMKP-MDF stays
+within a few percent of the optimum overall (paper: 3.6 %), MMKP-LR degrades
+with the number of jobs and is clearly worse than MMKP-MDF overall
+(paper: 16.7 % vs 3.6 %, i.e. MMKP-MDF wins by ~13 %).
+"""
+
+import pytest
+
+from repro.analysis import format_table_iv
+from repro.schedulers import ExMemScheduler
+from repro.workload.testgen import DeadlineLevel
+
+#: Table IV of the paper (geometric mean of energy relative to EX-MEM).
+PAPER_TABLE_IV = {
+    "mmkp-lr": {"weak": 1.1452, "tight": 1.1923, "all": 1.1665},
+    "mmkp-mdf": {"weak": 1.0042, "tight": 1.0756, "all": 1.0356},
+}
+
+
+def test_table4_relative_energy(
+    benchmark, suite_results, bench_suite, platform, bench_tables, scale_note
+):
+    """Print the regenerated Table IV and check who wins."""
+    heuristics = ["mmkp-lr", "mmkp-mdf"]
+    print(f"\nE4 — Table IV relative energy vs EX-MEM {scale_note}")
+    print(format_table_iv(suite_results, heuristics, "ex-mem"))
+    print("paper reference (overall):", PAPER_TABLE_IV)
+
+    table = suite_results.relative_energy_table(heuristics, "ex-mem")
+
+    # Single-job cases are solved optimally by every scheduler.
+    for scheduler in heuristics:
+        for level in (DeadlineLevel.WEAK, DeadlineLevel.TIGHT):
+            value = table[scheduler].get((level, 1))
+            if value is not None and value == value:
+                assert value == pytest.approx(1.0, abs=1e-6)
+
+    # No heuristic is ever better than the exhaustive reference.
+    for scheduler in heuristics:
+        for _, ratio in suite_results.relative_energies(scheduler, "ex-mem"):
+            assert ratio >= 1.0 - 1e-9
+
+    # MMKP-MDF beats MMKP-LR on the overall geometric mean (the paper's
+    # headline: ~13 % better energy efficiency).
+    mdf_overall = table["mmkp-mdf"][(None, 0)]
+    lr_overall = table["mmkp-lr"][(None, 0)]
+    print(f"overall geomean: mmkp-mdf {mdf_overall:.4f} vs mmkp-lr {lr_overall:.4f}")
+    assert mdf_overall <= lr_overall + 1e-9
+    # MMKP-MDF stays close to the optimum.
+    assert mdf_overall <= 1.10
+
+    # Benchmark: the EX-MEM reference on a representative two-job case (its
+    # cost is what makes Table IV expensive to regenerate).
+    cases = bench_suite.filtered(DeadlineLevel.TIGHT, 2) or bench_suite.cases
+    problem = cases[0].problem(platform, bench_tables)
+    reference = ExMemScheduler()
+    benchmark(reference.schedule, problem)

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Quickstart: schedule two firm real-time jobs on a big.LITTLE device.
+
+This is the smallest end-to-end use of the library's public API:
+
+1. describe a heterogeneous platform,
+2. give every application a table of operating points (cores, time, energy),
+3. describe the currently unfinished jobs,
+4. ask the MMKP-MDF runtime-manager heuristic for an energy-minimal schedule.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    ConfigTable,
+    Job,
+    MMKPMDFScheduler,
+    OperatingPoint,
+    ResourceVector,
+    SchedulingProblem,
+)
+from repro.platforms import big_little
+
+
+def main() -> None:
+    # A device with two little and two big cores (the motivational platform).
+    platform = big_little(num_little=2, num_big=2)
+
+    # Operating points of a video decoder: (little, big) cores -> time, energy.
+    decoder = ConfigTable(
+        "decoder",
+        [
+            OperatingPoint(ResourceVector([1, 0]), execution_time=16.8, energy=7.9),
+            OperatingPoint(ResourceVector([2, 0]), execution_time=10.3, energy=7.0),
+            OperatingPoint(ResourceVector([2, 1]), execution_time=5.3, energy=8.9),
+            OperatingPoint(ResourceVector([2, 2]), execution_time=4.7, energy=11.0),
+        ],
+    )
+    # ... and of an audio filter.
+    audio = ConfigTable(
+        "audio",
+        [
+            OperatingPoint(ResourceVector([1, 0]), execution_time=10.0, energy=2.0),
+            OperatingPoint(ResourceVector([1, 1]), execution_time=3.5, energy=6.4),
+            OperatingPoint(ResourceVector([2, 1]), execution_time=3.0, energy=5.7),
+        ],
+    )
+
+    # Two unfinished jobs: the decoder is 20 % done, the audio job just arrived.
+    jobs = [
+        Job("video", "decoder", arrival=0.0, deadline=9.0, remaining_ratio=0.8),
+        Job("music", "audio", arrival=1.0, deadline=5.0),
+    ]
+
+    problem = SchedulingProblem(
+        platform, {"decoder": decoder, "audio": audio}, jobs, now=1.0
+    )
+    result = MMKPMDFScheduler().schedule(problem)
+
+    if not result.feasible:
+        print("The request set was rejected (no feasible schedule).")
+        return
+
+    print(f"Schedule found: {result.energy:.2f} J, "
+          f"computed in {result.search_time * 1000:.2f} ms")
+    print("Chosen operating points:", dict(result.assignment))
+    print("Mapping segments:")
+    for segment in result.schedule:
+        active = ", ".join(
+            f"{m.job_name}(config {m.config_index})" for m in segment
+        )
+        print(f"  [{segment.start:5.2f} s, {segment.end:5.2f} s)  {active}")
+
+    report = problem.validate(result.schedule)
+    print("Constraints satisfied:", report.feasible)
+
+
+if __name__ == "__main__":
+    main()

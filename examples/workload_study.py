@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Scheduler comparison on a generated evaluation workload.
+
+A compact version of the paper's full evaluation (Section VI) intended for
+interactive use: it generates a down-scaled Table III workload, runs EX-MEM,
+MMKP-LR and MMKP-MDF on every test case and prints the scheduling-rate,
+relative-energy and overhead reports — the same rows and series as Fig. 2,
+Table IV, Fig. 3 and Fig. 4.
+
+Run with::
+
+    python examples/workload_study.py [census_fraction] [max_points]
+
+``census_fraction`` scales the 1676-case census of Table III (default 0.03);
+``max_points`` caps the operating points per application so the exhaustive
+EX-MEM reference stays affordable (default 8).
+"""
+
+import sys
+import time
+
+from repro.analysis import (
+    evaluate_suite,
+    format_fig2_scheduling_rate,
+    format_fig3_scurve,
+    format_fig4_search_time,
+    format_table_iii,
+    format_table_iv,
+)
+from repro.dse import paper_operating_points, reduced_tables
+from repro.platforms import odroid_xu4
+from repro.schedulers import ExMemScheduler, MMKPLRScheduler, MMKPMDFScheduler
+from repro.workload import EvaluationSuite
+from repro.workload.suite import scaled_census
+
+
+def main() -> None:
+    fraction = float(sys.argv[1]) if len(sys.argv) > 1 else 0.03
+    max_points = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+
+    platform = odroid_xu4()
+    print("Running the design-space exploration ...")
+    tables = reduced_tables(paper_operating_points(platform), max_points=max_points)
+
+    print(f"Generating the workload (census fraction {fraction}) ...")
+    suite = EvaluationSuite.generate(tables, scaled_census(fraction), seed=2020)
+    print(format_table_iii(suite))
+
+    schedulers = [ExMemScheduler(), MMKPLRScheduler(), MMKPMDFScheduler()]
+    names = [s.name for s in schedulers]
+    print(f"\nEvaluating {len(schedulers)} schedulers on {len(suite)} test cases ...")
+    started = time.perf_counter()
+    results = evaluate_suite(suite, platform, tables, schedulers)
+    print(f"done in {time.perf_counter() - started:.1f} s\n")
+
+    print(format_fig2_scheduling_rate(results, names))
+    print()
+    print(format_table_iv(results, ["mmkp-lr", "mmkp-mdf"], "ex-mem"))
+    print()
+    print(format_fig3_scurve(results, ["mmkp-lr", "mmkp-mdf"], "ex-mem"))
+    print()
+    print(format_fig4_search_time(results, names))
+
+    mdf = results.relative_energy_table(["mmkp-mdf", "mmkp-lr"], "ex-mem")
+    overall_mdf = mdf["mmkp-mdf"][(None, 0)]
+    overall_lr = mdf["mmkp-lr"][(None, 0)]
+    print(
+        f"\nSummary: MMKP-MDF is {100 * (overall_lr - overall_mdf):.1f} percentage "
+        f"points closer to the EX-MEM optimum than MMKP-LR "
+        f"(geomean {overall_mdf:.4f} vs {overall_lr:.4f})."
+    )
+
+
+if __name__ == "__main__":
+    main()

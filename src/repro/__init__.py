@@ -1,0 +1,66 @@
+"""repro — Energy-efficient Runtime Resource Management for Adaptable Multi-application Mapping.
+
+A from-scratch Python reproduction of Khasanov & Castrillon (DATE 2020).  The
+library contains the full stack the paper relies on:
+
+* platform models (:mod:`repro.platforms`) and dataflow application models
+  (:mod:`repro.dataflow`),
+* a trace-driven mapping simulator and design-space exploration that
+  regenerate the per-application operating-point tables
+  (:mod:`repro.mapping`, :mod:`repro.dse`),
+* the scheduling core — mapping segments, schedules, the MMKP-MDF heuristic
+  and the EX-MEM / MMKP-LR baselines (:mod:`repro.core`,
+  :mod:`repro.schedulers`, :mod:`repro.knapsack`),
+* an online runtime manager that admits requests and executes schedules over
+  time (:mod:`repro.runtime`),
+* the evaluation workload generator and the experiment harness that
+  regenerates every table and figure of the paper (:mod:`repro.workload`,
+  :mod:`repro.analysis`).
+
+Quickstart
+----------
+
+>>> from repro import MMKPMDFScheduler
+>>> from repro.workload.motivational import motivational_problem
+>>> result = MMKPMDFScheduler().schedule(motivational_problem("S1"))
+>>> round(result.energy, 2)
+12.95
+"""
+
+from repro.version import __version__
+from repro.core import (
+    ConfigTable,
+    Job,
+    JobMapping,
+    MappingSegment,
+    OperatingPoint,
+    Schedule,
+    SchedulingProblem,
+)
+from repro.platforms import Platform, ResourceVector, odroid_xu4
+from repro.schedulers import (
+    ExMemScheduler,
+    MMKPLRScheduler,
+    MMKPMDFScheduler,
+    Scheduler,
+    SchedulingResult,
+)
+
+__all__ = [
+    "__version__",
+    "OperatingPoint",
+    "ConfigTable",
+    "Job",
+    "JobMapping",
+    "MappingSegment",
+    "Schedule",
+    "SchedulingProblem",
+    "Platform",
+    "ResourceVector",
+    "odroid_xu4",
+    "Scheduler",
+    "SchedulingResult",
+    "MMKPMDFScheduler",
+    "ExMemScheduler",
+    "MMKPLRScheduler",
+]

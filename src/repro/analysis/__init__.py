@@ -1,0 +1,44 @@
+"""Experiment harness and statistics for the paper's evaluation.
+
+* :mod:`repro.analysis.stats` — geometric means, box-plot statistics,
+  S-curves.
+* :mod:`repro.analysis.experiments` — runs the schedulers over an evaluation
+  suite and derives the data behind Fig. 2 (scheduling rate), Table IV and
+  Fig. 3 (relative energy) and Fig. 4 (search time).
+* :mod:`repro.analysis.report` — plain-text renderings of the tables/figures
+  (the benchmark harness prints these).
+"""
+
+from repro.analysis.stats import BoxplotStats, geometric_mean, s_curve
+from repro.analysis.experiments import (
+    SchedulerRun,
+    SuiteResults,
+    evaluate_suite,
+)
+from repro.analysis.report import (
+    format_fig2_scheduling_rate,
+    format_fig3_scurve,
+    format_fig4_search_time,
+    format_schedule_gantt,
+    format_table_iii,
+    format_table_iv,
+)
+from repro.analysis.export import write_runs_csv, write_schedule_csv, write_scurve_csv
+
+__all__ = [
+    "geometric_mean",
+    "s_curve",
+    "BoxplotStats",
+    "SchedulerRun",
+    "SuiteResults",
+    "evaluate_suite",
+    "format_table_iii",
+    "format_table_iv",
+    "format_fig2_scheduling_rate",
+    "format_fig3_scurve",
+    "format_fig4_search_time",
+    "format_schedule_gantt",
+    "write_runs_csv",
+    "write_scurve_csv",
+    "write_schedule_csv",
+]

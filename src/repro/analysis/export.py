@@ -1,0 +1,101 @@
+"""CSV export of experiment results and schedules.
+
+The text reports in :mod:`repro.analysis.report` are meant for eyeballing;
+this module writes the same data as plain CSV so results can be post-processed
+with pandas/spreadsheets or plotted externally (the paper's figures are plots
+of exactly these series).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.analysis.experiments import SuiteResults
+from repro.core.config import ConfigTable
+from repro.core.segment import Schedule
+
+
+def write_runs_csv(results: SuiteResults, path: str | Path) -> int:
+    """Write one row per (test case, scheduler) run; returns the row count."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["case", "num_jobs", "deadline_level", "scheduler", "feasible", "energy", "search_time"]
+        )
+        for run in results.runs:
+            writer.writerow(
+                [
+                    run.case_name,
+                    run.num_jobs,
+                    run.deadline_level.value,
+                    run.scheduler,
+                    int(run.feasible),
+                    "" if run.energy == float("inf") else f"{run.energy:.6f}",
+                    f"{run.search_time:.9f}",
+                ]
+            )
+    return len(results.runs)
+
+
+def write_scurve_csv(
+    results: SuiteResults,
+    schedulers: Sequence[str],
+    reference: str,
+    path: str | Path,
+) -> int:
+    """Write the Fig. 3 S-curves (one column per scheduler); returns the row count."""
+    curves = {
+        scheduler: results.relative_energy_curve(scheduler, reference)
+        for scheduler in schedulers
+    }
+    length = max((len(curve) for curve in curves.values()), default=0)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["rank"] + list(schedulers))
+        for index in range(length):
+            row = [index]
+            for scheduler in schedulers:
+                curve = curves[scheduler]
+                row.append(f"{curve[index]:.6f}" if index < len(curve) else "")
+            writer.writerow(row)
+    return length
+
+
+def write_schedule_csv(
+    schedule: Schedule, tables: Mapping[str, ConfigTable], path: str | Path
+) -> int:
+    """Write one row per (segment, job mapping); returns the row count."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    rows = 0
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["segment", "start", "end", "job", "application", "config", "little", "big_etc", "segment_energy"]
+        )
+        for index, segment in enumerate(schedule):
+            energy = segment.energy(tables)
+            for mapping in segment:
+                point = mapping.operating_point(tables)
+                resources = list(point.resources)
+                writer.writerow(
+                    [
+                        index,
+                        f"{segment.start:.6f}",
+                        f"{segment.end:.6f}",
+                        mapping.job_name,
+                        mapping.application,
+                        mapping.config_index,
+                        resources[0] if resources else "",
+                        ";".join(str(r) for r in resources[1:]),
+                        f"{energy:.6f}",
+                    ]
+                )
+                rows += 1
+    return rows

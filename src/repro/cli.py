@@ -1,0 +1,212 @@
+"""Command-line interface of the runtime-manager reproduction.
+
+The CLI mirrors the typical usage of the library:
+
+* ``repro-rm dse`` — run the design-space exploration and export the
+  operating-point tables as JSON.
+* ``repro-rm workload`` — generate the evaluation test suite (Table III
+  census) and export it as JSON.
+* ``repro-rm schedule`` — run one scheduler on one exported test case and
+  print the resulting mapping segments.
+* ``repro-rm evaluate`` — run the full comparison (Fig. 2, Table IV, Fig. 3,
+  Fig. 4) on a down-scaled census and print the text reports.
+* ``repro-rm motivational`` — reproduce the motivational example (Fig. 1).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis import (
+    evaluate_suite,
+    format_fig2_scheduling_rate,
+    format_fig3_scurve,
+    format_fig4_search_time,
+    format_table_iii,
+    format_table_iv,
+)
+from repro.dse import paper_operating_points, reduced_tables
+from repro.io import (
+    load_json,
+    save_json,
+    tables_from_dict,
+    tables_to_dict,
+    test_case_from_dict,
+    test_case_to_dict,
+)
+from repro.platforms import odroid_xu4
+from repro.runtime import RequestEvent, RequestTrace, RuntimeManager
+from repro.schedulers import (
+    ExMemScheduler,
+    FixedMinEnergyScheduler,
+    MMKPLRScheduler,
+    MMKPMDFScheduler,
+)
+from repro.workload import EvaluationSuite
+from repro.workload.motivational import (
+    SCENARIOS,
+    motivational_platform,
+    motivational_tables,
+)
+from repro.workload.suite import scaled_census, table_iii_census
+
+SCHEDULERS = {
+    "mmkp-mdf": MMKPMDFScheduler,
+    "mmkp-lr": MMKPLRScheduler,
+    "ex-mem": ExMemScheduler,
+    "fixed": FixedMinEnergyScheduler,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-rm",
+        description="Energy-efficient runtime resource management (DATE 2020 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    dse = subparsers.add_parser("dse", help="generate operating-point tables")
+    dse.add_argument("--output", default="operating_points.json", help="output JSON file")
+    dse.add_argument(
+        "--sizes", nargs="*", default=None, help="input sizes to include (default: all)"
+    )
+
+    workload = subparsers.add_parser("workload", help="generate the evaluation suite")
+    workload.add_argument("--tables", default=None, help="operating-point JSON (default: run DSE)")
+    workload.add_argument("--output", default="workload.json", help="output JSON file")
+    workload.add_argument("--fraction", type=float, default=1.0, help="census scale factor")
+    workload.add_argument("--seed", type=int, default=2020, help="generator seed")
+
+    schedule = subparsers.add_parser("schedule", help="schedule one exported test case")
+    schedule.add_argument("testcase", help="JSON file with one test case")
+    schedule.add_argument("--tables", required=True, help="operating-point JSON")
+    schedule.add_argument("--scheduler", choices=sorted(SCHEDULERS), default="mmkp-mdf")
+
+    evaluate = subparsers.add_parser("evaluate", help="run the full comparison")
+    evaluate.add_argument("--fraction", type=float, default=0.05, help="census scale factor")
+    evaluate.add_argument("--max-points", type=int, default=8, help="table size cap for EX-MEM")
+    evaluate.add_argument("--seed", type=int, default=2020, help="workload seed")
+    evaluate.add_argument(
+        "--skip-exmem", action="store_true", help="skip the exhaustive reference scheduler"
+    )
+
+    subparsers.add_parser("motivational", help="reproduce the motivational example (Fig. 1)")
+    return parser
+
+
+# ---------------------------------------------------------------------- #
+# Sub-command implementations
+# ---------------------------------------------------------------------- #
+def _cmd_dse(args: argparse.Namespace) -> int:
+    sizes = tuple(args.sizes) if args.sizes else None
+    tables = paper_operating_points(input_sizes=sizes)
+    save_json(tables_to_dict(tables), args.output)
+    print(f"wrote {len(tables)} operating-point tables to {args.output}")
+    for name, table in sorted(tables.items()):
+        print(f"  {name}: {len(table)} Pareto points")
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    if args.tables:
+        tables = tables_from_dict(load_json(args.tables))
+    else:
+        tables = paper_operating_points()
+    census = table_iii_census() if args.fraction >= 1.0 else scaled_census(args.fraction)
+    suite = EvaluationSuite.generate(tables, census, seed=args.seed)
+    save_json(
+        {"cases": [test_case_to_dict(case) for case in suite]},
+        args.output,
+    )
+    print(format_table_iii(suite))
+    print(f"wrote {len(suite)} test cases to {args.output}")
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    tables = tables_from_dict(load_json(args.tables))
+    case = test_case_from_dict(load_json(args.testcase))
+    problem = case.problem(odroid_xu4(), tables)
+    scheduler = SCHEDULERS[args.scheduler]()
+    result = scheduler.schedule(problem)
+    if not result.feasible:
+        print(f"{scheduler.name}: test case {case.name} rejected")
+        return 1
+    print(f"{scheduler.name}: energy {result.energy:.3f} J, "
+          f"search time {result.search_time * 1000:.2f} ms")
+    for segment in result.schedule:
+        jobs = ", ".join(
+            f"{m.job_name}:{m.config_index}" for m in segment
+        )
+        print(f"  [{segment.start:8.3f}, {segment.end:8.3f})  {jobs}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    platform = odroid_xu4()
+    tables = reduced_tables(paper_operating_points(), max_points=args.max_points)
+    suite = EvaluationSuite.generate(tables, scaled_census(args.fraction), seed=args.seed)
+    schedulers = [MMKPLRScheduler(), MMKPMDFScheduler()]
+    if not args.skip_exmem:
+        schedulers.insert(0, ExMemScheduler())
+    results = evaluate_suite(suite, platform, tables, schedulers)
+    names = [s.name for s in schedulers]
+    print(format_table_iii(suite))
+    print()
+    print(format_fig2_scheduling_rate(results, names))
+    print()
+    if not args.skip_exmem:
+        print(format_table_iv(results, ["mmkp-lr", "mmkp-mdf"], "ex-mem"))
+        print()
+        print(format_fig3_scurve(results, ["mmkp-lr", "mmkp-mdf"], "ex-mem"))
+        print()
+    print(format_fig4_search_time(results, names))
+    return 0
+
+
+def _cmd_motivational(args: argparse.Namespace) -> int:
+    platform = motivational_platform()
+    tables = motivational_tables()
+    for scenario in ("S1", "S2"):
+        requests = SCENARIOS[scenario]
+        trace = RequestTrace(
+            [
+                RequestEvent(arrival, application, deadline - arrival, name)
+                for name, (arrival, deadline) in requests.items()
+                for application in [{"sigma1": "lambda1", "sigma2": "lambda2"}[name]]
+            ]
+        )
+        print(f"Scenario {scenario}")
+        variants = [
+            ("fixed mapper, remap at start", FixedMinEnergyScheduler(), False),
+            ("fixed mapper, remap at start+finish", FixedMinEnergyScheduler(), True),
+            ("adaptive mapper (MMKP-MDF)", MMKPMDFScheduler(), False),
+        ]
+        for label, scheduler, remap in variants:
+            manager = RuntimeManager(platform, tables, scheduler, remap_on_finish=remap)
+            log = manager.run(trace)
+            print(
+                f"  {label:38s} energy = {log.total_energy:6.2f} J, "
+                f"acceptance = {log.acceptance_rate * 100:5.1f} %"
+            )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point (also installed as the ``repro-rm`` script)."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "dse": _cmd_dse,
+        "workload": _cmd_workload,
+        "schedule": _cmd_schedule,
+        "evaluate": _cmd_evaluate,
+        "motivational": _cmd_motivational,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Core data model of the runtime resource manager.
+
+This package contains the entities of Section IV of the paper:
+
+* :class:`OperatingPoint` — one configuration :math:`c^j_\\lambda =
+  \\langle\\vec{\\theta}, \\tau, \\xi\\rangle` of an application.
+* :class:`ConfigTable` — the Pareto-filtered set of operating points of one
+  application (one row group of Table II).
+* :class:`Job` — a request :math:`\\sigma = \\langle\\alpha, \\delta, \\lambda,
+  \\rho\\rangle` (arrival, absolute deadline, application, remaining ratio).
+* :class:`JobMapping` / :class:`MappingSegment` / :class:`Schedule` — the
+  schedule :math:`\\kappa = \\{\\mu_i \\times \\Delta_{\\mu_i}\\}` made of
+  consecutive mapping segments.
+* :class:`SchedulingProblem` — a full problem instance (platform capacity,
+  application table, job set, current time) together with a validator for the
+  constraints (2b)–(2e) and the energy objective (2a).
+"""
+
+from repro.core.config import ConfigTable, OperatingPoint
+from repro.core.request import Job
+from repro.core.segment import JobMapping, MappingSegment, Schedule
+from repro.core.problem import SchedulingProblem, ValidationReport
+
+__all__ = [
+    "OperatingPoint",
+    "ConfigTable",
+    "Job",
+    "JobMapping",
+    "MappingSegment",
+    "Schedule",
+    "SchedulingProblem",
+    "ValidationReport",
+]

@@ -1,0 +1,266 @@
+"""Operating points and per-application configuration tables.
+
+An *operating point* (the paper's configuration :math:`c^j_\\lambda`) tells the
+runtime manager that application :math:`\\lambda`, when given the resources
+:math:`\\vec{\\theta}`, finishes a full execution in :math:`\\tau` seconds and
+consumes :math:`\\xi` joules.  The table of operating points of one application
+is produced at design time (by the DSE in :mod:`repro.dse` or by direct
+benchmarking) and is assumed to be Pareto-filtered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.platforms.resources import ResourceVector
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One configuration :math:`c^j_\\lambda = \\langle\\vec{\\theta}, \\tau, \\xi\\rangle`.
+
+    Parameters
+    ----------
+    resources:
+        Core demand per resource type (:math:`\\vec{\\theta}`).
+    execution_time:
+        Worst-case execution time :math:`\\tau` in seconds of a *full* run of
+        the application with this configuration.
+    energy:
+        Energy :math:`\\xi` in joules of a full run with this configuration.
+
+    Examples
+    --------
+    >>> point = OperatingPoint(ResourceVector([2, 1]), execution_time=5.3, energy=8.9)
+    >>> point.remaining_time(0.5)
+    2.65
+    """
+
+    resources: ResourceVector
+    execution_time: float
+    energy: float
+
+    def __post_init__(self) -> None:
+        if self.execution_time <= 0:
+            raise ConfigurationError(
+                f"execution time must be positive, got {self.execution_time}"
+            )
+        if self.energy < 0:
+            raise ConfigurationError(f"energy must be non-negative, got {self.energy}")
+        if self.resources.is_zero():
+            raise ConfigurationError("an operating point must use at least one core")
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities used by the schedulers
+    # ------------------------------------------------------------------ #
+    @property
+    def power(self) -> float:
+        """Average power in watts while running with this configuration."""
+        return self.energy / self.execution_time
+
+    def remaining_time(self, remaining_ratio: float) -> float:
+        """Seconds needed to finish the remaining ``remaining_ratio`` of the job."""
+        _check_ratio(remaining_ratio)
+        return self.execution_time * remaining_ratio
+
+    def remaining_energy(self, remaining_ratio: float) -> float:
+        """Joules needed to finish the remaining ``remaining_ratio`` of the job."""
+        _check_ratio(remaining_ratio)
+        return self.energy * remaining_ratio
+
+    def progress_of(self, duration: float) -> float:
+        """Progress ratio achieved by running ``duration`` seconds in this point."""
+        if duration < 0:
+            raise ConfigurationError("duration must be non-negative")
+        return duration / self.execution_time
+
+    def dominates(self, other: "OperatingPoint", tolerance: float = 1e-12) -> bool:
+        """Pareto dominance: no worse in every dimension, strictly better in one.
+
+        The dimensions are the per-type resource demands, the execution time
+        and the energy (all minimised).
+        """
+        if len(self.resources) != len(other.resources):
+            raise ConfigurationError("operating points of different platform dimension")
+        no_worse = (
+            all(a <= b for a, b in zip(self.resources, other.resources))
+            and self.execution_time <= other.execution_time + tolerance
+            and self.energy <= other.energy + tolerance
+        )
+        strictly_better = (
+            any(a < b for a, b in zip(self.resources, other.resources))
+            or self.execution_time < other.execution_time - tolerance
+            or self.energy < other.energy - tolerance
+        )
+        return no_worse and strictly_better
+
+
+def _check_ratio(ratio: float) -> None:
+    if not 0.0 <= ratio <= 1.0:
+        raise ConfigurationError(f"progress ratio must be in [0, 1], got {ratio}")
+
+
+class ConfigTable:
+    """The Pareto-filtered operating points of one application.
+
+    The table preserves insertion order; the index of a point in the table is
+    the configuration identifier ``j`` used by job mappings and schedules.
+
+    Parameters
+    ----------
+    application:
+        Name of the application the table describes.
+    points:
+        The operating points.  Set ``pareto_filter=True`` to drop dominated
+        points on construction (dropping preserves the relative order of the
+        surviving points).
+
+    Examples
+    --------
+    >>> from repro.platforms import ResourceVector
+    >>> table = ConfigTable("app", [
+    ...     OperatingPoint(ResourceVector([1, 0]), 10.0, 2.0),
+    ...     OperatingPoint(ResourceVector([0, 1]), 5.0, 7.5),
+    ... ])
+    >>> len(table)
+    2
+    >>> table.most_efficient().energy
+    2.0
+    """
+
+    def __init__(
+        self,
+        application: str,
+        points: Iterable[OperatingPoint],
+        pareto_filter: bool = False,
+    ):
+        if not application:
+            raise ConfigurationError("application name must not be empty")
+        point_list = list(points)
+        if not point_list:
+            raise ConfigurationError(f"application {application!r} has no operating points")
+        dimensions = {len(p.resources) for p in point_list}
+        if len(dimensions) != 1:
+            raise ConfigurationError(
+                f"operating points of {application!r} have mixed dimensions {dimensions}"
+            )
+        if pareto_filter:
+            point_list = pareto_filter_points(point_list)
+        self._application = application
+        self._points = tuple(point_list)
+
+    # ------------------------------------------------------------------ #
+    # Container protocol
+    # ------------------------------------------------------------------ #
+    @property
+    def application(self) -> str:
+        """Name of the application this table belongs to."""
+        return self._application
+
+    @property
+    def points(self) -> tuple[OperatingPoint, ...]:
+        """All operating points in configuration-index order."""
+        return self._points
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self) -> Iterator[OperatingPoint]:
+        return iter(self._points)
+
+    def __getitem__(self, config_index: int) -> OperatingPoint:
+        try:
+            return self._points[config_index]
+        except IndexError:
+            raise ConfigurationError(
+                f"application {self._application!r} has no configuration {config_index}"
+            ) from None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConfigTable):
+            return NotImplemented
+        return self._application == other._application and self._points == other._points
+
+    def __repr__(self) -> str:
+        return f"ConfigTable({self._application!r}, {len(self._points)} points)"
+
+    # ------------------------------------------------------------------ #
+    # Queries used by the schedulers
+    # ------------------------------------------------------------------ #
+    @property
+    def dimension(self) -> int:
+        """Number of resource types the points refer to."""
+        return len(self._points[0].resources)
+
+    def indices(self) -> range:
+        """The valid configuration indices ``j``."""
+        return range(len(self._points))
+
+    def most_efficient(self) -> OperatingPoint:
+        """The point with the lowest energy."""
+        return min(self._points, key=lambda p: p.energy)
+
+    def fastest(self) -> OperatingPoint:
+        """The point with the lowest execution time."""
+        return min(self._points, key=lambda p: p.execution_time)
+
+    def fastest_fitting(self, capacity: ResourceVector) -> OperatingPoint | None:
+        """The fastest point whose demand fits ``capacity``, or ``None``."""
+        fitting = [p for p in self._points if p.resources.fits_into(capacity)]
+        if not fitting:
+            return None
+        return min(fitting, key=lambda p: p.execution_time)
+
+    def feasible_indices(
+        self,
+        capacity: ResourceVector,
+        remaining_ratio: float,
+        time_budget: float,
+    ) -> list[int]:
+        """Indices of points that fit ``capacity`` and can finish within ``time_budget``."""
+        result = []
+        for index, point in enumerate(self._points):
+            if not point.resources.fits_into(capacity):
+                continue
+            if point.remaining_time(remaining_ratio) > time_budget + 1e-12:
+                continue
+            result.append(index)
+        return result
+
+    def is_pareto_optimal(self) -> bool:
+        """Return ``True`` iff no point of the table dominates another."""
+        for i, a in enumerate(self._points):
+            for j, b in enumerate(self._points):
+                if i != j and a.dominates(b):
+                    return False
+        return True
+
+
+def pareto_filter_points(points: Sequence[OperatingPoint]) -> list[OperatingPoint]:
+    """Return the non-dominated subset of ``points``, preserving order.
+
+    When two points are exactly identical in all dimensions only the first one
+    is kept.
+    """
+    survivors: list[OperatingPoint] = []
+    for candidate in points:
+        dominated = False
+        for other in points:
+            if other is candidate:
+                continue
+            if other.dominates(candidate):
+                dominated = True
+                break
+        if dominated:
+            continue
+        duplicate = any(
+            existing.resources == candidate.resources
+            and existing.execution_time == candidate.execution_time
+            and existing.energy == candidate.energy
+            for existing in survivors
+        )
+        if not duplicate:
+            survivors.append(candidate)
+    return survivors

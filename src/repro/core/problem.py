@@ -1,0 +1,244 @@
+"""Scheduling problem instances and schedule validation.
+
+A :class:`SchedulingProblem` bundles everything a scheduler activation needs:
+the platform capacity :math:`\\vec{\\Theta}`, the application configuration
+tables :math:`c`, the set of unfinished jobs :math:`\\Sigma_{t'}` and the
+current time :math:`t'`.  The :meth:`SchedulingProblem.validate` method checks
+a candidate schedule against the constraints (2b)–(2e) of the paper and
+returns a detailed :class:`ValidationReport`, which the test-suite and the
+property-based tests use as the single source of truth for schedule
+feasibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.config import ConfigTable
+from repro.core.request import Job
+from repro.core.segment import Schedule, TIME_EPSILON
+from repro.exceptions import SchedulingError
+from repro.platforms.platform import Platform
+from repro.platforms.resources import ResourceVector
+
+#: Relative tolerance when checking that a job's progress sums to its ratio.
+PROGRESS_TOLERANCE = 1e-6
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of validating a schedule against a problem instance.
+
+    The report collects one human-readable message per violated constraint so
+    test failures point directly at the broken invariant.
+    """
+
+    feasible: bool
+    violations: tuple[str, ...] = ()
+    energy: float = 0.0
+
+    def __bool__(self) -> bool:
+        return self.feasible
+
+
+class SchedulingProblem:
+    """One activation of the runtime manager.
+
+    Parameters
+    ----------
+    capacity:
+        The platform capacity :math:`\\vec{\\Theta}`.  A full
+        :class:`~repro.platforms.platform.Platform` may be passed instead; only
+        its capacity vector is used.
+    tables:
+        Mapping from application name to its :class:`ConfigTable`.
+    jobs:
+        The jobs :math:`\\Sigma_{t'}` to schedule.  Job names must be unique
+        and every job's application must have a table.
+    now:
+        The current time :math:`t'`; all generated segments start at or after
+        this time.
+
+    Examples
+    --------
+    >>> from repro.workload.motivational import motivational_tables, scenario_s1
+    >>> from repro.platforms import big_little
+    >>> problem = SchedulingProblem(
+    ...     big_little(2, 2), motivational_tables(), scenario_s1(), now=0.0)
+    >>> problem.job("sigma1").deadline
+    9.0
+    """
+
+    def __init__(
+        self,
+        capacity: ResourceVector | Platform,
+        tables: Mapping[str, ConfigTable],
+        jobs: Iterable[Job],
+        now: float = 0.0,
+    ):
+        if isinstance(capacity, Platform):
+            capacity = capacity.capacity
+        self._capacity = capacity
+        self._tables = dict(tables)
+        self._jobs = tuple(jobs)
+        self._now = float(now)
+        self._jobs_by_name = {}
+        self._check_consistency()
+
+    def _check_consistency(self) -> None:
+        if not self._jobs:
+            raise SchedulingError("a scheduling problem needs at least one job")
+        for job in self._jobs:
+            if job.name in self._jobs_by_name:
+                raise SchedulingError(f"duplicate job name {job.name!r}")
+            self._jobs_by_name[job.name] = job
+            if job.application not in self._tables:
+                raise SchedulingError(
+                    f"job {job.name!r} uses application {job.application!r} "
+                    f"which has no configuration table"
+                )
+            table = self._tables[job.application]
+            if table.dimension != len(self._capacity):
+                raise SchedulingError(
+                    f"table of {job.application!r} has dimension {table.dimension}, "
+                    f"platform has {len(self._capacity)}"
+                )
+            if job.deadline < self._now - TIME_EPSILON:
+                raise SchedulingError(
+                    f"job {job.name!r} deadline {job.deadline} lies before now={self._now}"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def capacity(self) -> ResourceVector:
+        """The platform capacity :math:`\\vec{\\Theta}`."""
+        return self._capacity
+
+    @property
+    def tables(self) -> dict[str, ConfigTable]:
+        """Application name → configuration table."""
+        return dict(self._tables)
+
+    @property
+    def jobs(self) -> tuple[Job, ...]:
+        """The jobs of this activation."""
+        return self._jobs
+
+    @property
+    def now(self) -> float:
+        """The activation time :math:`t'`."""
+        return self._now
+
+    @property
+    def horizon(self) -> float:
+        """The analysis horizon: the largest absolute deadline."""
+        return max(job.deadline for job in self._jobs)
+
+    def job(self, name: str) -> Job:
+        """Return the job called ``name``."""
+        try:
+            return self._jobs_by_name[name]
+        except KeyError:
+            raise SchedulingError(f"unknown job {name!r}") from None
+
+    def table_for(self, job: Job | str) -> ConfigTable:
+        """Return the configuration table of a job (or application name)."""
+        application = job.application if isinstance(job, Job) else job
+        try:
+            return self._tables[application]
+        except KeyError:
+            raise SchedulingError(f"no table for application {application!r}") from None
+
+    def processing_capacity(self) -> list[float]:
+        """The knapsack capacities :math:`\\vec{J}` of Algorithm 1, line 1.
+
+        Per resource type: number of cores times the time from now until the
+        latest deadline.
+        """
+        horizon = self.horizon - self._now
+        return [count * horizon for count in self._capacity]
+
+    def with_jobs(self, jobs: Sequence[Job]) -> "SchedulingProblem":
+        """Return a copy of the problem with a different job set."""
+        return SchedulingProblem(self._capacity, self._tables, jobs, self._now)
+
+    def with_now(self, now: float) -> "SchedulingProblem":
+        """Return a copy of the problem re-anchored at a different time."""
+        return SchedulingProblem(self._capacity, self._tables, self._jobs, now)
+
+    # ------------------------------------------------------------------ #
+    # Validation of the constraints (2b)-(2e)
+    # ------------------------------------------------------------------ #
+    def validate(self, schedule: Schedule | None) -> ValidationReport:
+        """Check a candidate schedule against all paper constraints.
+
+        ``None`` (a rejected request) is reported as infeasible with a single
+        explanatory message.
+        """
+        if schedule is None:
+            return ValidationReport(False, ("scheduler returned no schedule",))
+
+        violations: list[str] = []
+        dimension = len(self._capacity)
+
+        # Segments must not start before the activation time and must be ordered.
+        if schedule and schedule.start < self._now - TIME_EPSILON:
+            violations.append(
+                f"schedule starts at {schedule.start} before activation time {self._now}"
+            )
+
+        # Constraint (2b): per-segment resource usage within capacity.
+        for segment in schedule:
+            usage = segment.resource_usage(self._tables, dimension)
+            if not usage.fits_into(self._capacity):
+                violations.append(
+                    f"segment [{segment.start:.3f}, {segment.end:.3f}) uses "
+                    f"{usage.counts} > capacity {self._capacity.counts}"
+                )
+
+        # Constraint (2c): at most one mapping per job per segment.  This is
+        # enforced structurally by MappingSegment, but unknown jobs are not.
+        known_names = set(self._jobs_by_name)
+        for segment in schedule:
+            unknown = segment.job_names() - known_names
+            if unknown:
+                violations.append(
+                    f"segment [{segment.start:.3f}, {segment.end:.3f}) maps unknown "
+                    f"jobs {sorted(unknown)}"
+                )
+
+        # Constraints (2d) and (2e): full completion before the deadline.
+        for job in self._jobs:
+            progress = schedule.total_progress(job.name, self._tables)
+            if abs(progress - job.remaining_ratio) > PROGRESS_TOLERANCE * max(
+                1.0, job.remaining_ratio
+            ):
+                violations.append(
+                    f"job {job.name!r} completes {progress:.6f} of required "
+                    f"{job.remaining_ratio:.6f}"
+                )
+            completion = schedule.completion_time(job.name)
+            if completion is None:
+                if job.remaining_ratio > PROGRESS_TOLERANCE:
+                    violations.append(f"job {job.name!r} never appears in the schedule")
+            elif completion > job.deadline + 1e-6:
+                violations.append(
+                    f"job {job.name!r} finishes at {completion:.6f} after deadline "
+                    f"{job.deadline:.6f}"
+                )
+
+        energy = schedule.total_energy(self._tables)
+        return ValidationReport(not violations, tuple(violations), energy)
+
+    def energy_of(self, schedule: Schedule) -> float:
+        """Objective (2a) of a schedule for this problem."""
+        return schedule.total_energy(self._tables)
+
+    def __repr__(self) -> str:
+        return (
+            f"SchedulingProblem({len(self._jobs)} jobs, now={self._now}, "
+            f"capacity={self._capacity.counts})"
+        )

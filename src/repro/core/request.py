@@ -1,0 +1,114 @@
+"""Jobs (requests) handled by the runtime manager.
+
+A job is the paper's request :math:`\\sigma = \\langle\\alpha, \\delta, \\lambda,
+\\rho\\rangle`: the arrival time, the absolute deadline, the application to run
+and the *remaining* progress ratio.  A freshly arrived job has remaining ratio
+1.0; a job that already completed 40 % of its work has remaining ratio 0.6
+(this matches constraint (2d) of the paper, which requires the schedule to
+cover exactly :math:`\\sigma[\\rho]` of a full execution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.exceptions import SchedulingError
+
+#: Numerical slack used when comparing progress ratios and times.
+RATIO_EPSILON = 1e-9
+
+
+@dataclass(frozen=True)
+class Job:
+    """One admitted (or newly arrived) request.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier of the request, e.g. ``"sigma1"``.
+    application:
+        Name of the application to execute; must match a
+        :class:`~repro.core.config.ConfigTable`.
+    arrival:
+        Arrival time :math:`\\alpha` in seconds.
+    deadline:
+        Absolute deadline :math:`\\delta` in seconds.
+    remaining_ratio:
+        Remaining progress ratio :math:`\\rho \\in (0, 1]`; 1.0 for a job that
+        has not started yet.
+
+    Examples
+    --------
+    >>> job = Job("sigma1", "audio_filter", arrival=0.0, deadline=9.0)
+    >>> job.completed_ratio
+    0.0
+    >>> job.with_progress(0.25).remaining_ratio
+    0.75
+    """
+
+    name: str
+    application: str
+    arrival: float
+    deadline: float
+    remaining_ratio: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchedulingError("job name must not be empty")
+        if not self.application:
+            raise SchedulingError("job application must not be empty")
+        if self.deadline < self.arrival:
+            raise SchedulingError(
+                f"job {self.name!r}: deadline {self.deadline} before arrival {self.arrival}"
+            )
+        if not (0.0 < self.remaining_ratio <= 1.0 + RATIO_EPSILON):
+            raise SchedulingError(
+                f"job {self.name!r}: remaining ratio must be in (0, 1], got {self.remaining_ratio}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def completed_ratio(self) -> float:
+        """The share of work already completed (``1 - remaining_ratio``)."""
+        return max(0.0, 1.0 - self.remaining_ratio)
+
+    def laxity(self, now: float) -> float:
+        """Absolute time budget left at time ``now`` (may be negative)."""
+        return self.deadline - now
+
+    def is_started(self) -> bool:
+        """Return ``True`` iff the job has made progress already."""
+        return self.remaining_ratio < 1.0 - RATIO_EPSILON
+
+    # ------------------------------------------------------------------ #
+    # Functional updates (jobs are immutable)
+    # ------------------------------------------------------------------ #
+    def with_progress(self, additional_ratio: float) -> "Job":
+        """Return a copy of the job after completing ``additional_ratio`` more work.
+
+        Raises
+        ------
+        SchedulingError
+            If the additional progress exceeds the remaining work by more than
+            a numerical epsilon.
+        """
+        if additional_ratio < -RATIO_EPSILON:
+            raise SchedulingError("additional progress must be non-negative")
+        new_remaining = self.remaining_ratio - additional_ratio
+        if new_remaining < -RATIO_EPSILON:
+            raise SchedulingError(
+                f"job {self.name!r}: progress {additional_ratio} exceeds remaining "
+                f"{self.remaining_ratio}"
+            )
+        new_remaining = min(1.0, max(new_remaining, RATIO_EPSILON))
+        return replace(self, remaining_ratio=new_remaining)
+
+    def with_remaining(self, remaining_ratio: float) -> "Job":
+        """Return a copy of the job with the remaining ratio replaced."""
+        return replace(self, remaining_ratio=remaining_ratio)
+
+    def is_finished(self, tolerance: float = 1e-6) -> bool:
+        """Return ``True`` iff the remaining work is numerically negligible."""
+        return self.remaining_ratio <= tolerance

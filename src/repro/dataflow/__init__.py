@@ -1,0 +1,35 @@
+"""Dataflow (KPN) application models.
+
+The paper's evaluation uses three dataflow applications — a speaker
+recognition pipeline (8 processes), an audio filter (8 processes) and a
+pedestrian recognition application (6 processes) — profiled on the Odroid XU4.
+The applications themselves are proprietary (Silexica), so this package builds
+synthetic KPN models with the same process counts and realistic compute /
+communication ratios.  The models are consumed by the trace-driven mapping
+simulator in :mod:`repro.mapping` and by the design-space exploration in
+:mod:`repro.dse` to regenerate the per-application operating-point tables.
+"""
+
+from repro.dataflow.graph import Channel, KPNGraph, Process
+from repro.dataflow.trace import ProcessTrace, TraceGenerator, TraceSegment
+from repro.dataflow.applications import (
+    ApplicationModel,
+    audio_filter,
+    paper_applications,
+    pedestrian_recognition,
+    speaker_recognition,
+)
+
+__all__ = [
+    "Process",
+    "Channel",
+    "KPNGraph",
+    "TraceSegment",
+    "ProcessTrace",
+    "TraceGenerator",
+    "ApplicationModel",
+    "speaker_recognition",
+    "audio_filter",
+    "pedestrian_recognition",
+    "paper_applications",
+]

@@ -1,0 +1,171 @@
+"""Synthetic models of the three evaluation applications.
+
+The paper profiles three dataflow applications on the Odroid XU4:
+
+* *speaker recognition* — 8 processes (Bouraoui et al., PARMA-DITAM 2019),
+* *audio filter* — a stereo frequency filter with 8 processes (Goens et al.),
+* *pedestrian recognition* — 6 processes (provided by Silexica).
+
+The originals are proprietary, so this module provides synthetic KPN graphs
+with the same process counts and plausible structure: a pipeline with some
+parallel stages for the audio filter, a feature-extraction/classification
+pipeline for speaker recognition and a sliding-window detection pipeline for
+pedestrian recognition.  The absolute cycle counts are chosen so that full
+executions on the Odroid model take seconds to tens of seconds — the same
+order of magnitude as Table II of the paper — and each application is
+instantiated for several input-data sizes, mirroring the paper's benchmarking
+with inputs of different sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.dataflow.graph import Channel, KPNGraph, Process
+from repro.exceptions import DataflowError
+
+#: Reference cycles corresponding to one second on a little (A7 @1.5 GHz) core.
+_GIGA = 1.0e9
+
+#: Input-size scale factors used when instantiating the applications.
+DEFAULT_INPUT_SIZES: Mapping[str, float] = {"small": 0.5, "medium": 1.0, "large": 2.0}
+
+
+@dataclass(frozen=True)
+class ApplicationModel:
+    """A dataflow application together with its input-size variants.
+
+    Attributes
+    ----------
+    name:
+        Application name (e.g. ``"speaker_recognition"``).
+    graph:
+        The KPN graph at the *medium* (scale 1.0) input size.
+    input_sizes:
+        Mapping from input-size label to scale factor.
+    """
+
+    name: str
+    graph: KPNGraph
+    input_sizes: Mapping[str, float]
+
+    def variant(self, size: str) -> KPNGraph:
+        """The KPN graph scaled for the given input size label."""
+        if size not in self.input_sizes:
+            raise DataflowError(
+                f"application {self.name!r} has no input size {size!r}; "
+                f"known sizes: {sorted(self.input_sizes)}"
+            )
+        factor = self.input_sizes[size]
+        return self.graph.scaled(factor, name=f"{self.name}/{size}")
+
+    def variants(self) -> dict[str, KPNGraph]:
+        """All input-size variants keyed by ``"<application>/<size>"``."""
+        return {f"{self.name}/{size}": self.variant(size) for size in self.input_sizes}
+
+
+def _pipeline_channels(process_names, bytes_per_hop: float) -> list[Channel]:
+    """Chain consecutive processes with identical-volume channels."""
+    return [
+        Channel(f"ch_{src}_{dst}", src, dst, bytes_per_hop)
+        for src, dst in zip(process_names, process_names[1:])
+    ]
+
+
+def speaker_recognition(
+    input_sizes: Mapping[str, float] | None = None,
+) -> ApplicationModel:
+    """Synthetic 8-process speaker recognition pipeline.
+
+    The structure follows the published description: audio framing, windowing,
+    FFT, mel filter bank, MFCC, delta features, a GMM scoring stage and a
+    decision stage.  Scoring dominates the compute load, which is what makes
+    the application scale well to multiple cores.
+    """
+    processes = [
+        Process("framing", 0.6 * _GIGA),
+        Process("windowing", 0.8 * _GIGA),
+        Process("fft", 2.4 * _GIGA),
+        Process("mel_filter", 1.6 * _GIGA),
+        Process("mfcc", 1.8 * _GIGA),
+        Process("delta", 1.2 * _GIGA),
+        Process("gmm_scoring", 5.2 * _GIGA),
+        Process("decision", 0.4 * _GIGA),
+    ]
+    names = [p.name for p in processes]
+    channels = _pipeline_channels(names, 2.0e6)
+    # The scoring stage additionally receives the raw MFCC features.
+    channels.append(Channel("ch_mfcc_gmm", "mfcc", "gmm_scoring", 1.0e6))
+    graph = KPNGraph("speaker_recognition", processes, channels)
+    return ApplicationModel(
+        "speaker_recognition", graph, dict(input_sizes or DEFAULT_INPUT_SIZES)
+    )
+
+
+def audio_filter(input_sizes: Mapping[str, float] | None = None) -> ApplicationModel:
+    """Synthetic 8-process stereo frequency filter.
+
+    Two parallel per-channel chains (split → FFT → filter → IFFT) joined by a
+    final mixing stage, which is the classic structure of the stereo audio
+    filter used in prior work of the same group.
+    """
+    processes = [
+        Process("source", 0.5 * _GIGA),
+        Process("split", 0.4 * _GIGA),
+        Process("fft_left", 2.2 * _GIGA),
+        Process("fft_right", 2.2 * _GIGA),
+        Process("filter_left", 1.4 * _GIGA),
+        Process("filter_right", 1.4 * _GIGA),
+        Process("ifft", 2.6 * _GIGA),
+        Process("sink", 0.3 * _GIGA),
+    ]
+    channels = [
+        Channel("ch_src_split", "source", "split", 4.0e6),
+        Channel("ch_split_fl", "split", "fft_left", 2.0e6),
+        Channel("ch_split_fr", "split", "fft_right", 2.0e6),
+        Channel("ch_fl_filtl", "fft_left", "filter_left", 2.0e6),
+        Channel("ch_fr_filtr", "fft_right", "filter_right", 2.0e6),
+        Channel("ch_filtl_ifft", "filter_left", "ifft", 2.0e6),
+        Channel("ch_filtr_ifft", "filter_right", "ifft", 2.0e6),
+        Channel("ch_ifft_sink", "ifft", "sink", 4.0e6),
+    ]
+    graph = KPNGraph("audio_filter", processes, channels)
+    return ApplicationModel("audio_filter", graph, dict(input_sizes or DEFAULT_INPUT_SIZES))
+
+
+def pedestrian_recognition(
+    input_sizes: Mapping[str, float] | None = None,
+) -> ApplicationModel:
+    """Synthetic 6-process pedestrian recognition pipeline.
+
+    Image pre-processing, a sliding-window HOG feature extraction split over
+    two parallel workers, an SVM classification stage and a non-maximum
+    suppression stage.  Feature extraction dominates the load.
+    """
+    processes = [
+        Process("preprocess", 1.0 * _GIGA),
+        Process("hog_top", 3.6 * _GIGA),
+        Process("hog_bottom", 3.6 * _GIGA),
+        Process("svm", 2.8 * _GIGA),
+        Process("nms", 0.6 * _GIGA),
+        Process("output", 0.3 * _GIGA),
+    ]
+    channels = [
+        Channel("ch_pre_top", "preprocess", "hog_top", 3.0e6),
+        Channel("ch_pre_bottom", "preprocess", "hog_bottom", 3.0e6),
+        Channel("ch_top_svm", "hog_top", "svm", 1.5e6),
+        Channel("ch_bottom_svm", "hog_bottom", "svm", 1.5e6),
+        Channel("ch_svm_nms", "svm", "nms", 0.5e6),
+        Channel("ch_nms_out", "nms", "output", 0.2e6),
+    ]
+    graph = KPNGraph("pedestrian_recognition", processes, channels)
+    return ApplicationModel(
+        "pedestrian_recognition", graph, dict(input_sizes or DEFAULT_INPUT_SIZES)
+    )
+
+
+def paper_applications() -> dict[str, ApplicationModel]:
+    """The three evaluation applications keyed by name."""
+    models = [speaker_recognition(), audio_filter(), pedestrian_recognition()]
+    return {model.name: model for model in models}

@@ -1,0 +1,227 @@
+"""Kahn process network (KPN) graphs.
+
+A KPN graph consists of *processes* connected by FIFO *channels*.  Every
+process carries the number of reference compute cycles it executes over one
+full run of the application; every channel carries the amount of data it
+transports over one full run.  The paper's applications are dataflow
+applications in exactly this style (they were profiled with the Silexica SLX
+tool suite); the mapping simulator only needs these aggregate quantities plus
+the per-iteration traces from :mod:`repro.dataflow.trace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from repro.exceptions import DataflowError
+
+
+@dataclass(frozen=True)
+class Process:
+    """One KPN process.
+
+    Parameters
+    ----------
+    name:
+        Unique process name within its graph.
+    cycles:
+        Reference compute cycles the process executes over one full run of
+        the application (on a performance-factor-1.0 core).
+    """
+
+    name: str
+    cycles: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DataflowError("process name must not be empty")
+        if self.cycles <= 0:
+            raise DataflowError(f"process {self.name!r}: cycles must be positive")
+
+
+@dataclass(frozen=True)
+class Channel:
+    """A FIFO channel between two processes.
+
+    Parameters
+    ----------
+    name:
+        Unique channel name within its graph.
+    source, target:
+        Names of the producing and consuming processes.
+    bytes_transferred:
+        Total bytes moved through the channel over one full application run.
+    """
+
+    name: str
+    source: str
+    target: str
+    bytes_transferred: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DataflowError("channel name must not be empty")
+        if self.source == self.target:
+            raise DataflowError(f"channel {self.name!r} connects a process to itself")
+        if self.bytes_transferred < 0:
+            raise DataflowError(f"channel {self.name!r}: negative data volume")
+
+
+class KPNGraph:
+    """A Kahn process network.
+
+    Parameters
+    ----------
+    name:
+        Application/graph name.
+    processes:
+        The processes of the network (at least one).
+    channels:
+        The FIFO channels; both endpoints must be declared processes.
+
+    Examples
+    --------
+    >>> graph = KPNGraph("pipe", [Process("a", 1e9), Process("b", 2e9)],
+    ...                  [Channel("c0", "a", "b", 1e6)])
+    >>> graph.num_processes
+    2
+    >>> graph.successors("a")
+    ('b',)
+    """
+
+    def __init__(
+        self,
+        name: str,
+        processes: Iterable[Process],
+        channels: Iterable[Channel] = (),
+    ):
+        if not name:
+            raise DataflowError("graph name must not be empty")
+        self._name = name
+        self._processes = tuple(processes)
+        self._channels = tuple(channels)
+        if not self._processes:
+            raise DataflowError(f"graph {name!r} has no processes")
+
+        names = [p.name for p in self._processes]
+        if len(set(names)) != len(names):
+            raise DataflowError(f"graph {name!r} has duplicate process names")
+        self._by_name: Mapping[str, Process] = {p.name: p for p in self._processes}
+
+        channel_names = [c.name for c in self._channels]
+        if len(set(channel_names)) != len(channel_names):
+            raise DataflowError(f"graph {name!r} has duplicate channel names")
+        for channel in self._channels:
+            for endpoint in (channel.source, channel.target):
+                if endpoint not in self._by_name:
+                    raise DataflowError(
+                        f"channel {channel.name!r} references unknown process {endpoint!r}"
+                    )
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        """The graph (application) name."""
+        return self._name
+
+    @property
+    def processes(self) -> tuple[Process, ...]:
+        """All processes of the graph."""
+        return self._processes
+
+    @property
+    def channels(self) -> tuple[Channel, ...]:
+        """All channels of the graph."""
+        return self._channels
+
+    @property
+    def num_processes(self) -> int:
+        """Number of processes."""
+        return len(self._processes)
+
+    @property
+    def process_names(self) -> tuple[str, ...]:
+        """Process names in declaration order."""
+        return tuple(p.name for p in self._processes)
+
+    def process(self, name: str) -> Process:
+        """Return the process called ``name``."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise DataflowError(f"graph {self._name!r} has no process {name!r}") from None
+
+    def __iter__(self) -> Iterator[Process]:
+        return iter(self._processes)
+
+    def __repr__(self) -> str:
+        return (
+            f"KPNGraph({self._name!r}, {len(self._processes)} processes, "
+            f"{len(self._channels)} channels)"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Aggregate queries used by the mapping simulator and the DSE
+    # ------------------------------------------------------------------ #
+    @property
+    def total_cycles(self) -> float:
+        """Total reference compute cycles of one full application run."""
+        return sum(p.cycles for p in self._processes)
+
+    @property
+    def total_bytes(self) -> float:
+        """Total channel traffic of one full application run."""
+        return sum(c.bytes_transferred for c in self._channels)
+
+    def successors(self, process_name: str) -> tuple[str, ...]:
+        """Names of processes fed by ``process_name``."""
+        self.process(process_name)
+        return tuple(c.target for c in self._channels if c.source == process_name)
+
+    def predecessors(self, process_name: str) -> tuple[str, ...]:
+        """Names of processes feeding ``process_name``."""
+        self.process(process_name)
+        return tuple(c.source for c in self._channels if c.target == process_name)
+
+    def channels_between(self, source: str, target: str) -> tuple[Channel, ...]:
+        """All channels from ``source`` to ``target``."""
+        return tuple(
+            c for c in self._channels if c.source == source and c.target == target
+        )
+
+    def is_connected(self) -> bool:
+        """Return ``True`` iff the undirected graph is connected."""
+        if self.num_processes <= 1:
+            return True
+        adjacency: dict[str, set[str]] = {p.name: set() for p in self._processes}
+        for channel in self._channels:
+            adjacency[channel.source].add(channel.target)
+            adjacency[channel.target].add(channel.source)
+        seen = {self._processes[0].name}
+        frontier = [self._processes[0].name]
+        while frontier:
+            current = frontier.pop()
+            for neighbour in adjacency[current]:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        return len(seen) == self.num_processes
+
+    def scaled(self, factor: float, name: str | None = None) -> "KPNGraph":
+        """Return a copy of the graph with all cycles and traffic scaled.
+
+        Used to model different input-data sizes: a larger input multiplies
+        both the compute work and the communication volume.
+        """
+        if factor <= 0:
+            raise DataflowError("scale factor must be positive")
+        scaled_name = name or f"{self._name}x{factor:g}"
+        processes = [Process(p.name, p.cycles * factor) for p in self._processes]
+        channels = [
+            Channel(c.name, c.source, c.target, c.bytes_transferred * factor)
+            for c in self._channels
+        ]
+        return KPNGraph(scaled_name, processes, channels)

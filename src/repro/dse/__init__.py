@@ -1,0 +1,20 @@
+"""Design-space exploration: from dataflow applications to operating points.
+
+The hybrid mapping approach of the paper assumes that every application comes
+with a *Pareto-filtered table of operating points* produced at design time.
+This package regenerates those tables: it enumerates core allocations of the
+platform, derives a balanced process-to-core mapping per allocation, simulates
+it with the trace-driven simulator and Pareto-filters the results.
+"""
+
+from repro.dse.pareto import pareto_front
+from repro.dse.explorer import DesignSpaceExplorer, ExplorationResult
+from repro.dse.tables import paper_operating_points, reduced_tables
+
+__all__ = [
+    "pareto_front",
+    "DesignSpaceExplorer",
+    "ExplorationResult",
+    "paper_operating_points",
+    "reduced_tables",
+]

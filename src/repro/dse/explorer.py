@@ -1,0 +1,147 @@
+"""Exhaustive allocation-level design-space exploration.
+
+For one application variant (a KPN graph) and one platform the explorer walks
+over every core allocation (how many cores of each type the application may
+use), builds a balanced process-to-core mapping, simulates it and records the
+resulting operating point.  The final table is Pareto-filtered over the
+objectives (per-type core usage, execution time, energy), which mirrors the
+paper's statement that operating points handed to the runtime manager are
+Pareto-filtered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.config import ConfigTable, OperatingPoint
+from repro.dataflow.graph import KPNGraph
+from repro.dataflow.trace import TraceGenerator
+from repro.dse.pareto import pareto_front
+from repro.exceptions import MappingError
+from repro.mapping.allocate import allocation_cores, balance_processes
+from repro.mapping.mapping import ProcessMapping
+from repro.mapping.simulate import MappingSimulator, SimulationResult
+from repro.platforms.platform import Platform
+from repro.platforms.resources import ResourceVector
+
+
+@dataclass(frozen=True)
+class ExplorationResult:
+    """One evaluated design point.
+
+    Attributes
+    ----------
+    allocation:
+        The explored core allocation.
+    mapping:
+        The concrete process-to-core mapping built for the allocation.
+    simulation:
+        Execution time / energy estimate of the mapping.
+    operating_point:
+        The resulting operating point (resources are the *used* cores, which
+        may be fewer than the allocation when the application has fewer
+        processes than allocated cores).
+    """
+
+    allocation: ResourceVector
+    mapping: ProcessMapping
+    simulation: SimulationResult
+    operating_point: OperatingPoint
+
+
+class DesignSpaceExplorer:
+    """Enumerate, simulate and Pareto-filter core allocations.
+
+    Parameters
+    ----------
+    platform:
+        The target platform.
+    simulator:
+        The mapping simulator to use; a default trace-driven simulator with a
+        deterministic trace generator is created when omitted.
+    max_cores_per_type:
+        Optional cap on the allocation per resource type (defaults to the
+        platform capacity).
+
+    Examples
+    --------
+    >>> from repro.dataflow import pedestrian_recognition
+    >>> from repro.platforms import odroid_xu4
+    >>> explorer = DesignSpaceExplorer(odroid_xu4())
+    >>> table = explorer.explore(pedestrian_recognition().graph)
+    >>> len(table) > 0
+    True
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        simulator: MappingSimulator | None = None,
+        max_cores_per_type: Sequence[int] | None = None,
+    ):
+        self._platform = platform
+        self._simulator = simulator or MappingSimulator(
+            trace_generator=TraceGenerator(iterations=20, jitter=0.1, seed=2020)
+        )
+        if max_cores_per_type is None:
+            self._limit = platform.capacity
+        else:
+            limit = ResourceVector(max_cores_per_type)
+            if not limit.fits_into(platform.capacity):
+                raise MappingError(
+                    f"allocation limit {limit.counts} exceeds platform capacity "
+                    f"{platform.capacity.counts}"
+                )
+            self._limit = limit
+
+    # ------------------------------------------------------------------ #
+    # Exploration
+    # ------------------------------------------------------------------ #
+    def evaluate_allocation(
+        self, graph: KPNGraph, allocation: ResourceVector
+    ) -> ExplorationResult:
+        """Build, simulate and summarise one allocation."""
+        cores = allocation_cores(self._platform, allocation)
+        mapping = balance_processes(graph, self._platform, cores)
+        simulation = self._simulator.simulate(mapping)
+        point = OperatingPoint(
+            resources=mapping.demand,
+            execution_time=simulation.execution_time,
+            energy=simulation.energy,
+        )
+        return ExplorationResult(allocation, mapping, simulation, point)
+
+    def explore_all(self, graph: KPNGraph) -> list[ExplorationResult]:
+        """Evaluate every allocation whose core count does not exceed the processes.
+
+        Allocating more cores than the application has processes cannot help
+        (extra cores would stay idle but still burn static power), so such
+        allocations are skipped.
+        """
+        results = []
+        for allocation in self._platform.allocations(self._limit):
+            if allocation.total > graph.num_processes:
+                continue
+            results.append(self.evaluate_allocation(graph, allocation))
+        return results
+
+    def explore(self, graph: KPNGraph, application_name: str | None = None) -> ConfigTable:
+        """Return the Pareto-filtered operating-point table of ``graph``.
+
+        Parameters
+        ----------
+        graph:
+            The application variant to explore.
+        application_name:
+            Name under which the table is registered; defaults to the graph
+            name.
+        """
+        results = self.explore_all(graph)
+        front = pareto_front(
+            results,
+            objectives=lambda r: tuple(r.operating_point.resources)
+            + (r.operating_point.execution_time, r.operating_point.energy),
+        )
+        points = [r.operating_point for r in front]
+        return ConfigTable(application_name or graph.name, points, pareto_filter=True)

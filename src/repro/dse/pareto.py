@@ -1,0 +1,62 @@
+"""Generic Pareto-front filtering.
+
+The DSE minimises several objectives at once (per-type core usage, execution
+time, energy).  :func:`pareto_front` works on arbitrary objective vectors so
+it can also be reused for other multi-objective sweeps (e.g. the ablation
+benchmarks).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def _dominates(a: Sequence[float], b: Sequence[float], tolerance: float) -> bool:
+    """True iff objective vector ``a`` Pareto-dominates ``b`` (minimisation)."""
+    no_worse = all(x <= y + tolerance for x, y in zip(a, b))
+    strictly_better = any(x < y - tolerance for x, y in zip(a, b))
+    return no_worse and strictly_better
+
+
+def pareto_front(
+    items: Iterable[T],
+    objectives: Callable[[T], Sequence[float]],
+    tolerance: float = 1e-12,
+) -> list[T]:
+    """Return the non-dominated subset of ``items`` (all objectives minimised).
+
+    Exact duplicates (identical objective vectors) are collapsed to the first
+    occurrence, preserving the input order of the survivors.
+
+    Parameters
+    ----------
+    items:
+        The candidate solutions.
+    objectives:
+        Function mapping an item to its objective vector.
+    tolerance:
+        Numerical slack used in the dominance comparison.
+
+    Examples
+    --------
+    >>> pareto_front([(1, 5), (2, 2), (3, 3)], objectives=lambda p: p)
+    [(1, 5), (2, 2)]
+    """
+    candidates = list(items)
+    vectors = [tuple(objectives(item)) for item in candidates]
+    lengths = {len(v) for v in vectors}
+    if len(lengths) > 1:
+        raise ValueError(f"objective vectors have mixed lengths: {lengths}")
+
+    survivors: list[T] = []
+    survivor_vectors: list[tuple[float, ...]] = []
+    for item, vector in zip(candidates, vectors):
+        if any(_dominates(other, vector, tolerance) for other in vectors if other is not vector):
+            continue
+        if vector in survivor_vectors:
+            continue
+        survivors.append(item)
+        survivor_vectors.append(vector)
+    return survivors

@@ -1,0 +1,95 @@
+"""Ready-made operating-point tables for the evaluation applications.
+
+These helpers run the full DSE pipeline (application model → allocations →
+mapping → simulation → Pareto filter) for the three paper applications and
+all their input-size variants on a given platform.  They are the entry point
+used by the evaluation workload and the benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.config import ConfigTable
+from repro.dataflow.applications import paper_applications
+from repro.dse.explorer import DesignSpaceExplorer
+from repro.platforms.odroid import odroid_xu4
+from repro.platforms.platform import Platform
+
+
+def paper_operating_points(
+    platform: Platform | None = None,
+    input_sizes: tuple[str, ...] | None = None,
+) -> dict[str, ConfigTable]:
+    """Operating-point tables for every application/input-size variant.
+
+    Parameters
+    ----------
+    platform:
+        Target platform; the Odroid XU4 model by default.
+    input_sizes:
+        Restrict the variants to the given size labels (e.g. ``("medium",)``).
+        All sizes are used by default, mirroring the paper's benchmarking with
+        several input sizes per application.
+
+    Returns
+    -------
+    dict
+        ``"<application>/<size>" → ConfigTable``.
+
+    Examples
+    --------
+    >>> tables = paper_operating_points(input_sizes=("medium",))
+    >>> sorted(t.split("/")[0] for t in tables)
+    ['audio_filter', 'pedestrian_recognition', 'speaker_recognition']
+    """
+    platform = platform or odroid_xu4()
+    explorer = DesignSpaceExplorer(platform)
+    tables: dict[str, ConfigTable] = {}
+    for model in paper_applications().values():
+        for variant_name, graph in model.variants().items():
+            size = variant_name.split("/", 1)[1]
+            if input_sizes is not None and size not in input_sizes:
+                continue
+            tables[variant_name] = explorer.explore(graph, application_name=variant_name)
+    return tables
+
+
+def reduced_tables(
+    tables: Mapping[str, ConfigTable], max_points: int
+) -> dict[str, ConfigTable]:
+    """Restrict every table to ``max_points`` points spread across the Pareto front.
+
+    The exhaustive EX-MEM reference scheduler is exponential in the table
+    sizes; the benchmark harness uses this helper to keep its runs tractable
+    (the restriction is documented in EXPERIMENTS.md).  The selection keeps
+    the extreme points (most energy-efficient and fastest) and fills the rest
+    evenly along the execution-time axis, so the reduced tables still span the
+    whole latency/energy trade-off the schedulers rely on.
+    """
+    if max_points <= 0:
+        raise ValueError("max_points must be positive")
+    reduced = {}
+    for name, table in tables.items():
+        if len(table) <= max_points:
+            reduced[name] = table
+            continue
+        by_time = sorted(table.points, key=lambda p: (p.execution_time, p.energy))
+        if max_points == 1:
+            selected = [min(by_time, key=lambda p: p.energy)]
+        else:
+            # Even spread over the time-sorted front; index 0 is the fastest
+            # point, the last index is the slowest (typically most efficient).
+            positions = [
+                round(i * (len(by_time) - 1) / (max_points - 1))
+                for i in range(max_points)
+            ]
+            selected = [by_time[i] for i in sorted(set(positions))]
+            most_efficient = min(table.points, key=lambda p: p.energy)
+            if most_efficient not in selected:
+                if len(selected) >= max_points and len(selected) > 1:
+                    # Sacrifice an interior point, never the fastest one.
+                    selected.pop(len(selected) // 2)
+                selected.append(most_efficient)
+        reduced[name] = ConfigTable(name, selected)
+    return reduced

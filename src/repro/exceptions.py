@@ -1,0 +1,57 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the :mod:`repro` library."""
+
+
+class PlatformError(ReproError):
+    """Raised for inconsistent platform descriptions.
+
+    Examples include negative core counts, duplicated processor-type names or
+    resource vectors whose dimensionality does not match the platform.
+    """
+
+
+class ConfigurationError(ReproError):
+    """Raised for invalid operating points or configuration tables."""
+
+
+class DataflowError(ReproError):
+    """Raised for malformed dataflow (KPN) graphs or traces."""
+
+
+class MappingError(ReproError):
+    """Raised for invalid process-to-core mappings."""
+
+
+class SchedulingError(ReproError):
+    """Raised when a scheduler is invoked with an inconsistent problem."""
+
+
+class InfeasibleScheduleError(SchedulingError):
+    """Raised when a caller requires a schedule but none exists.
+
+    The schedulers themselves report infeasibility through their result
+    objects; this exception is used by convenience wrappers (e.g. the runtime
+    manager in *strict* mode) that treat rejection as an error.
+    """
+
+
+class AdmissionError(ReproError):
+    """Raised by the runtime manager for invalid request admissions."""
+
+
+class WorkloadError(ReproError):
+    """Raised for invalid workload or test-case generator parameters."""
+
+
+class SerializationError(ReproError):
+    """Raised when (de)serialising library objects fails."""

@@ -1,0 +1,259 @@
+"""JSON (de)serialisation of library objects.
+
+Every ``*_to_dict`` function produces plain JSON-compatible dictionaries (only
+``dict``, ``list``, ``str``, ``int``, ``float``, ``bool``); every
+``*_from_dict`` function validates its input and raises
+:class:`~repro.exceptions.SerializationError` with a helpful message on
+malformed data.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.core.config import ConfigTable, OperatingPoint
+from repro.core.request import Job
+from repro.core.segment import Schedule
+from repro.exceptions import SerializationError
+from repro.platforms.platform import Platform
+from repro.platforms.power import PowerModel
+from repro.platforms.processor import ProcessorType
+from repro.platforms.resources import ResourceVector
+from repro.runtime.trace import RequestEvent, RequestTrace
+from repro.workload.testgen import DeadlineLevel, TestCase
+
+
+def _require(data: Mapping[str, Any], key: str, context: str) -> Any:
+    if key not in data:
+        raise SerializationError(f"{context}: missing required field {key!r}")
+    return data[key]
+
+
+# ---------------------------------------------------------------------- #
+# Platforms
+# ---------------------------------------------------------------------- #
+def platform_to_dict(platform: Platform) -> dict:
+    """Serialise a platform (name, processor types, core counts)."""
+    return {
+        "name": platform.name,
+        "processor_types": [
+            {
+                "name": ptype.name,
+                "frequency_hz": ptype.frequency_hz,
+                "performance_factor": ptype.performance_factor,
+                "static_watts": ptype.power.static_watts,
+                "dynamic_watts": ptype.power.dynamic_watts,
+            }
+            for ptype in platform.processor_types
+        ],
+        "core_counts": list(platform.core_counts),
+    }
+
+
+def platform_from_dict(data: Mapping[str, Any]) -> Platform:
+    """Reconstruct a platform from :func:`platform_to_dict` output."""
+    types = []
+    for entry in _require(data, "processor_types", "platform"):
+        types.append(
+            ProcessorType(
+                name=_require(entry, "name", "processor type"),
+                frequency_hz=float(_require(entry, "frequency_hz", "processor type")),
+                performance_factor=float(
+                    _require(entry, "performance_factor", "processor type")
+                ),
+                power=PowerModel(
+                    static_watts=float(_require(entry, "static_watts", "processor type")),
+                    dynamic_watts=float(
+                        _require(entry, "dynamic_watts", "processor type")
+                    ),
+                ),
+            )
+        )
+    return Platform(
+        name=_require(data, "name", "platform"),
+        processor_types=types,
+        core_counts=[int(c) for c in _require(data, "core_counts", "platform")],
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Configuration tables
+# ---------------------------------------------------------------------- #
+def config_table_to_dict(table: ConfigTable) -> dict:
+    """Serialise one application's operating points."""
+    return {
+        "application": table.application,
+        "points": [
+            {
+                "resources": list(point.resources),
+                "execution_time": point.execution_time,
+                "energy": point.energy,
+            }
+            for point in table
+        ],
+    }
+
+
+def config_table_from_dict(data: Mapping[str, Any]) -> ConfigTable:
+    """Reconstruct a configuration table."""
+    points = []
+    for entry in _require(data, "points", "config table"):
+        points.append(
+            OperatingPoint(
+                resources=ResourceVector(
+                    int(c) for c in _require(entry, "resources", "operating point")
+                ),
+                execution_time=float(_require(entry, "execution_time", "operating point")),
+                energy=float(_require(entry, "energy", "operating point")),
+            )
+        )
+    return ConfigTable(_require(data, "application", "config table"), points)
+
+
+def tables_to_dict(tables: Mapping[str, ConfigTable]) -> dict:
+    """Serialise a full application-name → table mapping."""
+    return {name: config_table_to_dict(table) for name, table in sorted(tables.items())}
+
+
+def tables_from_dict(data: Mapping[str, Any]) -> dict[str, ConfigTable]:
+    """Reconstruct a table mapping, checking key/application consistency."""
+    tables = {}
+    for name, entry in data.items():
+        table = config_table_from_dict(entry)
+        if table.application != name:
+            raise SerializationError(
+                f"table stored under key {name!r} declares application "
+                f"{table.application!r}"
+            )
+        tables[name] = table
+    return tables
+
+
+# ---------------------------------------------------------------------- #
+# Jobs and test cases
+# ---------------------------------------------------------------------- #
+def job_to_dict(job: Job) -> dict:
+    """Serialise one job."""
+    return {
+        "name": job.name,
+        "application": job.application,
+        "arrival": job.arrival,
+        "deadline": job.deadline,
+        "remaining_ratio": job.remaining_ratio,
+    }
+
+
+def job_from_dict(data: Mapping[str, Any]) -> Job:
+    """Reconstruct one job."""
+    return Job(
+        name=_require(data, "name", "job"),
+        application=_require(data, "application", "job"),
+        arrival=float(_require(data, "arrival", "job")),
+        deadline=float(_require(data, "deadline", "job")),
+        remaining_ratio=float(data.get("remaining_ratio", 1.0)),
+    )
+
+
+def test_case_to_dict(case: TestCase) -> dict:
+    """Serialise one generated test case."""
+    return {
+        "name": case.name,
+        "deadline_level": case.deadline_level.value,
+        "single_application": case.single_application,
+        "jobs": [job_to_dict(job) for job in case.jobs],
+    }
+
+
+def test_case_from_dict(data: Mapping[str, Any]) -> TestCase:
+    """Reconstruct one test case."""
+    level_value = _require(data, "deadline_level", "test case")
+    try:
+        level = DeadlineLevel(level_value)
+    except ValueError:
+        raise SerializationError(
+            f"test case: unknown deadline level {level_value!r}"
+        ) from None
+    return TestCase(
+        name=_require(data, "name", "test case"),
+        jobs=tuple(job_from_dict(j) for j in _require(data, "jobs", "test case")),
+        deadline_level=level,
+        single_application=bool(data.get("single_application", False)),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Request traces and schedules
+# ---------------------------------------------------------------------- #
+def request_trace_to_dict(trace: RequestTrace) -> dict:
+    """Serialise a request trace."""
+    return {
+        "events": [
+            {
+                "time": event.time,
+                "application": event.application,
+                "relative_deadline": event.relative_deadline,
+                "name": event.name,
+            }
+            for event in trace
+        ]
+    }
+
+
+def request_trace_from_dict(data: Mapping[str, Any]) -> RequestTrace:
+    """Reconstruct a request trace."""
+    events = []
+    for entry in _require(data, "events", "request trace"):
+        events.append(
+            RequestEvent(
+                time=float(_require(entry, "time", "request event")),
+                application=_require(entry, "application", "request event"),
+                relative_deadline=float(
+                    _require(entry, "relative_deadline", "request event")
+                ),
+                name=_require(entry, "name", "request event"),
+            )
+        )
+    return RequestTrace(events)
+
+
+def schedule_to_dict(schedule: Schedule) -> dict:
+    """Serialise a schedule (export only; schedules are recomputed, not loaded)."""
+    return {
+        "segments": [
+            {
+                "start": segment.start,
+                "end": segment.end,
+                "mappings": [
+                    {"job": m.job_name, "application": m.application, "config": m.config_index}
+                    for m in segment
+                ],
+            }
+            for segment in schedule
+        ]
+    }
+
+
+# ---------------------------------------------------------------------- #
+# File helpers
+# ---------------------------------------------------------------------- #
+def save_json(data: Mapping[str, Any], path: str | Path) -> None:
+    """Write a JSON document with stable formatting."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_json(path: str | Path) -> Any:
+    """Read a JSON document, converting file errors to SerializationError."""
+    path = Path(path)
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except FileNotFoundError:
+        raise SerializationError(f"file not found: {path}") from None
+    except json.JSONDecodeError as error:
+        raise SerializationError(f"invalid JSON in {path}: {error}") from None

@@ -1,0 +1,80 @@
+"""Exact MMKP solver for small instances (branch and bound).
+
+The exact solver exists to validate the heuristics in the test-suite and to
+provide optimal references for the ablation benchmarks.  It enumerates group
+choices depth-first and prunes with (a) capacity feasibility and (b) an
+optimistic bound that adds the best remaining per-group value regardless of
+weights.  It is exponential and intended for instances with at most a handful
+of groups.
+"""
+
+from __future__ import annotations
+
+from repro.knapsack.mmkp import MMKPProblem, MMKPSolution
+
+
+def solve_exact(problem: MMKPProblem, max_nodes: int = 1_000_000) -> MMKPSolution:
+    """Solve an MMKP instance exactly via branch and bound.
+
+    Parameters
+    ----------
+    problem:
+        The instance to solve.
+    max_nodes:
+        Safety bound on the number of explored search nodes; exceeding it
+        aborts the search and returns the best solution found so far.
+
+    Examples
+    --------
+    >>> from repro.knapsack import MMKPItem, MMKPProblem
+    >>> problem = MMKPProblem([3.0], [[MMKPItem(5.0, (3.0,)), MMKPItem(1.0, (1.0,))],
+    ...                                [MMKPItem(4.0, (2.0,)), MMKPItem(2.0, (1.0,))]])
+    >>> solve_exact(problem).value
+    5.0
+    """
+    num_dimensions = problem.num_dimensions
+    capacities = problem.capacities
+    groups = problem.groups
+
+    # Optimistic per-group maxima for the bound.
+    best_values = [max(item.value for item in group) for group in groups]
+    suffix_best = [0.0] * (len(groups) + 1)
+    for index in range(len(groups) - 1, -1, -1):
+        suffix_best[index] = suffix_best[index + 1] + best_values[index]
+
+    best_value = float("-inf")
+    best_selection: tuple[int, ...] | None = None
+    nodes = 0
+
+    def recurse(group_index: int, used: list[float], value: float, partial: list[int]):
+        nonlocal best_value, best_selection, nodes
+        nodes += 1
+        if nodes > max_nodes:
+            return
+        if group_index == len(groups):
+            if value > best_value:
+                best_value = value
+                best_selection = tuple(partial)
+            return
+        if value + suffix_best[group_index] <= best_value:
+            return
+        # Explore higher-value items first so the bound prunes aggressively.
+        order = sorted(
+            range(len(groups[group_index])),
+            key=lambda i: groups[group_index][i].value,
+            reverse=True,
+        )
+        for item_index in order:
+            item = groups[group_index][item_index]
+            new_used = [used[d] + item.weights[d] for d in range(num_dimensions)]
+            if any(new_used[d] > capacities[d] + 1e-9 for d in range(num_dimensions)):
+                continue
+            partial.append(item_index)
+            recurse(group_index + 1, new_used, value + item.value, partial)
+            partial.pop()
+
+    recurse(0, [0.0] * num_dimensions, 0.0, [])
+
+    if best_selection is None:
+        return MMKPSolution(None, float("-inf"), False, nodes)
+    return MMKPSolution(best_selection, best_value, True, nodes)

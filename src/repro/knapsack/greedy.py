@@ -1,0 +1,85 @@
+"""Greedy MMKP heuristic in the style of Ykman-Couvreur et al.
+
+The heuristic collapses the multi-dimensional weight vector of every item into
+a single scalar (the weighted sum of its per-dimension utilisation of the
+knapsack) and then proceeds greedily: it starts from the lowest-weight item of
+every group and repeatedly upgrades the group with the best value-gain per
+additional aggregate weight while the capacities allow it.
+"""
+
+from __future__ import annotations
+
+from repro.knapsack.mmkp import MMKPProblem, MMKPSolution
+
+
+def _aggregate_weight(problem: MMKPProblem, weights: tuple[float, ...]) -> float:
+    """Scalarise a weight vector by normalising each dimension by its capacity."""
+    total = 0.0
+    for dim, weight in enumerate(weights):
+        capacity = problem.capacities[dim]
+        total += weight / capacity if capacity > 0 else (float("inf") if weight > 0 else 0.0)
+    return total
+
+
+def solve_greedy(problem: MMKPProblem) -> MMKPSolution:
+    """Solve an MMKP instance with the aggregate-resource greedy heuristic.
+
+    Returns an infeasible solution when even the per-group lowest-weight items
+    do not fit together.
+
+    Examples
+    --------
+    >>> from repro.knapsack import MMKPItem, MMKPProblem
+    >>> problem = MMKPProblem([3.0], [[MMKPItem(5.0, (3.0,)), MMKPItem(1.0, (1.0,))],
+    ...                                [MMKPItem(4.0, (2.0,)), MMKPItem(2.0, (1.0,))]])
+    >>> solution = solve_greedy(problem)
+    >>> solution.feasible
+    True
+    """
+    # Start with the item of the smallest aggregate weight in every group.
+    selection = []
+    for group in problem.groups:
+        lightest = min(
+            range(len(group)),
+            key=lambda i: _aggregate_weight(problem, group[i].weights),
+        )
+        selection.append(lightest)
+
+    iterations = 0
+    if not problem.is_feasible(selection):
+        return MMKPSolution(None, float("-inf"), False, iterations)
+
+    improved = True
+    while improved:
+        improved = False
+        iterations += 1
+        best_gain = 0.0
+        best_upgrade: tuple[int, int] | None = None
+        for group_index, group in enumerate(problem.groups):
+            current = group[selection[group_index]]
+            for item_index, item in enumerate(group):
+                if item_index == selection[group_index]:
+                    continue
+                if item.value <= current.value:
+                    continue
+                candidate = list(selection)
+                candidate[group_index] = item_index
+                if not problem.is_feasible(candidate):
+                    continue
+                extra_weight = _aggregate_weight(problem, item.weights) - _aggregate_weight(
+                    problem, current.weights
+                )
+                gain = item.value - current.value
+                # Prefer upgrades with the best gain per extra aggregate weight;
+                # upgrades that need no extra weight are always taken first.
+                score = gain / extra_weight if extra_weight > 1e-12 else float("inf")
+                if score > best_gain:
+                    best_gain = score
+                    best_upgrade = (group_index, item_index)
+        if best_upgrade is not None:
+            selection[best_upgrade[0]] = best_upgrade[1]
+            improved = True
+
+    return MMKPSolution(
+        tuple(selection), problem.value_of(selection), True, iterations
+    )

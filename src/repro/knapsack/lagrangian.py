@@ -1,0 +1,167 @@
+"""Lagrangian relaxation of the MMKP with a subgradient method.
+
+The resource constraints of the MMKP are dualised with non-negative
+multipliers :math:`\\lambda_k`: the relaxed problem decomposes into one
+independent choice per group — pick the item maximising
+:math:`v - \\sum_k \\lambda_k w_k`.  The multipliers are updated with a
+projected subgradient step on the capacity violations.  This follows the
+method used by Wildermann et al. that underlies the paper's MMKP-LR baseline
+(the paper limits the subgradient loop to 100 iterations).
+
+Besides the dual bound and multipliers, the solver also reports a *primal*
+feasible solution obtained by greedily repairing the relaxed selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.knapsack.mmkp import MMKPProblem, MMKPSolution
+
+
+@dataclass(frozen=True)
+class LagrangianResult:
+    """Outcome of the subgradient optimisation.
+
+    Attributes
+    ----------
+    multipliers:
+        The final Lagrange multipliers, one per knapsack dimension.
+    dual_bound:
+        Best (lowest) Lagrangian dual value found — an upper bound on the
+        optimal primal value.
+    solution:
+        A feasible primal solution obtained by repairing the relaxed
+        selection (may be infeasible if even repair fails).
+    iterations:
+        Number of subgradient iterations performed.
+    """
+
+    multipliers: tuple[float, ...]
+    dual_bound: float
+    solution: MMKPSolution
+    iterations: int
+
+
+def _relaxed_selection(problem: MMKPProblem, multipliers: list[float]) -> list[int]:
+    """Per-group argmax of the Lagrangian-reduced value."""
+    selection = []
+    for group in problem.groups:
+        best_index = 0
+        best_reduced = float("-inf")
+        for index, item in enumerate(group):
+            reduced = item.value - sum(
+                multiplier * weight
+                for multiplier, weight in zip(multipliers, item.weights)
+            )
+            if reduced > best_reduced:
+                best_reduced = reduced
+                best_index = index
+        selection.append(best_index)
+    return selection
+
+
+def _repair(problem: MMKPProblem, selection: list[int]) -> MMKPSolution:
+    """Turn a (possibly infeasible) relaxed selection into a feasible one.
+
+    Groups whose current item overflows the capacities are downgraded to the
+    item with the smallest capacity-normalised weight until the selection
+    fits; ties are broken in favour of higher value.
+    """
+    current = list(selection)
+    for _ in range(problem.num_groups * max(len(g) for g in problem.groups)):
+        if problem.is_feasible(current):
+            return MMKPSolution(tuple(current), problem.value_of(current), True)
+        # Find the dimension with the largest relative violation.
+        used = problem.weights_of(current)
+        violations = [
+            (used[d] - problem.capacities[d]) / (problem.capacities[d] or 1.0)
+            for d in range(problem.num_dimensions)
+        ]
+        worst_dim = max(range(problem.num_dimensions), key=lambda d: violations[d])
+        # Downgrade the group contributing most to that dimension to a lighter item.
+        best_group, best_item, best_saving = None, None, 0.0
+        for group_index, group in enumerate(problem.groups):
+            current_item = group[current[group_index]]
+            for item_index, item in enumerate(group):
+                saving = current_item.weights[worst_dim] - item.weights[worst_dim]
+                if saving > best_saving:
+                    best_saving = saving
+                    best_group, best_item = group_index, item_index
+        if best_group is None:
+            break
+        current[best_group] = best_item
+    if problem.is_feasible(current):
+        return MMKPSolution(tuple(current), problem.value_of(current), True)
+    return MMKPSolution(None, float("-inf"), False)
+
+
+def solve_lagrangian(
+    problem: MMKPProblem,
+    max_iterations: int = 100,
+    initial_step: float = 1.0,
+) -> LagrangianResult:
+    """Run the subgradient method on the Lagrangian dual of ``problem``.
+
+    Parameters
+    ----------
+    problem:
+        The MMKP instance (values are maximised).
+    max_iterations:
+        Maximum number of subgradient iterations (the paper uses 100).
+    initial_step:
+        Initial step size; the step decays as ``initial_step / sqrt(k)``.
+
+    Examples
+    --------
+    >>> from repro.knapsack import MMKPItem, MMKPProblem
+    >>> problem = MMKPProblem([2.0], [[MMKPItem(5.0, (2.0,)), MMKPItem(2.0, (1.0,))],
+    ...                                [MMKPItem(4.0, (2.0,)), MMKPItem(1.0, (1.0,))]])
+    >>> result = solve_lagrangian(problem)
+    >>> result.solution.feasible
+    True
+    """
+    multipliers = [0.0] * problem.num_dimensions
+    best_dual = float("inf")
+    best_multipliers = list(multipliers)
+    best_primal = MMKPSolution(None, float("-inf"), False)
+    iteration = 0
+
+    for iteration in range(1, max_iterations + 1):
+        selection = _relaxed_selection(problem, multipliers)
+        used = problem.weights_of(selection)
+        relaxed_value = problem.value_of(selection) + sum(
+            multiplier * (capacity - weight)
+            for multiplier, capacity, weight in zip(
+                multipliers, problem.capacities, used
+            )
+        )
+        if relaxed_value < best_dual:
+            best_dual = relaxed_value
+            best_multipliers = list(multipliers)
+
+        primal = _repair(problem, selection)
+        if primal.feasible and primal.value > best_primal.value:
+            best_primal = primal
+
+        # Subgradient: capacity violation per dimension.
+        subgradient = [
+            weight - capacity for weight, capacity in zip(used, problem.capacities)
+        ]
+        if all(abs(g) < 1e-12 for g in subgradient):
+            break
+        step = initial_step / (iteration**0.5)
+        multipliers = [
+            max(0.0, multiplier + step * gradient)
+            for multiplier, gradient in zip(multipliers, subgradient)
+        ]
+
+    best_primal = MMKPSolution(
+        best_primal.selection, best_primal.value, best_primal.feasible, iteration
+    )
+    return LagrangianResult(
+        multipliers=tuple(best_multipliers),
+        dual_bound=best_dual,
+        solution=best_primal,
+        iterations=iteration,
+    )

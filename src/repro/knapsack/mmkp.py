@@ -1,0 +1,147 @@
+"""MMKP problem and solution containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.exceptions import SchedulingError
+
+
+@dataclass(frozen=True)
+class MMKPItem:
+    """One item of an MMKP group.
+
+    Parameters
+    ----------
+    value:
+        The profit of selecting this item (maximised).
+    weights:
+        Resource consumption per knapsack dimension (all non-negative).
+    label:
+        Optional caller-defined identifier (e.g. a configuration index).
+    """
+
+    value: float
+    weights: tuple[float, ...]
+    label: object = None
+
+    def __post_init__(self) -> None:
+        if any(w < 0 for w in self.weights):
+            raise SchedulingError(f"item weights must be non-negative: {self.weights}")
+
+
+class MMKPProblem:
+    """A multiple-choice multi-dimensional knapsack problem.
+
+    Exactly one item must be selected from every group; the total weight in
+    every dimension must not exceed the corresponding capacity; the total
+    value is maximised.
+
+    Examples
+    --------
+    >>> problem = MMKPProblem(
+    ...     capacities=[4.0],
+    ...     groups=[
+    ...         [MMKPItem(3.0, (2.0,)), MMKPItem(1.0, (1.0,))],
+    ...         [MMKPItem(4.0, (3.0,)), MMKPItem(2.0, (1.0,))],
+    ...     ],
+    ... )
+    >>> problem.num_groups, problem.num_dimensions
+    (2, 1)
+    """
+
+    def __init__(
+        self,
+        capacities: Iterable[float],
+        groups: Sequence[Sequence[MMKPItem]],
+    ):
+        self._capacities = tuple(float(c) for c in capacities)
+        if any(c < 0 for c in self._capacities):
+            raise SchedulingError("knapsack capacities must be non-negative")
+        if not groups:
+            raise SchedulingError("an MMKP needs at least one group")
+        self._groups = tuple(tuple(group) for group in groups)
+        for index, group in enumerate(self._groups):
+            if not group:
+                raise SchedulingError(f"group {index} has no items")
+            for item in group:
+                if len(item.weights) != len(self._capacities):
+                    raise SchedulingError(
+                        f"item in group {index} has {len(item.weights)} weights, "
+                        f"problem has {len(self._capacities)} dimensions"
+                    )
+
+    @property
+    def capacities(self) -> tuple[float, ...]:
+        """Knapsack capacity per dimension."""
+        return self._capacities
+
+    @property
+    def groups(self) -> tuple[tuple[MMKPItem, ...], ...]:
+        """The item groups."""
+        return self._groups
+
+    @property
+    def num_groups(self) -> int:
+        """Number of groups (one item must be picked per group)."""
+        return len(self._groups)
+
+    @property
+    def num_dimensions(self) -> int:
+        """Number of knapsack dimensions."""
+        return len(self._capacities)
+
+    def is_feasible(self, selection: Sequence[int]) -> bool:
+        """Check a selection (one item index per group) against the capacities."""
+        if len(selection) != self.num_groups:
+            return False
+        for dim in range(self.num_dimensions):
+            used = sum(
+                self._groups[g][selection[g]].weights[dim]
+                for g in range(self.num_groups)
+            )
+            if used > self._capacities[dim] + 1e-9:
+                return False
+        return True
+
+    def value_of(self, selection: Sequence[int]) -> float:
+        """Total value of a selection."""
+        return sum(
+            self._groups[g][selection[g]].value for g in range(self.num_groups)
+        )
+
+    def weights_of(self, selection: Sequence[int]) -> tuple[float, ...]:
+        """Total weight per dimension of a selection."""
+        totals = [0.0] * self.num_dimensions
+        for group_index, item_index in enumerate(selection):
+            item = self._groups[group_index][item_index]
+            for dim, weight in enumerate(item.weights):
+                totals[dim] += weight
+        return tuple(totals)
+
+
+@dataclass(frozen=True)
+class MMKPSolution:
+    """Solution of an MMKP instance.
+
+    Attributes
+    ----------
+    selection:
+        One item index per group, or ``None`` if the solver failed to find a
+        feasible selection.
+    value:
+        Total value of the selection (``-inf`` if infeasible).
+    feasible:
+        Whether the selection satisfies all capacity constraints.
+    iterations:
+        Solver-specific iteration count (subgradient steps, explored nodes).
+    """
+
+    selection: tuple[int, ...] | None
+    value: float
+    feasible: bool
+    iterations: int = 0
+
+    def __bool__(self) -> bool:
+        return self.feasible

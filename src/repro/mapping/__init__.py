@@ -1,0 +1,21 @@
+"""Process-to-core mappings and the trace-driven mapping simulator.
+
+This package is the design-time substrate the paper obtains by benchmarking on
+real hardware: given a dataflow application, a platform and a concrete
+process-to-core mapping, it estimates the execution time and the energy of one
+full application run.  The design-space exploration in :mod:`repro.dse` uses
+it to derive the operating-point tables consumed by the runtime manager.
+"""
+
+from repro.mapping.mapping import Core, ProcessMapping
+from repro.mapping.allocate import allocation_cores, balance_processes
+from repro.mapping.simulate import MappingSimulator, SimulationResult
+
+__all__ = [
+    "Core",
+    "ProcessMapping",
+    "allocation_cores",
+    "balance_processes",
+    "MappingSimulator",
+    "SimulationResult",
+]

@@ -1,0 +1,91 @@
+"""Core allocation and load-balancing heuristics.
+
+The DSE explores *allocations* — how many cores of each type an application
+gets — and for every allocation it needs a concrete process-to-core mapping.
+We use the classic Longest Processing Time (LPT) heuristic on processing
+*time* (reference cycles divided by the speed of the candidate core), which is
+the standard way to balance a KPN across a heterogeneous core set.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.dataflow.graph import KPNGraph
+from repro.exceptions import MappingError
+from repro.mapping.mapping import Core, ProcessMapping
+from repro.platforms.platform import Platform
+from repro.platforms.resources import ResourceVector
+
+
+def allocation_cores(
+    platform: Platform, allocation: Sequence[int] | ResourceVector
+) -> list[Core]:
+    """Materialise an allocation vector into concrete core instances.
+
+    Parameters
+    ----------
+    platform:
+        The target platform.
+    allocation:
+        Number of cores per resource type; must fit into the platform.
+
+    Examples
+    --------
+    >>> from repro.platforms import odroid_xu4
+    >>> [c.name for c in allocation_cores(odroid_xu4(), [1, 2])]
+    ['A7.0', 'A15.0', 'A15.1']
+    """
+    vector = (
+        allocation
+        if isinstance(allocation, ResourceVector)
+        else ResourceVector(allocation)
+    )
+    if len(vector) != platform.num_resource_types:
+        raise MappingError(
+            f"allocation has {len(vector)} entries, platform has "
+            f"{platform.num_resource_types} resource types"
+        )
+    if not vector.fits_into(platform.capacity):
+        raise MappingError(
+            f"allocation {vector.counts} exceeds platform capacity "
+            f"{platform.capacity.counts}"
+        )
+    cores: list[Core] = []
+    for type_index, count in enumerate(vector):
+        ptype = platform.processor_types[type_index]
+        cores.extend(Core(ptype, core_index) for core_index in range(count))
+    return cores
+
+
+def balance_processes(
+    graph: KPNGraph, platform: Platform, cores: Sequence[Core]
+) -> ProcessMapping:
+    """Map the processes of ``graph`` onto ``cores`` with the LPT heuristic.
+
+    Processes are considered in decreasing order of their reference cycles;
+    each is placed on the core whose finish time (current load plus the
+    process's execution time on that core) is smallest.  Faster cores
+    therefore attract the heavy processes first, which matches how the
+    original applications were parallelised on big.LITTLE.
+    """
+    if not cores:
+        raise MappingError("cannot balance processes over an empty core set")
+
+    loads = {core.name: 0.0 for core in cores}
+    core_by_name = {core.name: core for core in cores}
+    assignment: dict[str, Core] = {}
+
+    for process in sorted(graph.processes, key=lambda p: p.cycles, reverse=True):
+        best_core_name = None
+        best_finish = float("inf")
+        for core in cores:
+            execution = core.processor_type.cycles_to_seconds(process.cycles)
+            finish = loads[core.name] + execution
+            if finish < best_finish - 1e-15:
+                best_finish = finish
+                best_core_name = core.name
+        assignment[process.name] = core_by_name[best_core_name]
+        loads[best_core_name] = best_finish
+
+    return ProcessMapping(graph, platform, assignment)

@@ -1,0 +1,158 @@
+"""Process-to-core mapping representation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.dataflow.graph import KPNGraph
+from repro.exceptions import MappingError
+from repro.platforms.platform import Platform
+from repro.platforms.processor import ProcessorType
+from repro.platforms.resources import ResourceVector
+
+
+@dataclass(frozen=True)
+class Core:
+    """One physical core instance of a platform.
+
+    Parameters
+    ----------
+    processor_type:
+        The core's type (defines speed and power).
+    index:
+        Index of the core within its type (0-based).
+    """
+
+    processor_type: ProcessorType
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise MappingError("core index must be non-negative")
+
+    @property
+    def name(self) -> str:
+        """Unique name, e.g. ``"A15.2"``."""
+        return f"{self.processor_type.name}.{self.index}"
+
+    def __repr__(self) -> str:
+        return f"Core({self.name})"
+
+
+class ProcessMapping:
+    """A full mapping of every process of a KPN graph to one core.
+
+    Parameters
+    ----------
+    graph:
+        The mapped application.
+    platform:
+        The target platform (used to validate core identities and to compute
+        the resource-demand vector).
+    assignment:
+        Process name → :class:`Core`.
+
+    Examples
+    --------
+    >>> from repro.dataflow import audio_filter
+    >>> from repro.platforms import odroid_xu4
+    >>> from repro.mapping import allocation_cores, balance_processes
+    >>> platform = odroid_xu4()
+    >>> graph = audio_filter().graph
+    >>> cores = allocation_cores(platform, [2, 1])
+    >>> mapping = balance_processes(graph, platform, cores)
+    >>> mapping.demand.counts
+    (2, 1)
+    """
+
+    def __init__(
+        self,
+        graph: KPNGraph,
+        platform: Platform,
+        assignment: Mapping[str, Core],
+    ):
+        self._graph = graph
+        self._platform = platform
+        self._assignment = dict(assignment)
+
+        missing = set(graph.process_names) - set(self._assignment)
+        if missing:
+            raise MappingError(f"processes without a core: {sorted(missing)}")
+        unknown = set(self._assignment) - set(graph.process_names)
+        if unknown:
+            raise MappingError(f"mapping references unknown processes: {sorted(unknown)}")
+        for process_name, core in self._assignment.items():
+            type_names = platform.type_names
+            if core.processor_type.name not in type_names:
+                raise MappingError(
+                    f"process {process_name!r} mapped to unknown core type "
+                    f"{core.processor_type.name!r}"
+                )
+            count = platform.core_counts[platform.type_index(core.processor_type.name)]
+            if core.index >= count:
+                raise MappingError(
+                    f"process {process_name!r} mapped to {core.name} but the platform "
+                    f"only has {count} cores of that type"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def graph(self) -> KPNGraph:
+        """The mapped application graph."""
+        return self._graph
+
+    @property
+    def platform(self) -> Platform:
+        """The target platform."""
+        return self._platform
+
+    @property
+    def assignment(self) -> dict[str, Core]:
+        """Process name → core (a copy)."""
+        return dict(self._assignment)
+
+    def core_of(self, process_name: str) -> Core:
+        """The core the named process runs on."""
+        try:
+            return self._assignment[process_name]
+        except KeyError:
+            raise MappingError(f"no core assigned to process {process_name!r}") from None
+
+    def used_cores(self) -> list[Core]:
+        """The distinct cores that host at least one process."""
+        seen: dict[str, Core] = {}
+        for core in self._assignment.values():
+            seen.setdefault(core.name, core)
+        return sorted(seen.values(), key=lambda c: c.name)
+
+    def processes_on(self, core: Core) -> list[str]:
+        """Names of the processes hosted by ``core``."""
+        return sorted(
+            name for name, assigned in self._assignment.items() if assigned.name == core.name
+        )
+
+    @property
+    def demand(self) -> ResourceVector:
+        """Cores used per resource type (the :math:`\\vec{\\theta}` of an operating point)."""
+        counts = [0] * self._platform.num_resource_types
+        for core in self.used_cores():
+            counts[self._platform.type_index(core.processor_type.name)] += 1
+        return ResourceVector(counts)
+
+    def __repr__(self) -> str:
+        return (
+            f"ProcessMapping({self._graph.name!r} -> {self._platform.name!r}, "
+            f"demand={self.demand.counts})"
+        )
+
+
+def cores_of_platform(platform: Platform) -> list[Core]:
+    """Enumerate every physical core of a platform."""
+    cores = []
+    for type_index, ptype in enumerate(platform.processor_types):
+        for index in range(platform.core_counts[type_index]):
+            cores.append(Core(ptype, index))
+    return cores

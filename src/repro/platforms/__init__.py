@@ -1,0 +1,39 @@
+"""Heterogeneous platform models.
+
+The schedulers in :mod:`repro.schedulers` only need to know *how many cores of
+each resource type* exist (the vector :math:`\\vec{\\Theta}` of the paper).
+The richer classes in this package additionally describe per-core frequency
+and power characteristics so that the design-space exploration in
+:mod:`repro.dse` can derive execution time and energy of candidate mappings —
+this replaces the physical Odroid XU4 board and the power analyzer used in the
+paper.
+
+Public API
+----------
+
+* :class:`ResourceVector` — integer vector of core counts per resource type.
+* :class:`ProcessorType` — a core type (name, frequency, power model, speed).
+* :class:`PowerModel` — static + dynamic power of a core type.
+* :class:`Platform` — a named set of processor types with core counts.
+* :func:`odroid_xu4` — model of the board used in the paper.
+* :func:`big_little`, :func:`homogeneous`, :func:`generic_heterogeneous` —
+  convenience builders for other platform shapes.
+"""
+
+from repro.platforms.power import PowerModel
+from repro.platforms.processor import ProcessorType
+from repro.platforms.resources import ResourceVector
+from repro.platforms.platform import Platform
+from repro.platforms.odroid import odroid_xu4
+from repro.platforms.topologies import big_little, generic_heterogeneous, homogeneous
+
+__all__ = [
+    "PowerModel",
+    "ProcessorType",
+    "ResourceVector",
+    "Platform",
+    "odroid_xu4",
+    "big_little",
+    "homogeneous",
+    "generic_heterogeneous",
+]

@@ -1,0 +1,58 @@
+"""Model of the Hardkernel Odroid XU4 board used in the paper.
+
+The board features a Samsung Exynos 5422 big.LITTLE SoC with four Cortex-A15
+cores (pinned to 1.8 GHz in the paper) and four Cortex-A7 cores (pinned to
+1.5 GHz).  The paper measured power with a ZES Zimmer LMG450 analyzer; here we
+substitute published per-core figures for the Exynos 5422 at those
+frequencies: an A15 at 1.8 GHz draws roughly 1.4–1.8 W fully loaded while an
+A7 at 1.5 GHz draws roughly 0.25–0.4 W, and the A15 delivers roughly 1.9–2.2×
+the single-thread performance of the A7.  The exact constants matter only for
+the *ratios* in the generated operating-point tables, which is what the
+scheduling experiments are sensitive to.
+"""
+
+from __future__ import annotations
+
+from repro.platforms.platform import Platform
+from repro.platforms.power import PowerModel
+from repro.platforms.processor import ProcessorType
+
+#: Published-figure substitutes for the LMG450 power measurements (watts).
+A7_STATIC_WATTS = 0.05
+A7_DYNAMIC_WATTS = 0.30
+A15_STATIC_WATTS = 0.20
+A15_DYNAMIC_WATTS = 1.40
+
+#: Single-thread performance of an A15 @1.8 GHz relative to an A7 @1.5 GHz.
+A15_PERFORMANCE_FACTOR = 2.1
+A7_PERFORMANCE_FACTOR = 1.0
+
+A7_FREQUENCY_HZ = 1.5e9
+A15_FREQUENCY_HZ = 1.8e9
+
+
+def odroid_xu4() -> Platform:
+    """Return the Odroid XU4 platform model (4×A7 "little" + 4×A15 "big").
+
+    The little cluster is resource type 0 and the big cluster resource type 1,
+    matching the ``#L`` / ``#B`` column order of Table II in the paper.
+
+    Examples
+    --------
+    >>> platform = odroid_xu4()
+    >>> platform.capacity.counts
+    (4, 4)
+    """
+    little = ProcessorType(
+        name="A7",
+        frequency_hz=A7_FREQUENCY_HZ,
+        performance_factor=A7_PERFORMANCE_FACTOR,
+        power=PowerModel(A7_STATIC_WATTS, A7_DYNAMIC_WATTS),
+    )
+    big = ProcessorType(
+        name="A15",
+        frequency_hz=A15_FREQUENCY_HZ,
+        performance_factor=A15_PERFORMANCE_FACTOR,
+        power=PowerModel(A15_STATIC_WATTS, A15_DYNAMIC_WATTS),
+    )
+    return Platform(name="odroid-xu4", processor_types=[little, big], core_counts=[4, 4])

@@ -1,0 +1,168 @@
+"""The :class:`Platform` class — a named set of processor types with counts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.exceptions import PlatformError
+from repro.platforms.processor import ProcessorType
+from repro.platforms.resources import ResourceVector
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A heterogeneous multi-core platform.
+
+    The platform is the :math:`\\vec{\\Theta}` of the paper enriched with the
+    processor-type metadata needed by the DSE substrate.  The order of
+    ``processor_types`` defines the order of components in every
+    :class:`~repro.platforms.resources.ResourceVector` that refers to this
+    platform.
+
+    Parameters
+    ----------
+    name:
+        Human-readable platform name.
+    processor_types:
+        The core types, in resource-vector order.
+    core_counts:
+        Number of cores per type, same order as ``processor_types``.
+
+    Examples
+    --------
+    >>> from repro.platforms import odroid_xu4
+    >>> odroid = odroid_xu4()
+    >>> odroid.capacity.counts
+    (4, 4)
+    >>> odroid.type_names
+    ('A7', 'A15')
+    """
+
+    name: str
+    processor_types: tuple[ProcessorType, ...]
+    core_counts: tuple[int, ...]
+    _index_by_name: Mapping[str, int] = field(init=False, repr=False, compare=False, hash=False, default=None)
+
+    def __init__(
+        self,
+        name: str,
+        processor_types: Sequence[ProcessorType],
+        core_counts: Iterable[int],
+    ):
+        types = tuple(processor_types)
+        counts = tuple(int(c) for c in core_counts)
+        if not name:
+            raise PlatformError("platform name must not be empty")
+        if not types:
+            raise PlatformError("platform needs at least one processor type")
+        if len(types) != len(counts):
+            raise PlatformError(
+                f"{len(types)} processor types but {len(counts)} core counts"
+            )
+        if any(c <= 0 for c in counts):
+            raise PlatformError("core counts must be positive")
+        names = [t.name for t in types]
+        if len(set(names)) != len(names):
+            raise PlatformError(f"duplicate processor type names: {names}")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "processor_types", types)
+        object.__setattr__(self, "core_counts", counts)
+        object.__setattr__(
+            self, "_index_by_name", {t.name: i for i, t in enumerate(types)}
+        )
+
+    # ------------------------------------------------------------------ #
+    # Structure queries
+    # ------------------------------------------------------------------ #
+    @property
+    def num_resource_types(self) -> int:
+        """The number :math:`m` of resource types."""
+        return len(self.processor_types)
+
+    @property
+    def capacity(self) -> ResourceVector:
+        """The capacity vector :math:`\\vec{\\Theta}`."""
+        return ResourceVector(self.core_counts)
+
+    @property
+    def total_cores(self) -> int:
+        """Total number of cores of all types."""
+        return sum(self.core_counts)
+
+    @property
+    def type_names(self) -> tuple[str, ...]:
+        """Processor type names in resource-vector order."""
+        return tuple(t.name for t in self.processor_types)
+
+    def type_index(self, name: str) -> int:
+        """Return the resource-vector index of the processor type ``name``."""
+        try:
+            return self._index_by_name[name]
+        except KeyError:
+            raise PlatformError(
+                f"unknown processor type {name!r}; known: {self.type_names}"
+            ) from None
+
+    def processor_type(self, name: str) -> ProcessorType:
+        """Return the :class:`ProcessorType` called ``name``."""
+        return self.processor_types[self.type_index(name)]
+
+    # ------------------------------------------------------------------ #
+    # Helpers used by the DSE and energy accounting
+    # ------------------------------------------------------------------ #
+    def resource_vector(self, demand: Mapping[str, int]) -> ResourceVector:
+        """Build a demand vector from a ``{type name: count}`` mapping.
+
+        Types not mentioned in ``demand`` get a zero entry.  Demands must not
+        exceed the platform capacity.
+        """
+        counts = [0] * self.num_resource_types
+        for type_name, count in demand.items():
+            counts[self.type_index(type_name)] = int(count)
+        vector = ResourceVector(counts)
+        if not vector.fits_into(self.capacity):
+            raise PlatformError(
+                f"demand {vector.counts} exceeds capacity {self.capacity.counts}"
+            )
+        return vector
+
+    def fits(self, demand: ResourceVector) -> bool:
+        """Return ``True`` iff ``demand`` fits into the platform capacity."""
+        return demand.fits_into(self.capacity)
+
+    def busy_power(self, demand: ResourceVector) -> float:
+        """Total power in watts when ``demand`` cores are fully busy."""
+        if len(demand) != self.num_resource_types:
+            raise PlatformError("demand dimension does not match platform")
+        return sum(
+            count * ptype.power.power(1.0)
+            for count, ptype in zip(demand, self.processor_types)
+        )
+
+    def allocations(self, max_cores: ResourceVector | None = None):
+        """Iterate over all non-empty core allocations ``(n_1, ..., n_m)``.
+
+        Used by the exhaustive DSE: every combination of per-type core counts
+        from zero up to the platform capacity (or ``max_cores``), excluding
+        the all-zero allocation.
+        """
+        limit = max_cores if max_cores is not None else self.capacity
+        if len(limit) != self.num_resource_types:
+            raise PlatformError("allocation limit dimension does not match platform")
+
+        def recurse(prefix: list[int], index: int):
+            if index == self.num_resource_types:
+                if any(prefix):
+                    yield ResourceVector(prefix)
+                return
+            for count in range(limit[index] + 1):
+                yield from recurse(prefix + [count], index + 1)
+
+        yield from recurse([], 0)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{count}x{ptype.name}" for count, ptype in zip(self.core_counts, self.processor_types)
+        )
+        return f"Platform({self.name!r}: {parts})"

@@ -1,0 +1,70 @@
+"""Analytical per-core power model.
+
+The paper measures power of the Odroid XU4 board with an external power
+analyzer.  We replace the measurement with a simple but standard analytical
+model: a core consumes *static* power whenever it is switched on and
+additional *dynamic* power proportional to its utilisation.  The dynamic part
+follows the usual CMOS scaling :math:`P_{dyn} \\propto C\\,V^2 f`; the model
+stores the resulting wattage directly so the DSE does not need to know about
+capacitance or voltage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import PlatformError
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Static and dynamic power of one core of a processor type.
+
+    Parameters
+    ----------
+    static_watts:
+        Power drawn whenever the core is powered on, regardless of activity.
+    dynamic_watts:
+        Additional power drawn when the core is fully busy.  Partial
+        utilisation scales this component linearly.
+
+    Examples
+    --------
+    >>> model = PowerModel(static_watts=0.1, dynamic_watts=0.5)
+    >>> model.power(utilisation=0.5)
+    0.35
+    """
+
+    static_watts: float
+    dynamic_watts: float
+
+    def __post_init__(self) -> None:
+        if self.static_watts < 0 or self.dynamic_watts < 0:
+            raise PlatformError("power components must be non-negative")
+
+    def power(self, utilisation: float = 1.0) -> float:
+        """Power in watts of one core at the given utilisation in ``[0, 1]``."""
+        if not 0.0 <= utilisation <= 1.0:
+            raise PlatformError(f"utilisation must be in [0, 1], got {utilisation}")
+        return self.static_watts + self.dynamic_watts * utilisation
+
+    def energy(self, duration: float, utilisation: float = 1.0) -> float:
+        """Energy in joules consumed over ``duration`` seconds."""
+        if duration < 0:
+            raise PlatformError("duration must be non-negative")
+        return self.power(utilisation) * duration
+
+    def scaled_frequency(self, factor: float) -> "PowerModel":
+        """Return a model for the same core running at ``factor`` × frequency.
+
+        Dynamic power scales roughly cubically with frequency when voltage is
+        scaled along (DVFS); static power is assumed constant.  This is used
+        by the generic platform builders to derive plausible power numbers for
+        platforms other than the Odroid.
+        """
+        if factor <= 0:
+            raise PlatformError("frequency scale factor must be positive")
+        return PowerModel(
+            static_watts=self.static_watts,
+            dynamic_watts=self.dynamic_watts * factor**3,
+        )

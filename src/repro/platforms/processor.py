@@ -1,0 +1,69 @@
+"""Processor (core) types of a heterogeneous platform."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import PlatformError
+from repro.platforms.power import PowerModel
+
+
+@dataclass(frozen=True)
+class ProcessorType:
+    """One core type of a heterogeneous platform.
+
+    The *performance factor* expresses how fast one core of this type executes
+    a unit of work relative to a reference core (performance factor 1.0).  The
+    trace-driven mapping simulator divides the reference cycle counts of a
+    dataflow process by this factor to obtain execution time on this core
+    type.
+
+    Parameters
+    ----------
+    name:
+        Unique human-readable name, e.g. ``"A15"``.
+    frequency_hz:
+        Operating frequency in hertz (fixed; the paper pins the frequencies).
+    performance_factor:
+        Relative single-thread performance w.r.t. the reference core.
+    power:
+        Static/dynamic power model of one core.
+
+    Examples
+    --------
+    >>> big = ProcessorType("A15", 1.8e9, 2.1, PowerModel(0.25, 1.3))
+    >>> big.cycles_to_seconds(1.8e9)  # doctest: +ELLIPSIS
+    0.476...
+    """
+
+    name: str
+    frequency_hz: float
+    performance_factor: float
+    power: PowerModel
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise PlatformError("processor type name must not be empty")
+        if self.frequency_hz <= 0:
+            raise PlatformError("frequency must be positive")
+        if self.performance_factor <= 0:
+            raise PlatformError("performance factor must be positive")
+
+    def cycles_to_seconds(self, reference_cycles: float) -> float:
+        """Execution time of ``reference_cycles`` reference cycles on this core.
+
+        Reference cycles are defined w.r.t. a core with performance factor 1.0
+        running at this core's frequency; faster cores retire proportionally
+        more reference work per second.
+        """
+        if reference_cycles < 0:
+            raise PlatformError("cycle count must be non-negative")
+        return reference_cycles / (self.frequency_hz * self.performance_factor)
+
+    def busy_energy(self, duration: float) -> float:
+        """Energy of one fully busy core of this type over ``duration`` seconds."""
+        return self.power.energy(duration, utilisation=1.0)
+
+    def idle_energy(self, duration: float) -> float:
+        """Energy of one powered but idle core of this type over ``duration`` seconds."""
+        return self.power.energy(duration, utilisation=0.0)

@@ -1,0 +1,142 @@
+"""Integer resource vectors.
+
+A :class:`ResourceVector` represents either the capacity of a platform
+(:math:`\\vec{\\Theta}` in the paper — how many cores of each type exist) or the
+demand of an operating point (:math:`\\vec{\\theta}` — how many cores of each
+type a configuration uses).  The vector is immutable and supports the small
+amount of arithmetic the schedulers need: addition, subtraction, scaling and
+component-wise comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.exceptions import PlatformError
+
+
+class ResourceVector:
+    """Immutable vector of non-negative integers, one entry per resource type.
+
+    Parameters
+    ----------
+    counts:
+        Core count per resource type.  The order of entries must match the
+        order of processor types of the platform the vector refers to.
+
+    Examples
+    --------
+    >>> demand = ResourceVector([2, 1])
+    >>> capacity = ResourceVector([4, 4])
+    >>> demand.fits_into(capacity)
+    True
+    >>> (capacity - demand).counts
+    (2, 3)
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, counts: Iterable[int]):
+        values = tuple(int(c) for c in counts)
+        if any(c < 0 for c in values):
+            raise PlatformError(f"resource counts must be non-negative, got {values}")
+        self._counts = values
+
+    # ------------------------------------------------------------------ #
+    # Basic container protocol
+    # ------------------------------------------------------------------ #
+    @property
+    def counts(self) -> tuple[int, ...]:
+        """The underlying tuple of counts."""
+        return self._counts
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._counts)
+
+    def __getitem__(self, index: int) -> int:
+        return self._counts[index]
+
+    def __hash__(self) -> int:
+        return hash(self._counts)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ResourceVector):
+            return self._counts == other._counts
+        if isinstance(other, (tuple, list)):
+            return self._counts == tuple(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"ResourceVector({list(self._counts)})"
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic
+    # ------------------------------------------------------------------ #
+    def _check_compatible(self, other: "ResourceVector") -> None:
+        if len(self) != len(other):
+            raise PlatformError(
+                f"resource vectors of different dimension: {len(self)} vs {len(other)}"
+            )
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        self._check_compatible(other)
+        return ResourceVector(a + b for a, b in zip(self._counts, other._counts))
+
+    def __sub__(self, other: "ResourceVector") -> "ResourceVector":
+        self._check_compatible(other)
+        diff = [a - b for a, b in zip(self._counts, other._counts)]
+        if any(d < 0 for d in diff):
+            raise PlatformError(f"resource subtraction would go negative: {diff}")
+        return ResourceVector(diff)
+
+    def saturating_sub(self, other: "ResourceVector") -> "ResourceVector":
+        """Subtract ``other`` clamping every component at zero."""
+        self._check_compatible(other)
+        return ResourceVector(max(0, a - b) for a, b in zip(self._counts, other._counts))
+
+    def scaled(self, factor: int) -> "ResourceVector":
+        """Return the vector with every component multiplied by ``factor``."""
+        if factor < 0:
+            raise PlatformError("scale factor must be non-negative")
+        return ResourceVector(c * factor for c in self._counts)
+
+    # ------------------------------------------------------------------ #
+    # Comparisons used by the schedulers
+    # ------------------------------------------------------------------ #
+    def fits_into(self, capacity: "ResourceVector") -> bool:
+        """Return ``True`` iff every component is <= the capacity component."""
+        self._check_compatible(capacity)
+        return all(a <= b for a, b in zip(self._counts, capacity._counts))
+
+    def dominates(self, other: "ResourceVector") -> bool:
+        """Return ``True`` iff every component is >= the other's component."""
+        self._check_compatible(other)
+        return all(a >= b for a, b in zip(self._counts, other._counts))
+
+    def is_zero(self) -> bool:
+        """Return ``True`` iff the vector uses no resources at all."""
+        return all(c == 0 for c in self._counts)
+
+    @property
+    def total(self) -> int:
+        """The total number of cores regardless of type."""
+        return sum(self._counts)
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def zeros(cls, dimension: int) -> "ResourceVector":
+        """A vector of ``dimension`` zero entries."""
+        return cls([0] * dimension)
+
+    @classmethod
+    def sum(cls, vectors: Sequence["ResourceVector"], dimension: int) -> "ResourceVector":
+        """Sum a (possibly empty) sequence of vectors of the given dimension."""
+        result = cls.zeros(dimension)
+        for vector in vectors:
+            result = result + vector
+        return result

@@ -1,0 +1,128 @@
+"""Convenience builders for platforms other than the Odroid XU4.
+
+The paper evaluates only on the Odroid, but the motivational example uses a
+smaller 2-little/2-big device and the library is meant to be reusable for
+other heterogeneous platforms, so we provide parametrised builders.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import PlatformError
+from repro.platforms.platform import Platform
+from repro.platforms.power import PowerModel
+from repro.platforms.processor import ProcessorType
+
+
+def big_little(
+    num_little: int = 4,
+    num_big: int = 4,
+    name: str | None = None,
+    little_performance: float = 1.0,
+    big_performance: float = 2.1,
+) -> Platform:
+    """Return a generic big.LITTLE platform.
+
+    Parameters
+    ----------
+    num_little, num_big:
+        Core counts of the two clusters (both must be positive).
+    name:
+        Optional platform name; defaults to ``"big-little-<L>L<B>B"``.
+    little_performance, big_performance:
+        Relative single-thread performance of the two core types.
+
+    Examples
+    --------
+    >>> big_little(2, 2).capacity.counts
+    (2, 2)
+    """
+    if num_little <= 0 or num_big <= 0:
+        raise PlatformError("big.LITTLE platform needs at least one core per cluster")
+    little = ProcessorType(
+        name="little",
+        frequency_hz=1.5e9,
+        performance_factor=little_performance,
+        power=PowerModel(0.05, 0.30),
+    )
+    big = ProcessorType(
+        name="big",
+        frequency_hz=1.8e9,
+        performance_factor=big_performance,
+        power=PowerModel(0.20, 1.40),
+    )
+    platform_name = name or f"big-little-{num_little}L{num_big}B"
+    return Platform(platform_name, [little, big], [num_little, num_big])
+
+
+def homogeneous(
+    num_cores: int = 8,
+    name: str = "homogeneous",
+    frequency_hz: float = 2.0e9,
+    performance: float = 1.0,
+    static_watts: float = 0.1,
+    dynamic_watts: float = 0.8,
+) -> Platform:
+    """Return a platform with a single core type.
+
+    Useful for checking that the schedulers degrade gracefully to the
+    single-resource-type (classic multiprocessor) case.
+    """
+    if num_cores <= 0:
+        raise PlatformError("homogeneous platform needs at least one core")
+    core = ProcessorType(
+        name="core",
+        frequency_hz=frequency_hz,
+        performance_factor=performance,
+        power=PowerModel(static_watts, dynamic_watts),
+    )
+    return Platform(name, [core], [num_cores])
+
+
+def generic_heterogeneous(
+    cluster_sizes: Sequence[int],
+    performance_factors: Sequence[float] | None = None,
+    name: str = "heterogeneous",
+) -> Platform:
+    """Return a platform with an arbitrary number of clusters.
+
+    Each cluster becomes one resource type.  Performance factors default to a
+    geometric progression (1.0, 1.6, 2.56, ...), and power scales with
+    performance so that faster clusters are less energy-proportional — the
+    same qualitative trade-off as big.LITTLE.
+
+    Parameters
+    ----------
+    cluster_sizes:
+        Number of cores in each cluster; at least one cluster is required.
+    performance_factors:
+        Optional explicit relative performance per cluster.
+    name:
+        Platform name.
+    """
+    sizes = [int(s) for s in cluster_sizes]
+    if not sizes:
+        raise PlatformError("at least one cluster is required")
+    if performance_factors is None:
+        performance_factors = [1.6**i for i in range(len(sizes))]
+    factors = [float(f) for f in performance_factors]
+    if len(factors) != len(sizes):
+        raise PlatformError("one performance factor per cluster is required")
+
+    types = []
+    for index, (size, factor) in enumerate(zip(sizes, factors)):
+        if size <= 0:
+            raise PlatformError("cluster sizes must be positive")
+        # Power grows super-linearly with performance: the classic reason why
+        # heterogeneous platforms save energy in the first place.
+        power = PowerModel(static_watts=0.05 * factor, dynamic_watts=0.3 * factor**1.7)
+        types.append(
+            ProcessorType(
+                name=f"cluster{index}",
+                frequency_hz=1.5e9 * factor,
+                performance_factor=factor,
+                power=power,
+            )
+        )
+    return Platform(name, types, sizes)

@@ -1,0 +1,24 @@
+"""Online runtime manager.
+
+The schedulers in :mod:`repro.schedulers` answer a single activation: *given
+these unfinished jobs right now, produce a schedule*.  The runtime manager in
+this package drives them over time: it receives a trace of request arrivals,
+activates the scheduler on every arrival (and optionally on every job
+completion, which is how the "fixed mapper with remapping at finish" of the
+motivational example behaves), tracks job progress, accounts the energy that
+is actually consumed and records acceptances, rejections and deadline misses.
+"""
+
+from repro.runtime.trace import RequestEvent, RequestTrace, poisson_trace
+from repro.runtime.log import ExecutionLog, ExecutedInterval, RequestOutcome
+from repro.runtime.manager import RuntimeManager
+
+__all__ = [
+    "RequestEvent",
+    "RequestTrace",
+    "poisson_trace",
+    "ExecutionLog",
+    "ExecutedInterval",
+    "RequestOutcome",
+    "RuntimeManager",
+]

@@ -1,0 +1,118 @@
+"""Execution logs produced by the runtime manager."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.segment import MappingSegment
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """Admission decision and final outcome of one request.
+
+    Attributes
+    ----------
+    name:
+        Request name.
+    application:
+        Requested application.
+    arrival, deadline:
+        Arrival time and absolute deadline.
+    accepted:
+        Whether the runtime manager admitted the request.
+    completion_time:
+        Time the job finished (``None`` if rejected or still running when the
+        simulation ended).
+    scheduler_time:
+        Wall-clock seconds the scheduler spent on the activation triggered by
+        this request.
+    """
+
+    name: str
+    application: str
+    arrival: float
+    deadline: float
+    accepted: bool
+    completion_time: float | None = None
+    scheduler_time: float = 0.0
+
+    @property
+    def met_deadline(self) -> bool:
+        """True iff the job completed no later than its deadline."""
+        return self.completion_time is not None and self.completion_time <= self.deadline + 1e-6
+
+
+@dataclass(frozen=True)
+class ExecutedInterval:
+    """One executed portion of a mapping segment.
+
+    The runtime manager may recompute the schedule before a planned segment
+    finishes, so the executed timeline stores what actually ran.
+    """
+
+    start: float
+    end: float
+    job_configs: tuple[tuple[str, int], ...]
+    energy: float
+
+    @property
+    def duration(self) -> float:
+        """Length of the executed interval in seconds."""
+        return self.end - self.start
+
+
+@dataclass
+class ExecutionLog:
+    """Everything the runtime manager recorded during one simulation run."""
+
+    outcomes: list[RequestOutcome] = field(default_factory=list)
+    timeline: list[ExecutedInterval] = field(default_factory=list)
+    total_energy: float = 0.0
+    activations: int = 0
+
+    # ------------------------------------------------------------------ #
+    # Summary queries
+    # ------------------------------------------------------------------ #
+    @property
+    def accepted(self) -> list[RequestOutcome]:
+        """Outcomes of admitted requests."""
+        return [o for o in self.outcomes if o.accepted]
+
+    @property
+    def rejected(self) -> list[RequestOutcome]:
+        """Outcomes of rejected requests."""
+        return [o for o in self.outcomes if not o.accepted]
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of requests that were admitted."""
+        return len(self.accepted) / len(self.outcomes) if self.outcomes else 1.0
+
+    @property
+    def deadline_misses(self) -> list[RequestOutcome]:
+        """Admitted requests that finished after their deadline (should be empty)."""
+        return [o for o in self.accepted if o.completion_time is not None and not o.met_deadline]
+
+    @property
+    def makespan(self) -> float:
+        """End time of the last executed interval."""
+        return self.timeline[-1].end if self.timeline else 0.0
+
+    def completion_of(self, request_name: str) -> float | None:
+        """Completion time of the named request, if it completed."""
+        for outcome in self.outcomes:
+            if outcome.name == request_name:
+                return outcome.completion_time
+        return None
+
+    def energy_between(self, start: float, end: float) -> float:
+        """Energy consumed by executed intervals overlapping ``[start, end)``."""
+        total = 0.0
+        for interval in self.timeline:
+            overlap = min(end, interval.end) - max(start, interval.start)
+            if overlap <= 0:
+                continue
+            total += interval.energy * overlap / interval.duration
+        return total

@@ -1,0 +1,238 @@
+"""The online runtime manager (RM).
+
+The manager owns the platform and the design-time operating-point tables,
+receives request arrivals from a :class:`~repro.runtime.trace.RequestTrace`
+and drives one of the schedulers:
+
+* On every arrival it advances simulated time to the arrival instant
+  (executing the current schedule, tracking job progress and energy), builds a
+  :class:`~repro.core.problem.SchedulingProblem` with all unfinished jobs plus
+  the new one and activates the scheduler.  If a feasible schedule is found
+  the request is admitted and the schedule replaced; otherwise the new request
+  is rejected and the previous schedule remains in force — exactly the
+  admission policy described in Section IV of the paper.
+* Optionally it also re-activates the scheduler whenever a job finishes
+  (``remap_on_finish=True``), which is how the "fixed mapper with remapping at
+  application start and finish" of Fig. 1(b) behaves.
+
+The result of a run is an :class:`~repro.runtime.log.ExecutionLog` with the
+admission decisions, the executed timeline and the total consumed energy.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.config import ConfigTable
+from repro.core.problem import SchedulingProblem
+from repro.core.request import Job
+from repro.core.segment import Schedule
+from repro.exceptions import AdmissionError
+from repro.platforms.platform import Platform
+from repro.platforms.resources import ResourceVector
+from repro.runtime.log import ExecutedInterval, ExecutionLog, RequestOutcome
+from repro.runtime.trace import RequestEvent, RequestTrace
+from repro.schedulers.base import Scheduler
+
+#: Remaining-ratio threshold below which a job counts as completed.
+_FINISH_TOLERANCE = 1e-6
+_TIME_EPSILON = 1e-9
+
+
+class RuntimeManager:
+    """Event-driven runtime manager simulation.
+
+    Parameters
+    ----------
+    platform:
+        The platform (or a bare capacity vector).
+    tables:
+        Application name → configuration table (the design-time data).
+    scheduler:
+        The scheduling algorithm activated on arrivals (and finishes).
+    remap_on_finish:
+        Re-activate the scheduler whenever a job completes.  The adaptive
+        schedulers do not need this (their schedules already cover the whole
+        horizon); the fixed mapper of Fig. 1(b) does.
+
+    Examples
+    --------
+    >>> from repro.schedulers import MMKPMDFScheduler
+    >>> from repro.workload.motivational import motivational_platform, motivational_tables
+    >>> from repro.runtime import RequestEvent, RequestTrace
+    >>> manager = RuntimeManager(
+    ...     motivational_platform(), motivational_tables(), MMKPMDFScheduler())
+    >>> trace = RequestTrace([RequestEvent(0.0, "lambda1", 9.0, "sigma1"),
+    ...                       RequestEvent(1.0, "lambda2", 4.0, "sigma2")])
+    >>> log = manager.run(trace)
+    >>> log.acceptance_rate
+    1.0
+    """
+
+    def __init__(
+        self,
+        platform: Platform | ResourceVector,
+        tables: Mapping[str, ConfigTable],
+        scheduler: Scheduler,
+        remap_on_finish: bool = False,
+    ):
+        self._capacity = (
+            platform.capacity if isinstance(platform, Platform) else platform
+        )
+        self._tables = dict(tables)
+        self._scheduler = scheduler
+        self._remap_on_finish = remap_on_finish
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def run(self, trace: RequestTrace) -> ExecutionLog:
+        """Simulate the runtime manager over a full request trace."""
+        self._now = 0.0
+        self._active: dict[str, Job] = {}
+        self._schedule: Schedule = Schedule()
+        self._log = ExecutionLog()
+        self._completions: dict[str, float] = {}
+        self._request_info: dict[str, RequestEvent] = {}
+        self._admissions: dict[str, tuple[bool, float]] = {}
+
+        for event in trace:
+            if event.application not in self._tables:
+                raise AdmissionError(
+                    f"request {event.name!r} asks for unknown application "
+                    f"{event.application!r}"
+                )
+            self._advance_to(event.time)
+            self._handle_arrival(event)
+
+        # Run the remaining schedule to completion.
+        self._advance_to(float("inf"))
+        self._finalise_outcomes()
+        return self._log
+
+    # ------------------------------------------------------------------ #
+    # Arrival handling
+    # ------------------------------------------------------------------ #
+    def _handle_arrival(self, event: RequestEvent) -> None:
+        job = Job(
+            name=event.name,
+            application=event.application,
+            arrival=event.time,
+            deadline=event.absolute_deadline,
+        )
+        self._request_info[event.name] = event
+        candidate_jobs = list(self._active.values()) + [job]
+        problem = SchedulingProblem(
+            self._capacity, self._tables, candidate_jobs, now=event.time
+        )
+        result = self._scheduler.schedule(problem)
+        self._log.activations += 1
+
+        if result.feasible:
+            self._active[job.name] = job
+            self._schedule = result.schedule
+            self._admissions[event.name] = (True, result.search_time)
+        else:
+            # The new request is rejected; the previously committed schedule
+            # keeps serving the already admitted jobs.
+            self._admissions[event.name] = (False, result.search_time)
+
+    # ------------------------------------------------------------------ #
+    # Time advance / schedule execution
+    # ------------------------------------------------------------------ #
+    def _advance_to(self, target: float) -> None:
+        """Execute the committed schedule from the current time up to ``target``."""
+        while self._now < target - _TIME_EPSILON:
+            segment = self._next_segment()
+            if segment is None:
+                # Nothing left to execute; jump straight to the target time.
+                if target != float("inf"):
+                    self._now = target
+                return
+
+            if segment.start > self._now + _TIME_EPSILON:
+                # Idle gap before the next planned segment.
+                if segment.start >= target - _TIME_EPSILON:
+                    self._now = target
+                    return
+                self._now = segment.start
+                continue
+
+            interval_end = min(segment.end, target)
+            if interval_end <= self._now + _TIME_EPSILON:
+                return
+            self._execute_interval(segment, self._now, interval_end)
+            self._now = interval_end
+
+            if interval_end >= segment.end - _TIME_EPSILON:
+                finished = self._collect_finished(segment.end)
+                if finished and self._remap_on_finish and self._active:
+                    self._reschedule_at(self._now)
+
+    def _next_segment(self):
+        """The first committed segment that has not fully executed yet."""
+        for segment in self._schedule:
+            if segment.end > self._now + _TIME_EPSILON:
+                return segment
+        return None
+
+    def _execute_interval(self, segment, start: float, end: float) -> None:
+        """Account progress and energy of one executed interval."""
+        duration = end - start
+        energy = 0.0
+        job_configs = []
+        for mapping in segment:
+            job = self._active.get(mapping.job_name)
+            if job is None:
+                continue
+            point = mapping.operating_point(self._tables)
+            progress = duration / point.execution_time
+            energy += point.energy * progress
+            self._active[job.name] = job.with_progress(
+                min(progress, job.remaining_ratio)
+            )
+            job_configs.append((mapping.job_name, mapping.config_index))
+        self._log.timeline.append(
+            ExecutedInterval(start, end, tuple(job_configs), energy)
+        )
+        self._log.total_energy += energy
+
+    def _collect_finished(self, time: float) -> list[str]:
+        """Remove completed jobs from the active set and record their completion."""
+        finished = []
+        for name, job in list(self._active.items()):
+            if job.remaining_ratio <= _FINISH_TOLERANCE:
+                self._completions[name] = time
+                del self._active[name]
+                finished.append(name)
+        return finished
+
+    def _reschedule_at(self, time: float) -> None:
+        """Re-activate the scheduler for the remaining jobs (remap on finish)."""
+        problem = SchedulingProblem(
+            self._capacity, self._tables, list(self._active.values()), now=time
+        )
+        result = self._scheduler.schedule(problem)
+        self._log.activations += 1
+        if result.feasible:
+            self._schedule = result.schedule
+        # If rescheduling fails the previously committed schedule (which is
+        # still feasible for the remaining jobs) stays in force.
+
+    # ------------------------------------------------------------------ #
+    # Final bookkeeping
+    # ------------------------------------------------------------------ #
+    def _finalise_outcomes(self) -> None:
+        for name, event in self._request_info.items():
+            accepted, search_time = self._admissions[name]
+            self._log.outcomes.append(
+                RequestOutcome(
+                    name=name,
+                    application=event.application,
+                    arrival=event.time,
+                    deadline=event.absolute_deadline,
+                    accepted=accepted,
+                    completion_time=self._completions.get(name),
+                    scheduler_time=search_time,
+                )
+            )

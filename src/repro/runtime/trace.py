@@ -1,0 +1,149 @@
+"""Request traces for the online runtime manager.
+
+A :class:`RequestTrace` is the ordered list of application requests the
+runtime manager receives over time.  Each :class:`RequestEvent` carries the
+arrival time, the application (configuration-table key), and the relative
+deadline granted to the request.  Traces can be written by hand (the
+motivational scenarios), loaded from JSON, or generated randomly with
+:func:`poisson_trace` for the online examples.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.core.config import ConfigTable
+from repro.exceptions import WorkloadError
+
+
+@dataclass(frozen=True)
+class RequestEvent:
+    """One application request arriving at the runtime manager.
+
+    Parameters
+    ----------
+    time:
+        Arrival time in seconds.
+    application:
+        Name of the application to execute (must match a configuration table).
+    relative_deadline:
+        Deadline granted to the request, relative to its arrival time.
+    name:
+        Unique request name; auto-derived names are used by the generators.
+    """
+
+    time: float
+    application: str
+    relative_deadline: float
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise WorkloadError("request arrival time must be non-negative")
+        if self.relative_deadline <= 0:
+            raise WorkloadError("relative deadline must be positive")
+        if not self.name:
+            raise WorkloadError("request name must not be empty")
+
+    @property
+    def absolute_deadline(self) -> float:
+        """Arrival time plus relative deadline."""
+        return self.time + self.relative_deadline
+
+
+class RequestTrace:
+    """A time-ordered sequence of request events.
+
+    Examples
+    --------
+    >>> trace = RequestTrace([
+    ...     RequestEvent(0.0, "lambda1", 9.0, "sigma1"),
+    ...     RequestEvent(1.0, "lambda2", 4.0, "sigma2"),
+    ... ])
+    >>> len(trace)
+    2
+    """
+
+    def __init__(self, events: Iterable[RequestEvent]):
+        ordered = sorted(events, key=lambda e: (e.time, e.name))
+        names = [e.name for e in ordered]
+        if len(set(names)) != len(names):
+            raise WorkloadError(f"duplicate request names in trace: {names}")
+        self._events = tuple(ordered)
+
+    @property
+    def events(self) -> tuple[RequestEvent, ...]:
+        """All events in arrival order."""
+        return self._events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[RequestEvent]:
+        return iter(self._events)
+
+    def __getitem__(self, index: int) -> RequestEvent:
+        return self._events[index]
+
+    @property
+    def end_time(self) -> float:
+        """Arrival time of the last request (0.0 for an empty trace)."""
+        return self._events[-1].time if self._events else 0.0
+
+    def applications(self) -> set[str]:
+        """The distinct applications requested by the trace."""
+        return {e.application for e in self._events}
+
+
+def poisson_trace(
+    tables: Mapping[str, ConfigTable],
+    arrival_rate: float,
+    num_requests: int,
+    deadline_factor_range: tuple[float, float] = (1.5, 4.0),
+    seed: int = 0,
+) -> RequestTrace:
+    """Generate a random request trace with Poisson arrivals.
+
+    Inter-arrival times are exponential with the given rate; each request
+    picks a uniformly random application and a deadline equal to the execution
+    time of a random configuration scaled by a random factor from
+    ``deadline_factor_range`` — the same deadline recipe as the evaluation
+    workload, applied online.
+
+    Parameters
+    ----------
+    tables:
+        The available applications (configuration tables).
+    arrival_rate:
+        Average number of request arrivals per second.
+    num_requests:
+        Length of the trace.
+    deadline_factor_range:
+        Range of the random deadline scale factor.
+    seed:
+        Seed for reproducibility.
+    """
+    if arrival_rate <= 0:
+        raise WorkloadError("arrival rate must be positive")
+    if num_requests <= 0:
+        raise WorkloadError("number of requests must be positive")
+    low, high = deadline_factor_range
+    if not 0 < low <= high:
+        raise WorkloadError("invalid deadline factor range")
+
+    rng = random.Random(seed)
+    applications: Sequence[str] = sorted(tables)
+    events = []
+    time = 0.0
+    for index in range(num_requests):
+        time += rng.expovariate(arrival_rate)
+        application = rng.choice(applications)
+        table = tables[application]
+        point = table[rng.randrange(len(table))]
+        deadline = point.execution_time * rng.uniform(low, high)
+        events.append(
+            RequestEvent(time, application, deadline, name=f"req{index:04d}")
+        )
+    return RequestTrace(events)

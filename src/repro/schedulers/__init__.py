@@ -1,0 +1,45 @@
+"""Schedulers: the paper's contribution and the two baselines.
+
+* :class:`MMKPMDFScheduler` — the proposed MMKP-MDF heuristic
+  (Algorithm 1 + Algorithm 2 of the paper).
+* :class:`ExMemScheduler` — EX-MEM, the exhaustive segment-level search with
+  memoisation used as the (near-)optimal energy reference.
+* :class:`MMKPLRScheduler` — MMKP-LR, the Lagrangian-relaxation baseline whose
+  analysis scope is limited to a single mapping segment.
+
+All schedulers share the :class:`Scheduler` interface: they take a
+:class:`~repro.core.problem.SchedulingProblem` and return a
+:class:`SchedulingResult` whose ``schedule`` is ``None`` when the job set must
+be rejected.
+"""
+
+from repro.schedulers.base import Scheduler, SchedulingResult
+from repro.schedulers.edf_packer import pack_jobs_edf
+from repro.schedulers.mdf import MMKPMDFScheduler
+from repro.schedulers.exmem import ExMemScheduler
+from repro.schedulers.lr import MMKPLRScheduler
+from repro.schedulers.fixed import FixedMinEnergyScheduler
+from repro.schedulers.policies import (
+    ArrivalOrderPolicy,
+    EarliestDeadlinePolicy,
+    JobSelectionPolicy,
+    MaximumDifferencePolicy,
+    MinimumLaxityPolicy,
+    RandomPolicy,
+)
+
+__all__ = [
+    "Scheduler",
+    "SchedulingResult",
+    "pack_jobs_edf",
+    "MMKPMDFScheduler",
+    "ExMemScheduler",
+    "MMKPLRScheduler",
+    "FixedMinEnergyScheduler",
+    "JobSelectionPolicy",
+    "MaximumDifferencePolicy",
+    "EarliestDeadlinePolicy",
+    "ArrivalOrderPolicy",
+    "MinimumLaxityPolicy",
+    "RandomPolicy",
+]

@@ -1,0 +1,82 @@
+"""Common scheduler interface and result type."""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.problem import SchedulingProblem
+from repro.core.segment import Schedule
+
+
+@dataclass(frozen=True)
+class SchedulingResult:
+    """Outcome of one scheduler activation.
+
+    Attributes
+    ----------
+    schedule:
+        The generated schedule, or ``None`` if the request set was rejected
+        (no feasible schedule found).
+    assignment:
+        For schedulers that assign one configuration index per job (MMKP-MDF
+        and MMKP-LR), the mapping job name → configuration index of the last
+        accepted assignment.  EX-MEM may remap jobs between segments, in which
+        case the dictionary holds the configuration used in the job's first
+        segment.
+    energy:
+        Total energy (objective 2a) of the schedule; ``inf`` when rejected.
+    search_time:
+        Wall-clock seconds spent inside the scheduler.
+    statistics:
+        Scheduler-specific counters (packer invocations, explored states,
+        subgradient iterations, ...) for the overhead analysis.
+    """
+
+    schedule: Schedule | None
+    assignment: Mapping[str, int] = field(default_factory=dict)
+    energy: float = float("inf")
+    search_time: float = 0.0
+    statistics: Mapping[str, float] = field(default_factory=dict)
+
+    @property
+    def feasible(self) -> bool:
+        """``True`` iff a schedule was found (the request set is admitted)."""
+        return self.schedule is not None
+
+    def __bool__(self) -> bool:
+        return self.feasible
+
+
+class Scheduler(abc.ABC):
+    """Abstract base class of all runtime-manager scheduling algorithms."""
+
+    #: Short machine-readable identifier used in reports and benchmarks.
+    name: str = "scheduler"
+
+    @abc.abstractmethod
+    def _solve(self, problem: SchedulingProblem) -> SchedulingResult:
+        """Compute a schedule for ``problem`` (implemented by subclasses)."""
+
+    def schedule(self, problem: SchedulingProblem) -> SchedulingResult:
+        """Solve ``problem`` and attach the wall-clock search time.
+
+        This is the public entry point; it wraps :meth:`_solve` with timing so
+        every scheduler reports its overhead the same way (Fig. 4 of the
+        paper).
+        """
+        start = time.perf_counter()
+        result = self._solve(problem)
+        elapsed = time.perf_counter() - start
+        return SchedulingResult(
+            schedule=result.schedule,
+            assignment=result.assignment,
+            energy=result.energy,
+            search_time=elapsed,
+            statistics=result.statistics,
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

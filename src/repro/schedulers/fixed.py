@@ -1,0 +1,118 @@
+"""Fixed-mapping scheduler (the non-adaptive mapper of the motivational example).
+
+A *fixed* mapper assigns every job one operating point and lets all jobs run
+concurrently from the activation time until they individually finish: there is
+no suspension and no reconfiguration, so the per-type resource demand of the
+whole job set must fit the platform *simultaneously*.  This is the behaviour
+of the state-of-the-art MMKP-based runtime managers the paper improves upon;
+combined with the runtime manager it reproduces the schedules of Fig. 1(a)
+(remapping only when an application starts) and Fig. 1(b) (remapping at starts
+and finishes).
+
+The configuration selection itself is solved exactly as a small MMKP (minimise
+energy subject to the concurrent-resource constraint and the per-job deadline
+check), which is affordable because a fixed mapping only ever concerns a
+handful of jobs.
+"""
+
+from __future__ import annotations
+
+from repro.core.problem import SchedulingProblem
+from repro.core.segment import JobMapping, MappingSegment, Schedule
+from repro.knapsack import MMKPItem, MMKPProblem, solve_exact
+from repro.schedulers.base import Scheduler, SchedulingResult
+
+
+class FixedMinEnergyScheduler(Scheduler):
+    """Energy-minimal fixed mapping (all jobs concurrently, no adaptation).
+
+    Examples
+    --------
+    >>> from repro.workload.motivational import motivational_problem
+    >>> result = FixedMinEnergyScheduler().schedule(motivational_problem("S1"))
+    >>> result.feasible
+    True
+    """
+
+    name = "fixed"
+
+    def _solve(self, problem: SchedulingProblem) -> SchedulingResult:
+        jobs = sorted(problem.jobs, key=lambda j: j.name)
+        capacity = problem.capacity
+
+        # Build one MMKP group per job; only configurations that meet the
+        # deadline when running uninterruptedly from now are admissible.
+        groups = []
+        group_labels: list[list[int]] = []
+        for job in jobs:
+            table = problem.table_for(job)
+            budget = job.deadline - problem.now
+            items = []
+            labels = []
+            for index, point in enumerate(table):
+                if not point.resources.fits_into(capacity):
+                    continue
+                if point.remaining_time(job.remaining_ratio) > budget + 1e-9:
+                    continue
+                items.append(
+                    MMKPItem(
+                        value=-point.remaining_energy(job.remaining_ratio),
+                        weights=tuple(float(c) for c in point.resources),
+                        label=index,
+                    )
+                )
+                labels.append(index)
+            if not items:
+                return SchedulingResult(schedule=None, statistics={"groups": len(jobs)})
+            groups.append(items)
+            group_labels.append(labels)
+
+        mmkp = MMKPProblem([float(c) for c in capacity], groups)
+        solution = solve_exact(mmkp)
+        if not solution.feasible:
+            return SchedulingResult(
+                schedule=None, statistics={"nodes": solution.iterations}
+            )
+
+        assignment = {
+            job.name: group_labels[group_index][item_index]
+            for group_index, (job, item_index) in enumerate(zip(jobs, solution.selection))
+        }
+        schedule = self._build_schedule(problem, assignment)
+        return SchedulingResult(
+            schedule=schedule,
+            assignment=assignment,
+            energy=problem.energy_of(schedule),
+            statistics={"nodes": solution.iterations},
+        )
+
+    @staticmethod
+    def _build_schedule(
+        problem: SchedulingProblem, assignment: dict[str, int]
+    ) -> Schedule:
+        """Turn concurrent fixed mappings into mapping segments.
+
+        All jobs start at ``now``; segment boundaries are the distinct job
+        completion times.
+        """
+        completions = {}
+        for job in problem.jobs:
+            point = problem.table_for(job)[assignment[job.name]]
+            completions[job.name] = problem.now + point.remaining_time(
+                job.remaining_ratio
+            )
+        boundaries = sorted(set(completions.values()))
+
+        segments = []
+        previous = problem.now
+        for boundary in boundaries:
+            if boundary <= previous + 1e-12:
+                continue
+            mappings = [
+                JobMapping(job, assignment[job.name])
+                for job in problem.jobs
+                if completions[job.name] > previous + 1e-12
+            ]
+            segments.append(MappingSegment(previous, boundary, mappings))
+            previous = boundary
+        return Schedule(segments)

@@ -1,0 +1,249 @@
+"""MMKP-LR — the Lagrangian-relaxation baseline scheduler.
+
+The baseline follows Wildermann et al. as described in Section VI.A of the
+paper: for the *current* mapping segment it builds an MMKP whose capacities
+are the platform resources, solves the Lagrangian relaxation with a
+subgradient method (limited to 100 iterations), and then maps jobs greedily in
+increasing order of their minimum (Lagrangian-reduced) configuration cost.  A
+configuration is accepted if the resources still fit and the job can meet its
+deadline either by running that configuration until completion or — an
+*optimistic* check — by being reconfigured to its fastest configuration at the
+end of the segment.  The segment ends when the first mapped job finishes; the
+procedure repeats for the remaining work.  The analysis scope is therefore a
+single mapping segment, which is exactly the limitation the paper's global
+MMKP-MDF removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import ConfigTable, OperatingPoint
+from repro.core.problem import SchedulingProblem
+from repro.core.request import Job
+from repro.core.segment import JobMapping, MappingSegment, Schedule
+from repro.knapsack import MMKPItem, MMKPProblem, solve_lagrangian
+from repro.platforms.resources import ResourceVector
+from repro.schedulers.base import Scheduler, SchedulingResult
+
+_RATIO_EPSILON = 1e-9
+_TIME_EPSILON = 1e-9
+
+
+@dataclass
+class _PendingJob:
+    """Mutable remaining-work record used while segments are being built."""
+
+    job: Job
+    remaining_ratio: float
+
+    @property
+    def name(self) -> str:
+        return self.job.name
+
+    def finished(self) -> bool:
+        return self.remaining_ratio <= _RATIO_EPSILON
+
+
+class MMKPLRScheduler(Scheduler):
+    """Lagrangian-relaxation MMKP scheduler with single-segment scope.
+
+    Parameters
+    ----------
+    max_subgradient_iterations:
+        Iteration limit of the subgradient method per segment (the paper uses
+        100).
+
+    Examples
+    --------
+    >>> from repro.workload.motivational import motivational_problem
+    >>> result = MMKPLRScheduler().schedule(motivational_problem("S1"))
+    >>> result.feasible
+    True
+    """
+
+    name = "mmkp-lr"
+
+    def __init__(self, max_subgradient_iterations: int = 100):
+        self._max_iterations = max_subgradient_iterations
+
+    # ------------------------------------------------------------------ #
+    # Scheduler interface
+    # ------------------------------------------------------------------ #
+    def _solve(self, problem: SchedulingProblem) -> SchedulingResult:
+        pending = [
+            _PendingJob(job, job.remaining_ratio)
+            for job in sorted(problem.jobs, key=lambda j: j.name)
+        ]
+        segments: list[MappingSegment] = []
+        first_config: dict[str, int] = {}
+        now = problem.now
+        subgradient_iterations = 0
+        segment_count = 0
+
+        while any(not p.finished() for p in pending):
+            active = [p for p in pending if not p.finished()]
+
+            # Every unfinished job must still have a chance to meet its
+            # deadline; otherwise the request set is rejected.
+            for record in active:
+                fastest = problem.table_for(record.job).fastest().execution_time
+                if now + fastest * record.remaining_ratio > record.job.deadline + 1e-6:
+                    return self._reject(subgradient_iterations, segment_count)
+
+            assignment, iterations = self._assign_segment(problem, active, now)
+            subgradient_iterations += iterations
+            if not assignment:
+                # No job could be mapped onto the empty platform: no progress
+                # is possible, reject.
+                return self._reject(subgradient_iterations, segment_count)
+
+            # The segment ends when the first mapped job finishes.
+            segment_end = min(
+                now
+                + problem.table_for(record.job)[assignment[record.name]].remaining_time(
+                    record.remaining_ratio
+                )
+                for record in active
+                if record.name in assignment
+            )
+            duration = segment_end - now
+            if duration <= _TIME_EPSILON:
+                return self._reject(subgradient_iterations, segment_count)
+
+            mappings = []
+            for record in active:
+                if record.name not in assignment:
+                    continue
+                config_index = assignment[record.name]
+                first_config.setdefault(record.name, config_index)
+                mappings.append(JobMapping(record.job, config_index))
+                point = problem.table_for(record.job)[config_index]
+                record.remaining_ratio -= duration / point.execution_time
+                if record.remaining_ratio <= _RATIO_EPSILON:
+                    record.remaining_ratio = 0.0
+                    if segment_end > record.job.deadline + 1e-6:
+                        return self._reject(subgradient_iterations, segment_count)
+            segments.append(MappingSegment(now, segment_end, mappings))
+            segment_count += 1
+            now = segment_end
+
+        schedule = Schedule(segments)
+        return SchedulingResult(
+            schedule=schedule,
+            assignment=first_config,
+            energy=problem.energy_of(schedule),
+            statistics={
+                "subgradient_iterations": subgradient_iterations,
+                "segments": segment_count,
+            },
+        )
+
+    @staticmethod
+    def _reject(subgradient_iterations: int, segment_count: int) -> SchedulingResult:
+        return SchedulingResult(
+            schedule=None,
+            statistics={
+                "subgradient_iterations": subgradient_iterations,
+                "segments": segment_count,
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    # Per-segment assignment
+    # ------------------------------------------------------------------ #
+    def _assign_segment(
+        self,
+        problem: SchedulingProblem,
+        active: list[_PendingJob],
+        now: float,
+    ) -> tuple[dict[str, int], int]:
+        """Pick one configuration per job for the segment starting at ``now``.
+
+        Returns the assignment (jobs left out are suspended for the segment)
+        and the number of subgradient iterations spent.
+        """
+        capacity = problem.capacity
+
+        # Build the single-segment MMKP: values are negated remaining energies,
+        # weights are the per-type core demands, capacities are the cores.
+        groups = []
+        candidates: list[list[tuple[int, OperatingPoint]]] = []
+        for record in active:
+            table = problem.table_for(record.job)
+            feasible = [
+                (index, point)
+                for index, point in enumerate(table)
+                if point.resources.fits_into(capacity)
+            ]
+            candidates.append(feasible)
+            groups.append(
+                [
+                    MMKPItem(
+                        value=-point.remaining_energy(record.remaining_ratio),
+                        weights=tuple(float(c) for c in point.resources),
+                        label=index,
+                    )
+                    for index, point in feasible
+                ]
+                or [MMKPItem(value=0.0, weights=tuple(0.0 for _ in capacity), label=None)]
+            )
+
+        mmkp = MMKPProblem([float(c) for c in capacity], groups)
+        relaxation = solve_lagrangian(mmkp, max_iterations=self._max_iterations)
+        multipliers = relaxation.multipliers
+
+        def reduced_cost(record: _PendingJob, point: OperatingPoint) -> float:
+            energy = point.remaining_energy(record.remaining_ratio)
+            penalty = sum(
+                multiplier * resource
+                for multiplier, resource in zip(multipliers, point.resources)
+            )
+            return energy + penalty
+
+        # Map jobs in increasing order of their minimum configuration cost.
+        ordering = []
+        for record, feasible in zip(active, candidates):
+            if feasible:
+                minimum = min(reduced_cost(record, point) for _, point in feasible)
+            else:
+                minimum = float("inf")
+            ordering.append((minimum, record, feasible))
+        ordering.sort(key=lambda entry: (entry[0], entry[1].name))
+
+        assignment: dict[str, int] = {}
+        remaining = capacity
+        # Estimated end of the segment under construction: the earliest
+        # completion among the jobs assigned so far.  The optimistic deadline
+        # check assumes the job switches to its fastest configuration at that
+        # point.
+        estimated_end = float("inf")
+        for _, record, feasible in ordering:
+            table = problem.table_for(record.job)
+            deadline = record.job.deadline
+            fastest = table.fastest().execution_time
+            for index, point in sorted(
+                feasible, key=lambda item: reduced_cost(record, item[1])
+            ):
+                if not point.resources.fits_into(remaining):
+                    continue
+                completion = now + point.remaining_time(record.remaining_ratio)
+                if completion <= deadline + 1e-9:
+                    accepted = True
+                else:
+                    # Optimistic check: run this configuration until the end
+                    # of the segment, then reconfigure to the fastest one.
+                    segment_end = min(estimated_end, completion)
+                    progressed = (segment_end - now) / point.execution_time
+                    left_after = max(0.0, record.remaining_ratio - progressed)
+                    accepted = (
+                        segment_end + fastest * left_after <= deadline + 1e-9
+                    )
+                if not accepted:
+                    continue
+                assignment[record.name] = index
+                remaining = remaining - point.resources
+                estimated_end = min(estimated_end, completion)
+                break
+
+        return assignment, relaxation.iterations

@@ -1,0 +1,32 @@
+"""Workloads: the motivational example and the evaluation test-case generator.
+
+* :mod:`repro.workload.motivational` — Tables I and II of the paper (the two
+  synthetic applications, scenarios S1/S2 and the 2-little/2-big platform).
+* :mod:`repro.workload.testgen` — the Section VI.A test-case generator
+  (1–4 jobs, application mixes, progress ratios, weak/tight deadline factors).
+* :mod:`repro.workload.suite` — the full 1676-test evaluation suite with the
+  Table III census.
+"""
+
+from repro.workload.testgen import TestCase, TestCaseGenerator, DeadlineLevel
+from repro.workload.suite import EvaluationSuite, table_iii_census
+from repro.workload.motivational import (
+    motivational_platform,
+    motivational_tables,
+    motivational_problem,
+    scenario_s1,
+    scenario_s2,
+)
+
+__all__ = [
+    "TestCase",
+    "TestCaseGenerator",
+    "DeadlineLevel",
+    "EvaluationSuite",
+    "table_iii_census",
+    "motivational_platform",
+    "motivational_tables",
+    "motivational_problem",
+    "scenario_s1",
+    "scenario_s2",
+]

@@ -1,0 +1,153 @@
+"""The motivational example of the paper (Section III, Tables I and II).
+
+Two synthetic applications :math:`\\lambda_1` and :math:`\\lambda_2` run on a
+heterogeneous device with two little and two big cores.  Table II of the paper
+lists, for every (little, big) core allocation, the execution time and energy
+of a full run; the progress-dependent triples of the paper are simply the full
+values scaled by the remaining ratio and therefore do not need to be stored.
+
+The module reproduces the two request scenarios of Table I and exposes the
+scheduling problem the runtime manager faces at the interesting activation
+point: :math:`t = 1`, when request :math:`\\sigma_2` arrives and
+:math:`\\sigma_1` has progressed to 18.87 %.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ConfigTable, OperatingPoint
+from repro.core.problem import SchedulingProblem
+from repro.core.request import Job
+from repro.exceptions import WorkloadError
+from repro.platforms import Platform, big_little
+from repro.platforms.resources import ResourceVector
+
+#: Progress of sigma1 when sigma2 arrives at t = 1 (Section III): one second
+#: of execution in the 2L1B configuration, whose full run takes 5.3 s.  The
+#: paper rounds this to 18.87 %.
+SIGMA1_PROGRESS_AT_T1 = 1.0 / 5.3
+
+#: Table II of the paper: (little cores, big cores, execution time, energy)
+#: for application lambda1.
+LAMBDA1_TABLE = (
+    (1, 0, 16.8, 7.90),
+    (2, 0, 10.3, 7.01),
+    (0, 1, 11.2, 18.54),
+    (0, 2, 6.3, 17.70),
+    (1, 1, 8.1, 10.90),
+    (1, 2, 7.9, 10.60),
+    (2, 1, 5.3, 8.90),
+    (2, 2, 4.7, 11.00),
+)
+
+#: Table II of the paper: configurations of application lambda2.
+LAMBDA2_TABLE = (
+    (1, 0, 10.0, 2.00),
+    (2, 0, 7.0, 2.87),
+    (0, 1, 5.0, 7.55),
+    (0, 2, 3.5, 10.5),
+    (1, 1, 3.5, 6.44),
+    (1, 2, 3.0, 6.81),
+    (2, 1, 3.0, 5.73),
+    (2, 2, 2.0, 6.58),
+)
+
+#: Table I of the paper: request parameters per scenario.
+#: scenario -> job name -> (arrival, absolute deadline)
+SCENARIOS = {
+    "S1": {"sigma1": (0.0, 9.0), "sigma2": (1.0, 5.0)},
+    "S2": {"sigma1": (0.0, 9.0), "sigma2": (1.0, 4.0)},
+}
+
+#: Index of the 2L1B configuration in both tables (used by examples/tests).
+CONFIG_2L1B = 6
+#: Index of the 1L1B configuration in both tables.
+CONFIG_1L1B = 4
+#: Index of the 2L configuration in both tables.
+CONFIG_2L = 1
+
+
+def motivational_platform() -> Platform:
+    """The 2-little/2-big device of the motivational example."""
+    return big_little(num_little=2, num_big=2, name="motivational-2L2B")
+
+
+def _build_table(application: str, rows) -> ConfigTable:
+    points = [
+        OperatingPoint(ResourceVector([little, big]), execution_time, energy)
+        for little, big, execution_time, energy in rows
+    ]
+    return ConfigTable(application, points)
+
+
+def motivational_tables() -> dict[str, ConfigTable]:
+    """Configuration tables of :math:`\\lambda_1` and :math:`\\lambda_2` (Table II)."""
+    return {
+        "lambda1": _build_table("lambda1", LAMBDA1_TABLE),
+        "lambda2": _build_table("lambda2", LAMBDA2_TABLE),
+    }
+
+
+def _jobs_at_t1(scenario: str) -> list[Job]:
+    if scenario not in SCENARIOS:
+        raise WorkloadError(f"unknown scenario {scenario!r}; choose from {sorted(SCENARIOS)}")
+    requests = SCENARIOS[scenario]
+    sigma1_arrival, sigma1_deadline = requests["sigma1"]
+    sigma2_arrival, sigma2_deadline = requests["sigma2"]
+    return [
+        Job(
+            "sigma1",
+            "lambda1",
+            arrival=sigma1_arrival,
+            deadline=sigma1_deadline,
+            remaining_ratio=1.0 - SIGMA1_PROGRESS_AT_T1,
+        ),
+        Job("sigma2", "lambda2", arrival=sigma2_arrival, deadline=sigma2_deadline),
+    ]
+
+
+def scenario_s1() -> list[Job]:
+    """The jobs of scenario S1 at the activation point ``t = 1``."""
+    return _jobs_at_t1("S1")
+
+
+def scenario_s2() -> list[Job]:
+    """The jobs of scenario S2 (tight deadline for sigma2) at ``t = 1``."""
+    return _jobs_at_t1("S2")
+
+
+def motivational_problem(scenario: str = "S1") -> SchedulingProblem:
+    """The scheduling problem at ``t = 1`` of the given scenario.
+
+    Examples
+    --------
+    >>> problem = motivational_problem("S1")
+    >>> len(problem.jobs)
+    2
+    >>> problem.now
+    1.0
+    """
+    return SchedulingProblem(
+        motivational_platform(),
+        motivational_tables(),
+        _jobs_at_t1(scenario),
+        now=1.0,
+    )
+
+
+def initial_problem(scenario: str = "S1") -> SchedulingProblem:
+    """The scheduling problem at ``t = 0`` (only sigma1 has arrived)."""
+    if scenario not in SCENARIOS:
+        raise WorkloadError(f"unknown scenario {scenario!r}; choose from {sorted(SCENARIOS)}")
+    arrival, deadline = SCENARIOS[scenario]["sigma1"]
+    job = Job("sigma1", "lambda1", arrival=arrival, deadline=deadline)
+    return SchedulingProblem(
+        motivational_platform(), motivational_tables(), [job], now=0.0
+    )
+
+
+#: Reference energies of the three schedules in Fig. 1 of the paper (joules).
+FIGURE1_ENERGIES = {
+    "fixed_remap_at_start": 16.96,
+    "fixed_remap_at_start_and_finish": 15.49,
+    "adaptive": 14.63,
+}

@@ -1,0 +1,164 @@
+"""The full evaluation suite and the Table III census.
+
+Table III of the paper reports how many of the 1676 test cases fall into each
+(number of jobs, deadline level) bucket.  :func:`table_iii_census` returns
+exactly those counts; :class:`EvaluationSuite` generates (or wraps) the test
+cases and offers the filtered views the experiments need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.core.config import ConfigTable
+from repro.exceptions import WorkloadError
+from repro.platforms.platform import Platform
+from repro.platforms.resources import ResourceVector
+from repro.workload.testgen import DeadlineLevel, TestCase, TestCaseGenerator
+
+#: Table III of the paper: (deadline level, number of jobs) -> number of tests.
+TABLE_III = {
+    (DeadlineLevel.WEAK, 1): 15,
+    (DeadlineLevel.WEAK, 2): 255,
+    (DeadlineLevel.WEAK, 3): 255,
+    (DeadlineLevel.WEAK, 4): 230,
+    (DeadlineLevel.TIGHT, 1): 35,
+    (DeadlineLevel.TIGHT, 2): 340,
+    (DeadlineLevel.TIGHT, 3): 340,
+    (DeadlineLevel.TIGHT, 4): 206,
+}
+
+#: Total number of test cases in the paper's evaluation.
+TOTAL_TEST_CASES = 1676
+
+
+def table_iii_census() -> dict[tuple[DeadlineLevel, int], int]:
+    """The exact test-case census of Table III (1676 cases in total)."""
+    return dict(TABLE_III)
+
+
+def scaled_census(
+    fraction: float, minimum_per_bucket: int = 1
+) -> dict[tuple[DeadlineLevel, int], int]:
+    """A down-scaled census for quick experiments and CI benchmarks.
+
+    Every bucket of Table III is multiplied by ``fraction`` (rounded) but kept
+    at least at ``minimum_per_bucket`` so every (level, job count) combination
+    stays represented.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise WorkloadError(f"fraction must be in (0, 1], got {fraction}")
+    return {
+        key: max(minimum_per_bucket, round(count * fraction))
+        for key, count in TABLE_III.items()
+    }
+
+
+class EvaluationSuite:
+    """A collection of test cases with census and filtering helpers.
+
+    Parameters
+    ----------
+    cases:
+        The test cases of the suite (typically produced by
+        :class:`~repro.workload.testgen.TestCaseGenerator`).
+
+    Examples
+    --------
+    >>> from repro.workload.motivational import motivational_tables
+    >>> suite = EvaluationSuite.generate(motivational_tables(), scaled_census(0.01))
+    >>> suite.census()[(DeadlineLevel.WEAK, 2)] >= 1
+    True
+    """
+
+    def __init__(self, cases: Iterable[TestCase]):
+        self._cases = tuple(cases)
+        if not self._cases:
+            raise WorkloadError("an evaluation suite needs at least one test case")
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def generate(
+        cls,
+        tables: Mapping[str, ConfigTable],
+        census: Mapping[tuple[DeadlineLevel, int], int] | None = None,
+        seed: int = 2020,
+    ) -> "EvaluationSuite":
+        """Generate a suite from application tables and a census.
+
+        The default census is the full Table III (1676 cases).
+        """
+        generator = TestCaseGenerator(tables, seed=seed)
+        cases = generator.generate_from_census(census or table_iii_census())
+        return cls(cases)
+
+    # ------------------------------------------------------------------ #
+    # Container protocol
+    # ------------------------------------------------------------------ #
+    @property
+    def cases(self) -> tuple[TestCase, ...]:
+        """All test cases of the suite."""
+        return self._cases
+
+    def __len__(self) -> int:
+        return len(self._cases)
+
+    def __iter__(self) -> Iterator[TestCase]:
+        return iter(self._cases)
+
+    def __getitem__(self, index: int) -> TestCase:
+        return self._cases[index]
+
+    # ------------------------------------------------------------------ #
+    # Views used by the experiments
+    # ------------------------------------------------------------------ #
+    def census(self) -> dict[tuple[DeadlineLevel, int], int]:
+        """Count the test cases per (deadline level, number of jobs) bucket."""
+        counts: dict[tuple[DeadlineLevel, int], int] = {}
+        for case in self._cases:
+            key = (case.deadline_level, case.num_jobs)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def filtered(
+        self,
+        deadline_level: DeadlineLevel | None = None,
+        num_jobs: int | None = None,
+    ) -> list[TestCase]:
+        """Test cases matching the given deadline level and/or job count."""
+        result = []
+        for case in self._cases:
+            if deadline_level is not None and case.deadline_level is not deadline_level:
+                continue
+            if num_jobs is not None and case.num_jobs != num_jobs:
+                continue
+            result.append(case)
+        return result
+
+    def single_application_share(self) -> float:
+        """Fraction of test cases whose jobs all run the same application."""
+        singles = sum(1 for case in self._cases if case.single_application)
+        return singles / len(self._cases)
+
+    def initial_state_share(self) -> float:
+        """Fraction of test cases in which every job is still unstarted."""
+        initial = sum(
+            1
+            for case in self._cases
+            if all(not job.is_started() for job in case.jobs)
+        )
+        return initial / len(self._cases)
+
+    def problems(
+        self,
+        capacity: ResourceVector | Platform,
+        tables: Mapping[str, ConfigTable],
+        deadline_level: DeadlineLevel | None = None,
+        num_jobs: int | None = None,
+    ):
+        """Yield ``(test case, scheduling problem)`` pairs for a filtered view."""
+        for case in self.filtered(deadline_level, num_jobs):
+            yield case, case.problem(capacity, tables)

@@ -1,0 +1,209 @@
+"""Test-case generation following Section VI.A of the paper.
+
+Every test case is one activation of the runtime manager: a set of one to four
+jobs, each characterised by the application it runs, its current progress
+ratio and its (absolute) deadline.  The generator reproduces the statistical
+recipe of the paper:
+
+* 31.9 % of the test cases consist of requests of a single application
+  (uniformly distributed among the applications/input sizes); the remaining
+  68.1 % are application mixes.
+* In about 22.6 % of the test cases all jobs start in the initial state
+  (progress zero).  In all other cases the jobs get a uniformly random
+  completed progress in ``[0, 0.9]``, except for the newly arrived job which
+  naturally starts in the initial state.
+* Deadlines are derived by picking a random configuration of the job's
+  application, computing the remaining time with that configuration and
+  scaling it by a random factor: 2–6 for *weak* deadlines and 0.6–2 for
+  *tight* deadlines.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.config import ConfigTable
+from repro.core.problem import SchedulingProblem
+from repro.core.request import Job
+from repro.exceptions import WorkloadError
+from repro.platforms.platform import Platform
+from repro.platforms.resources import ResourceVector
+
+#: Share of test cases that use a single application for all jobs (Sec. VI.A).
+SINGLE_APPLICATION_SHARE = 0.319
+#: Share of test cases in which every job is still in its initial state.
+INITIAL_STATE_SHARE = 0.226
+#: Maximum completed progress of an already running job.
+MAX_COMPLETED_PROGRESS = 0.9
+#: Deadline scale factor ranges per deadline level.
+WEAK_FACTOR_RANGE = (2.0, 6.0)
+TIGHT_FACTOR_RANGE = (0.6, 2.0)
+
+
+class DeadlineLevel(enum.Enum):
+    """Deadline tightness of a test case (Sec. VI.A)."""
+
+    WEAK = "weak"
+    TIGHT = "tight"
+
+    @property
+    def factor_range(self) -> tuple[float, float]:
+        """The deadline scale-factor range of this level."""
+        return WEAK_FACTOR_RANGE if self is DeadlineLevel.WEAK else TIGHT_FACTOR_RANGE
+
+
+@dataclass(frozen=True)
+class TestCase:
+    """One generated runtime-manager activation.
+
+    Attributes
+    ----------
+    name:
+        Unique test-case identifier.
+    jobs:
+        The jobs of the activation (1–4 of them), all anchored at time 0.
+    deadline_level:
+        Whether deadlines were drawn from the weak or the tight factor range.
+    single_application:
+        ``True`` when all jobs run the same application.
+    """
+
+    #: Not a pytest test class despite the name.
+    __test__ = False
+
+    name: str
+    jobs: tuple[Job, ...]
+    deadline_level: DeadlineLevel
+    single_application: bool
+
+    @property
+    def num_jobs(self) -> int:
+        """Number of jobs in this activation."""
+        return len(self.jobs)
+
+    @property
+    def applications(self) -> tuple[str, ...]:
+        """The applications of the jobs, in job order."""
+        return tuple(job.application for job in self.jobs)
+
+    def problem(
+        self, capacity: ResourceVector | Platform, tables: Mapping[str, ConfigTable]
+    ) -> SchedulingProblem:
+        """Build the :class:`SchedulingProblem` of this test case."""
+        return SchedulingProblem(capacity, tables, self.jobs, now=0.0)
+
+
+class TestCaseGenerator:
+    """Random test-case generator implementing the Section VI.A recipe.
+
+    Parameters
+    ----------
+    tables:
+        Application name → configuration table.  Every generated job picks
+        one of these applications.
+    seed:
+        Seed of the internal pseudo-random generator; the same seed always
+        yields the same test cases.
+
+    Examples
+    --------
+    >>> from repro.workload.motivational import motivational_tables
+    >>> generator = TestCaseGenerator(motivational_tables(), seed=1)
+    >>> case = generator.generate_case(3, DeadlineLevel.WEAK)
+    >>> case.num_jobs
+    3
+    """
+
+    #: Not a pytest test class despite the name.
+    __test__ = False
+
+    def __init__(self, tables: Mapping[str, ConfigTable], seed: int = 2020):
+        if not tables:
+            raise WorkloadError("the generator needs at least one application table")
+        self._tables = dict(tables)
+        self._applications = sorted(self._tables)
+        self._rng = random.Random(seed)
+        self._counter = 0
+
+    # ------------------------------------------------------------------ #
+    # Single test case
+    # ------------------------------------------------------------------ #
+    def generate_case(
+        self, num_jobs: int, deadline_level: DeadlineLevel
+    ) -> TestCase:
+        """Generate one test case with the given job count and deadline level."""
+        if not 1 <= num_jobs:
+            raise WorkloadError(f"a test case needs at least one job, got {num_jobs}")
+        self._counter += 1
+        name = f"tc{self._counter:05d}-{deadline_level.value}-{num_jobs}j"
+
+        single_application = self._rng.random() < SINGLE_APPLICATION_SHARE
+        if single_application or len(self._applications) == 1 or num_jobs == 1:
+            applications = [self._rng.choice(self._applications)] * num_jobs
+            single_application = True
+        else:
+            # An "application mix" (Sec. VI.A) contains at least two distinct
+            # applications; redraw until the sample is a genuine mix.
+            applications = [self._rng.choice(self._applications) for _ in range(num_jobs)]
+            while len(set(applications)) == 1:
+                applications = [
+                    self._rng.choice(self._applications) for _ in range(num_jobs)
+                ]
+            single_application = False
+
+        all_initial = self._rng.random() < INITIAL_STATE_SHARE
+        jobs = []
+        for index, application in enumerate(applications):
+            # The last job is the newly arrived request and is always in its
+            # initial state; earlier jobs may have progressed already.
+            newly_arrived = index == num_jobs - 1
+            if all_initial or newly_arrived:
+                completed = 0.0
+            else:
+                completed = self._rng.uniform(0.0, MAX_COMPLETED_PROGRESS)
+            remaining = 1.0 - completed
+            deadline = self._draw_deadline(application, remaining, deadline_level)
+            jobs.append(
+                Job(
+                    name=f"{name}-job{index}",
+                    application=application,
+                    arrival=0.0,
+                    deadline=deadline,
+                    remaining_ratio=remaining,
+                )
+            )
+        return TestCase(name, tuple(jobs), deadline_level, single_application)
+
+    def _draw_deadline(
+        self, application: str, remaining_ratio: float, level: DeadlineLevel
+    ) -> float:
+        """Deadline = random-configuration remaining time × random level factor."""
+        table = self._tables[application]
+        point = table[self._rng.randrange(len(table))]
+        remaining_time = point.remaining_time(remaining_ratio)
+        low, high = level.factor_range
+        factor = self._rng.uniform(low, high)
+        return remaining_time * factor
+
+    # ------------------------------------------------------------------ #
+    # Batches
+    # ------------------------------------------------------------------ #
+    def generate_batch(
+        self, num_cases: int, num_jobs: int, deadline_level: DeadlineLevel
+    ) -> list[TestCase]:
+        """Generate ``num_cases`` test cases of identical shape."""
+        return [self.generate_case(num_jobs, deadline_level) for _ in range(num_cases)]
+
+    def generate_from_census(
+        self, census: Mapping[tuple[DeadlineLevel, int], int]
+    ) -> list[TestCase]:
+        """Generate test cases according to a ``(level, num jobs) → count`` census."""
+        cases: list[TestCase] = []
+        for (level, num_jobs), count in sorted(
+            census.items(), key=lambda item: (item[0][0].value, item[0][1])
+        ):
+            cases.extend(self.generate_batch(count, num_jobs, level))
+        return cases

@@ -1,0 +1,122 @@
+"""Tests for the experiment harness and the text reports."""
+
+import pytest
+
+from repro.analysis import (
+    SuiteResults,
+    evaluate_suite,
+    format_fig2_scheduling_rate,
+    format_fig3_scurve,
+    format_fig4_search_time,
+    format_table_iii,
+    format_table_iv,
+)
+from repro.analysis.experiments import SchedulerRun
+from repro.exceptions import SchedulingError
+from repro.platforms import big_little
+from repro.schedulers import ExMemScheduler, MMKPMDFScheduler
+from repro.workload import EvaluationSuite
+from repro.workload.motivational import motivational_tables
+from repro.workload.suite import scaled_census
+from repro.workload.testgen import DeadlineLevel
+
+
+def synthetic_runs():
+    """Hand-crafted runs with known aggregate values."""
+    runs = []
+    for index, (feasible, energy) in enumerate([(True, 2.0), (True, 4.0), (False, float("inf"))]):
+        runs.append(
+            SchedulerRun(
+                case_name=f"tc{index}",
+                num_jobs=2,
+                deadline_level=DeadlineLevel.TIGHT,
+                scheduler="heuristic",
+                feasible=feasible,
+                energy=energy,
+                search_time=0.002,
+            )
+        )
+        runs.append(
+            SchedulerRun(
+                case_name=f"tc{index}",
+                num_jobs=2,
+                deadline_level=DeadlineLevel.TIGHT,
+                scheduler="reference",
+                feasible=True,
+                energy=2.0,
+                search_time=0.1,
+            )
+        )
+    return runs
+
+
+class TestSuiteResults:
+    def test_scheduling_rate(self):
+        results = SuiteResults(synthetic_runs())
+        rates = results.scheduling_rate("heuristic", DeadlineLevel.TIGHT)
+        assert rates[2] == pytest.approx(100.0 * 2 / 3)
+        assert results.scheduling_rate("reference", DeadlineLevel.TIGHT)[2] == 100.0
+
+    def test_relative_energy_uses_commonly_scheduled_cases_only(self):
+        results = SuiteResults(synthetic_runs())
+        ratios = [r for _, r in results.relative_energies("heuristic", "reference")]
+        assert sorted(ratios) == [pytest.approx(1.0), pytest.approx(2.0)]
+        table = results.relative_energy_table(["heuristic"], "reference")
+        assert table["heuristic"][(DeadlineLevel.TIGHT, 2)] == pytest.approx(2.0**0.5)
+        # Aggregate buckets are present.
+        assert (None, 0) in table["heuristic"]
+
+    def test_s_curve_and_optimal_share(self):
+        results = SuiteResults(synthetic_runs())
+        curve = results.relative_energy_curve("heuristic", "reference")
+        assert curve == [pytest.approx(1.0), pytest.approx(2.0)]
+        assert results.optimal_share("heuristic", "reference") == pytest.approx(0.5)
+
+    def test_search_time_stats(self):
+        results = SuiteResults(synthetic_runs())
+        stats = results.search_time_stats("reference")
+        assert stats[2].count == 3
+        assert stats[2].mean == pytest.approx(0.1)
+
+    def test_unknown_scheduler_raises(self):
+        results = SuiteResults(synthetic_runs())
+        with pytest.raises(SchedulingError):
+            results.runs_of("ghost")
+        with pytest.raises(SchedulingError):
+            results.relative_energies("heuristic", "ghost")
+
+
+class TestEvaluateSuite:
+    @pytest.fixture(scope="class")
+    def small_results(self):
+        tables = motivational_tables()
+        suite = EvaluationSuite.generate(tables, scaled_census(0.01), seed=3)
+        schedulers = [ExMemScheduler(), MMKPMDFScheduler()]
+        return (
+            suite,
+            evaluate_suite(suite, big_little(2, 2), tables, schedulers),
+        )
+
+    def test_one_run_per_case_and_scheduler(self, small_results):
+        suite, results = small_results
+        assert len(results.runs) == 2 * len(suite)
+        assert set(results.schedulers) == {"ex-mem", "mmkp-mdf"}
+
+    def test_mdf_energy_is_never_below_exmem(self, small_results):
+        _, results = small_results
+        for _, ratio in results.relative_energies("mmkp-mdf", "ex-mem"):
+            assert ratio >= 1.0 - 1e-9
+
+    def test_reports_render(self, small_results):
+        suite, results = small_results
+        assert "Table III" in format_table_iii(suite)
+        fig2 = format_fig2_scheduling_rate(results, ["ex-mem", "mmkp-mdf"])
+        assert "scheduling rate" in fig2
+        table4 = format_table_iv(results, ["mmkp-mdf"], "ex-mem")
+        assert "geometric mean" in table4
+        fig3 = format_fig3_scurve(results, ["mmkp-mdf"], "ex-mem")
+        assert "S-curves" in fig3
+        fig4 = format_fig4_search_time(results, ["ex-mem", "mmkp-mdf"])
+        assert "overhead" in fig4
+        # Every scheduler name appears in its report.
+        assert "mmkp-mdf" in fig2 and "mmkp-mdf" in fig4

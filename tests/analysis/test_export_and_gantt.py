@@ -1,0 +1,105 @@
+"""Tests for CSV export and the textual Gantt rendering."""
+
+import csv
+
+import pytest
+
+from repro.analysis import (
+    format_schedule_gantt,
+    write_runs_csv,
+    write_schedule_csv,
+    write_scurve_csv,
+)
+from repro.analysis.experiments import SchedulerRun, SuiteResults
+from repro.schedulers import MMKPMDFScheduler
+from repro.workload.motivational import motivational_problem
+from repro.workload.testgen import DeadlineLevel
+
+
+@pytest.fixture()
+def results():
+    runs = []
+    for index in range(3):
+        for scheduler, energy in (("ref", 2.0), ("heu", 2.0 + index)):
+            runs.append(
+                SchedulerRun(
+                    case_name=f"tc{index}",
+                    num_jobs=2,
+                    deadline_level=DeadlineLevel.WEAK,
+                    scheduler=scheduler,
+                    feasible=True,
+                    energy=energy,
+                    search_time=0.001,
+                )
+            )
+    return SuiteResults(runs)
+
+
+@pytest.fixture()
+def schedule_and_problem():
+    problem = motivational_problem("S1")
+    result = MMKPMDFScheduler().schedule(problem)
+    return result.schedule, problem
+
+
+class TestCsvExport:
+    def test_runs_csv(self, results, tmp_path):
+        path = tmp_path / "runs.csv"
+        count = write_runs_csv(results, path)
+        assert count == 6
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0][0] == "case"
+        assert len(rows) == 7
+
+    def test_scurve_csv(self, results, tmp_path):
+        path = tmp_path / "scurve.csv"
+        length = write_scurve_csv(results, ["heu"], "ref", path)
+        assert length == 3
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["rank", "heu"]
+        # The curve is sorted ascending.
+        values = [float(row[1]) for row in rows[1:]]
+        assert values == sorted(values)
+
+    def test_schedule_csv(self, schedule_and_problem, tmp_path):
+        schedule, problem = schedule_and_problem
+        path = tmp_path / "schedule.csv"
+        rows = write_schedule_csv(schedule, problem.tables, path)
+        assert rows == sum(len(segment) for segment in schedule)
+        with path.open() as handle:
+            parsed = list(csv.DictReader(handle))
+        assert {row["job"] for row in parsed} == {"sigma1", "sigma2"}
+
+    def test_infeasible_energy_is_written_as_empty(self, tmp_path):
+        run = SchedulerRun("tc", 1, DeadlineLevel.TIGHT, "x", False, float("inf"), 0.0)
+        path = tmp_path / "runs.csv"
+        write_runs_csv(SuiteResults([run]), path)
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[1][5] == ""
+
+
+class TestGantt:
+    def test_contains_every_job_row(self, schedule_and_problem):
+        schedule, _ = schedule_and_problem
+        rendered = format_schedule_gantt(schedule, None, width=40)
+        assert "sigma1" in rendered and "sigma2" in rendered
+        # Two job rows plus the header line.
+        assert len(rendered.splitlines()) == 3
+
+    def test_suspension_is_rendered_as_dots(self, schedule_and_problem):
+        schedule, _ = schedule_and_problem
+        rendered = format_schedule_gantt(schedule, None, width=40)
+        sigma1_row = next(l for l in rendered.splitlines() if "sigma1" in l)
+        # sigma1 is suspended while sigma2 runs (Fig. 1c), so its row starts
+        # with suspension dots and later shows its configuration index 6.
+        cells = sigma1_row.split("|")[1]
+        assert cells.startswith(".")
+        assert "6" in cells
+
+    def test_empty_schedule(self):
+        from repro.core.segment import Schedule
+
+        assert "empty" in format_schedule_gantt(Schedule(), None)

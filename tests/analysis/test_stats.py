@@ -1,0 +1,73 @@
+"""Tests for the statistics helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.stats import BoxplotStats, geometric_mean, percentile, s_curve
+
+
+class TestGeometricMean:
+    def test_known_values(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_is_below_arithmetic_mean(self):
+        values = [1.0, 2.0, 10.0]
+        assert geometric_mean(values) < sum(values) / len(values)
+
+    def test_empty_input_gives_nan(self):
+        assert math.isnan(geometric_mean([]))
+
+    def test_non_positive_values_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([-1.0])
+
+
+class TestSCurve:
+    def test_sorts_ascending(self):
+        assert s_curve([3.0, 1.0, 2.0]) == [1.0, 2.0, 3.0]
+
+    def test_empty(self):
+        assert s_curve([]) == []
+
+
+class TestPercentile:
+    def test_median_of_odd_sample(self):
+        assert percentile([1.0, 2.0, 9.0], 0.5) == pytest.approx(2.0)
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 0.25) == pytest.approx(2.5)
+
+    def test_bounds(self):
+        data = [1.0, 2.0, 3.0]
+        assert percentile(data, 0.0) == 1.0
+        assert percentile(data, 1.0) == 3.0
+        with pytest.raises(ValueError):
+            percentile(data, 1.5)
+
+    def test_empty_and_singleton(self):
+        assert math.isnan(percentile([], 0.5))
+        assert percentile([7.0], 0.9) == 7.0
+
+
+class TestBoxplotStats:
+    def test_five_number_summary(self):
+        stats = BoxplotStats.from_samples([5.0, 1.0, 3.0, 2.0, 4.0])
+        assert stats.minimum == 1.0
+        assert stats.maximum == 5.0
+        assert stats.median == 3.0
+        assert stats.q1 == 2.0
+        assert stats.q3 == 4.0
+        assert stats.mean == pytest.approx(3.0)
+        assert stats.count == 5
+
+    def test_requires_at_least_one_sample(self):
+        with pytest.raises(ValueError):
+            BoxplotStats.from_samples([])
+
+    def test_single_sample(self):
+        stats = BoxplotStats.from_samples([2.5])
+        assert stats.minimum == stats.maximum == stats.median == 2.5

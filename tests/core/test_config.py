@@ -1,0 +1,136 @@
+"""Tests for operating points and configuration tables."""
+
+import pytest
+
+from repro.core.config import ConfigTable, OperatingPoint, pareto_filter_points
+from repro.exceptions import ConfigurationError
+from repro.platforms.resources import ResourceVector
+
+
+def point(little, big, time, energy):
+    return OperatingPoint(ResourceVector([little, big]), time, energy)
+
+
+class TestOperatingPoint:
+    def test_derived_quantities(self):
+        p = point(2, 1, 5.0, 10.0)
+        assert p.power == pytest.approx(2.0)
+        assert p.remaining_time(0.5) == pytest.approx(2.5)
+        assert p.remaining_energy(0.25) == pytest.approx(2.5)
+        assert p.progress_of(2.5) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            point(1, 0, 0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            point(1, 0, 1.0, -1.0)
+        with pytest.raises(ConfigurationError):
+            OperatingPoint(ResourceVector([0, 0]), 1.0, 1.0)
+
+    def test_ratio_bounds_checked(self):
+        p = point(1, 0, 4.0, 2.0)
+        with pytest.raises(ConfigurationError):
+            p.remaining_time(1.5)
+        with pytest.raises(ConfigurationError):
+            p.remaining_energy(-0.1)
+        with pytest.raises(ConfigurationError):
+            p.progress_of(-1.0)
+
+    def test_dominance(self):
+        better = point(1, 0, 5.0, 5.0)
+        worse = point(1, 0, 6.0, 6.0)
+        incomparable = point(0, 1, 4.0, 7.0)
+        assert better.dominates(worse)
+        assert not worse.dominates(better)
+        assert not better.dominates(incomparable)
+        assert not incomparable.dominates(better)
+
+    def test_identical_points_do_not_dominate_each_other(self):
+        a = point(1, 0, 5.0, 5.0)
+        b = point(1, 0, 5.0, 5.0)
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+
+class TestConfigTable:
+    def _table(self):
+        return ConfigTable(
+            "app",
+            [
+                point(1, 0, 10.0, 2.0),
+                point(2, 0, 6.0, 2.5),
+                point(0, 1, 5.0, 7.0),
+                point(0, 2, 3.0, 9.0),
+            ],
+        )
+
+    def test_len_iteration_and_indexing(self):
+        table = self._table()
+        assert len(table) == 4
+        assert list(table.indices()) == [0, 1, 2, 3]
+        assert table[2].resources.counts == (0, 1)
+
+    def test_out_of_range_index_raises(self):
+        with pytest.raises(ConfigurationError):
+            self._table()[10]
+
+    def test_most_efficient_and_fastest(self):
+        table = self._table()
+        assert table.most_efficient().energy == pytest.approx(2.0)
+        assert table.fastest().execution_time == pytest.approx(3.0)
+
+    def test_fastest_fitting(self):
+        table = self._table()
+        fitting = table.fastest_fitting(ResourceVector([2, 0]))
+        assert fitting.execution_time == pytest.approx(6.0)
+        assert table.fastest_fitting(ResourceVector([0, 0])) is None
+
+    def test_feasible_indices_filters_capacity_and_deadline(self):
+        table = self._table()
+        # Budget of 5.5 s with half the work remaining: all points finish in
+        # time; capacity (2, 1) excludes the (0, 2) point.
+        indices = table.feasible_indices(
+            ResourceVector([2, 1]), remaining_ratio=0.5, time_budget=5.5
+        )
+        assert indices == [0, 1, 2]
+        # A very tight budget keeps only the fastest fitting points.
+        indices = table.feasible_indices(
+            ResourceVector([2, 2]), remaining_ratio=1.0, time_budget=3.0
+        )
+        assert indices == [3]
+
+    def test_empty_or_inconsistent_tables_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConfigTable("app", [])
+        with pytest.raises(ConfigurationError):
+            ConfigTable("", [point(1, 0, 1.0, 1.0)])
+        with pytest.raises(ConfigurationError):
+            ConfigTable(
+                "app",
+                [point(1, 0, 1.0, 1.0), OperatingPoint(ResourceVector([1]), 1.0, 1.0)],
+            )
+
+    def test_pareto_filter_drops_dominated_points(self):
+        dominated = point(2, 0, 11.0, 3.0)  # worse than the (1, 0) point in all dims
+        table = ConfigTable("app", [point(1, 0, 10.0, 2.0), dominated], pareto_filter=True)
+        assert len(table) == 1
+        assert table.is_pareto_optimal()
+
+    def test_paper_motivational_tables_are_pareto_optimal(self):
+        from repro.workload.motivational import motivational_tables
+
+        for table in motivational_tables().values():
+            assert table.is_pareto_optimal()
+
+
+class TestParetoFilterPoints:
+    def test_keeps_non_dominated_and_removes_duplicates(self):
+        a = point(1, 0, 10.0, 2.0)
+        b = point(0, 1, 5.0, 7.0)
+        duplicate = point(1, 0, 10.0, 2.0)
+        dominated = point(1, 0, 12.0, 2.5)
+        survivors = pareto_filter_points([a, b, duplicate, dominated])
+        assert survivors == [a, b]
+
+    def test_empty_input_gives_empty_output(self):
+        assert pareto_filter_points([]) == []

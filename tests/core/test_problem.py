@@ -1,0 +1,155 @@
+"""Tests for the scheduling problem container and the constraint validator."""
+
+import pytest
+
+from repro.core.config import ConfigTable, OperatingPoint
+from repro.core.problem import SchedulingProblem
+from repro.core.request import Job
+from repro.core.segment import JobMapping, MappingSegment, Schedule
+from repro.exceptions import SchedulingError
+from repro.platforms.resources import ResourceVector
+
+
+@pytest.fixture()
+def tables():
+    return {
+        "app": ConfigTable(
+            "app",
+            [
+                OperatingPoint(ResourceVector([1, 0]), 10.0, 2.0),
+                OperatingPoint(ResourceVector([2, 1]), 4.0, 6.0),
+            ],
+        )
+    }
+
+
+@pytest.fixture()
+def jobs():
+    return [
+        Job("a", "app", arrival=0.0, deadline=12.0),
+        Job("b", "app", arrival=0.0, deadline=6.0, remaining_ratio=0.5),
+    ]
+
+
+@pytest.fixture()
+def problem(tables, jobs):
+    return SchedulingProblem(ResourceVector([2, 2]), tables, jobs, now=0.0)
+
+
+class TestConstruction:
+    def test_accessors(self, problem):
+        assert problem.capacity.counts == (2, 2)
+        assert problem.now == 0.0
+        assert problem.horizon == 12.0
+        assert problem.job("a").deadline == 12.0
+        assert problem.table_for("app").application == "app"
+        assert problem.table_for(problem.job("b")) is problem.table_for("app")
+
+    def test_platform_can_be_passed_directly(self, tables, jobs):
+        from repro.platforms import big_little
+
+        problem = SchedulingProblem(big_little(2, 2), tables, jobs)
+        assert problem.capacity.counts == (2, 2)
+
+    def test_processing_capacity_follows_algorithm1_line1(self, problem):
+        # Horizon is 12 s, capacity (2, 2) -> 24 core-seconds per type.
+        assert problem.processing_capacity() == [24.0, 24.0]
+
+    def test_validation_errors(self, tables, jobs):
+        with pytest.raises(SchedulingError):
+            SchedulingProblem(ResourceVector([2, 2]), tables, [])
+        with pytest.raises(SchedulingError):
+            SchedulingProblem(ResourceVector([2, 2]), tables, jobs + [jobs[0]])
+        with pytest.raises(SchedulingError):
+            SchedulingProblem(
+                ResourceVector([2, 2]),
+                tables,
+                [Job("x", "unknown-app", 0.0, 5.0)],
+            )
+        with pytest.raises(SchedulingError):
+            # Deadline lies before the activation time.
+            SchedulingProblem(ResourceVector([2, 2]), tables, jobs, now=100.0)
+        with pytest.raises(SchedulingError):
+            # Table dimension mismatch.
+            SchedulingProblem(ResourceVector([2]), tables, jobs)
+        with pytest.raises(SchedulingError):
+            SchedulingProblem(ResourceVector([2, 2]), tables, jobs).job("missing")
+
+    def test_with_jobs_and_with_now(self, problem, jobs):
+        fewer = problem.with_jobs(jobs[:1])
+        assert len(fewer.jobs) == 1
+        later = problem.with_now(1.0)
+        assert later.now == 1.0
+
+
+class TestValidation:
+    def _valid_schedule(self, jobs):
+        # Job b (half remaining) uses the fast configuration first, then job a
+        # runs alone until its deadline — the adaptive-suspension pattern.
+        job_a, job_b = jobs
+        return Schedule(
+            [
+                MappingSegment(0.0, 2.0, [JobMapping(job_b, 1)]),
+                MappingSegment(2.0, 12.0, [JobMapping(job_a, 0)]),
+            ]
+        )
+
+    def test_none_schedule_is_infeasible(self, problem):
+        report = problem.validate(None)
+        assert not report
+        assert "no schedule" in report.violations[0]
+
+    def test_valid_schedule_passes_and_reports_energy(self, problem, jobs, tables):
+        schedule = self._valid_schedule(jobs)
+        report = problem.validate(schedule)
+        assert report.feasible, report.violations
+        assert report.energy == pytest.approx(schedule.total_energy(tables))
+
+    def test_resource_overload_is_detected(self, problem, jobs):
+        job_a, job_b = jobs
+        # Both jobs in the heavy (2, 1) configuration need (4, 2) > (2, 2).
+        schedule = Schedule(
+            [
+                MappingSegment(0.0, 2.0, [JobMapping(job_b, 1), JobMapping(job_a, 1)]),
+                MappingSegment(2.0, 4.0, [JobMapping(job_a, 1)]),
+            ]
+        )
+        report = problem.validate(schedule)
+        assert not report.feasible
+        assert any("capacity" in v for v in report.violations)
+
+    def test_incomplete_progress_is_detected(self, problem, jobs):
+        job_a, job_b = jobs
+        schedule = Schedule(
+            [MappingSegment(0.0, 2.0, [JobMapping(job_b, 1), JobMapping(job_a, 0)])]
+        )
+        report = problem.validate(schedule)
+        assert not report.feasible
+        assert any("completes" in v for v in report.violations)
+
+    def test_deadline_miss_is_detected(self, tables):
+        job = Job("late", "app", arrival=0.0, deadline=5.0)
+        problem = SchedulingProblem(ResourceVector([2, 2]), tables, [job])
+        schedule = Schedule([MappingSegment(0.0, 10.0, [JobMapping(job, 0)])])
+        report = problem.validate(schedule)
+        assert not report.feasible
+        assert any("deadline" in v for v in report.violations)
+
+    def test_unknown_job_in_schedule_is_detected(self, problem, jobs):
+        stranger = Job("stranger", "app", 0.0, 50.0)
+        schedule = Schedule(
+            [
+                MappingSegment(0.0, 2.0, [JobMapping(jobs[1], 1), JobMapping(stranger, 0)]),
+            ]
+        )
+        report = problem.validate(schedule)
+        assert not report.feasible
+        assert any("unknown" in v for v in report.violations)
+
+    def test_schedule_starting_before_now_is_detected(self, tables):
+        job = Job("a", "app", arrival=0.0, deadline=20.0, remaining_ratio=0.5)
+        problem = SchedulingProblem(ResourceVector([2, 2]), tables, [job], now=5.0)
+        schedule = Schedule([MappingSegment(0.0, 5.0, [JobMapping(job, 0)])])
+        report = problem.validate(schedule)
+        assert not report.feasible
+        assert any("before activation" in v for v in report.violations)

@@ -1,0 +1,65 @@
+"""Tests for :class:`repro.core.request.Job`."""
+
+import pytest
+
+from repro.core.request import Job
+from repro.exceptions import SchedulingError
+
+
+class TestJobConstruction:
+    def test_defaults_to_unstarted_job(self):
+        job = Job("j", "app", arrival=0.0, deadline=5.0)
+        assert job.remaining_ratio == 1.0
+        assert job.completed_ratio == 0.0
+        assert not job.is_started()
+
+    def test_validation(self):
+        with pytest.raises(SchedulingError):
+            Job("", "app", 0.0, 1.0)
+        with pytest.raises(SchedulingError):
+            Job("j", "", 0.0, 1.0)
+        with pytest.raises(SchedulingError):
+            Job("j", "app", 2.0, 1.0)
+        with pytest.raises(SchedulingError):
+            Job("j", "app", 0.0, 1.0, remaining_ratio=0.0)
+        with pytest.raises(SchedulingError):
+            Job("j", "app", 0.0, 1.0, remaining_ratio=1.5)
+
+    def test_laxity(self):
+        job = Job("j", "app", arrival=0.0, deadline=5.0)
+        assert job.laxity(2.0) == pytest.approx(3.0)
+        assert job.laxity(7.0) == pytest.approx(-2.0)
+
+
+class TestProgressUpdates:
+    def test_with_progress_reduces_remaining_ratio(self):
+        job = Job("j", "app", 0.0, 10.0)
+        progressed = job.with_progress(0.25)
+        assert progressed.remaining_ratio == pytest.approx(0.75)
+        assert progressed.is_started()
+        # The original job is unchanged (immutability).
+        assert job.remaining_ratio == 1.0
+
+    def test_with_progress_to_completion(self):
+        job = Job("j", "app", 0.0, 10.0, remaining_ratio=0.3)
+        finished = job.with_progress(0.3)
+        assert finished.is_finished()
+
+    def test_with_progress_beyond_remaining_raises(self):
+        job = Job("j", "app", 0.0, 10.0, remaining_ratio=0.3)
+        with pytest.raises(SchedulingError):
+            job.with_progress(0.4)
+
+    def test_negative_progress_raises(self):
+        job = Job("j", "app", 0.0, 10.0)
+        with pytest.raises(SchedulingError):
+            job.with_progress(-0.1)
+
+    def test_with_remaining_replaces_ratio(self):
+        job = Job("j", "app", 0.0, 10.0)
+        assert job.with_remaining(0.4).remaining_ratio == pytest.approx(0.4)
+
+    def test_is_finished_tolerance(self):
+        job = Job("j", "app", 0.0, 10.0, remaining_ratio=1e-7)
+        assert job.is_finished()
+        assert not Job("j", "app", 0.0, 10.0, remaining_ratio=0.5).is_finished()

@@ -1,0 +1,186 @@
+"""Tests for job mappings, mapping segments and schedules."""
+
+import pytest
+
+from repro.core.config import ConfigTable, OperatingPoint
+from repro.core.request import Job
+from repro.core.segment import JobMapping, MappingSegment, Schedule
+from repro.exceptions import SchedulingError
+from repro.platforms.resources import ResourceVector
+
+
+@pytest.fixture()
+def tables():
+    return {
+        "app": ConfigTable(
+            "app",
+            [
+                OperatingPoint(ResourceVector([1, 0]), 10.0, 2.0),
+                OperatingPoint(ResourceVector([2, 1]), 4.0, 6.0),
+            ],
+        )
+    }
+
+
+@pytest.fixture()
+def job():
+    return Job("j1", "app", arrival=0.0, deadline=20.0)
+
+
+@pytest.fixture()
+def other_job():
+    return Job("j2", "app", arrival=0.0, deadline=20.0)
+
+
+class TestJobMapping:
+    def test_accessors(self, job):
+        mapping = JobMapping(job, 1)
+        assert mapping.job_name == "j1"
+        assert mapping.application == "app"
+
+    def test_operating_point_resolution(self, job, tables):
+        assert JobMapping(job, 1).operating_point(tables).execution_time == 4.0
+
+    def test_unknown_application_raises(self, tables):
+        mapping = JobMapping(Job("x", "ghost", 0.0, 5.0), 0)
+        with pytest.raises(SchedulingError):
+            mapping.operating_point(tables)
+
+    def test_negative_config_index_rejected(self, job):
+        with pytest.raises(SchedulingError):
+            JobMapping(job, -1)
+
+
+class TestMappingSegment:
+    def test_duration_and_queries(self, job, tables):
+        segment = MappingSegment(1.0, 3.0, [JobMapping(job, 0)])
+        assert segment.duration == pytest.approx(2.0)
+        assert segment.job_names() == {"j1"}
+        assert segment.mapping_for("j1").config_index == 0
+        assert segment.mapping_for("missing") is None
+
+    def test_resource_usage_and_energy(self, job, other_job, tables):
+        segment = MappingSegment(
+            0.0, 2.0, [JobMapping(job, 0), JobMapping(other_job, 1)]
+        )
+        assert segment.resource_usage(tables, 2).counts == (3, 1)
+        # Energy: 2 J * 2/10 + 6 J * 2/4 = 0.4 + 3.0
+        assert segment.energy(tables) == pytest.approx(3.4)
+
+    def test_progress_of(self, job, tables):
+        segment = MappingSegment(0.0, 2.0, [JobMapping(job, 0)])
+        assert segment.progress_of("j1", tables) == pytest.approx(0.2)
+        assert segment.progress_of("absent", tables) == 0.0
+
+    def test_invalid_interval_rejected(self, job):
+        with pytest.raises(SchedulingError):
+            MappingSegment(2.0, 2.0, [JobMapping(job, 0)])
+        with pytest.raises(SchedulingError):
+            MappingSegment(3.0, 2.0, [JobMapping(job, 0)])
+
+    def test_duplicate_job_mapping_rejected(self, job):
+        with pytest.raises(SchedulingError):
+            MappingSegment(0.0, 1.0, [JobMapping(job, 0), JobMapping(job, 1)])
+
+    def test_with_mapping_adds_and_rejects_duplicates(self, job, other_job):
+        segment = MappingSegment(0.0, 1.0, [JobMapping(job, 0)])
+        extended = segment.with_mapping(JobMapping(other_job, 1))
+        assert extended.job_names() == {"j1", "j2"}
+        with pytest.raises(SchedulingError):
+            extended.with_mapping(JobMapping(job, 1))
+
+    def test_split_at(self, job):
+        segment = MappingSegment(0.0, 4.0, [JobMapping(job, 0)])
+        first, second = segment.split_at(1.5)
+        assert (first.start, first.end) == (0.0, 1.5)
+        assert (second.start, second.end) == (1.5, 4.0)
+        assert first.job_names() == second.job_names() == {"j1"}
+
+    def test_split_outside_interval_rejected(self, job):
+        segment = MappingSegment(0.0, 4.0, [JobMapping(job, 0)])
+        with pytest.raises(SchedulingError):
+            segment.split_at(0.0)
+        with pytest.raises(SchedulingError):
+            segment.split_at(4.0)
+
+
+class TestSchedule:
+    def _schedule(self, job, other_job):
+        return Schedule(
+            [
+                MappingSegment(0.0, 2.0, [JobMapping(job, 1)]),
+                MappingSegment(2.0, 5.0, [JobMapping(job, 0), JobMapping(other_job, 0)]),
+            ]
+        )
+
+    def test_ordering_and_bounds(self, job, other_job):
+        schedule = self._schedule(job, other_job)
+        assert schedule.start == 0.0
+        assert schedule.end == 5.0
+        assert schedule.makespan == 5.0
+        assert schedule.is_contiguous()
+        assert len(schedule) == 2
+
+    def test_empty_schedule(self):
+        schedule = Schedule()
+        assert not schedule
+        assert schedule.end == 0.0
+        assert schedule.job_names() == set()
+
+    def test_overlapping_segments_rejected(self, job):
+        with pytest.raises(SchedulingError):
+            Schedule(
+                [
+                    MappingSegment(0.0, 2.0, [JobMapping(job, 0)]),
+                    MappingSegment(1.0, 3.0, [JobMapping(job, 0)]),
+                ]
+            )
+
+    def test_segments_are_sorted_by_start(self, job, other_job):
+        schedule = Schedule(
+            [
+                MappingSegment(2.0, 5.0, [JobMapping(other_job, 0)]),
+                MappingSegment(0.0, 2.0, [JobMapping(job, 0)]),
+            ]
+        )
+        assert [s.start for s in schedule] == [0.0, 2.0]
+
+    def test_job_queries(self, job, other_job, tables):
+        schedule = self._schedule(job, other_job)
+        assert schedule.job_names() == {"j1", "j2"}
+        assert schedule.completion_time("j1") == pytest.approx(5.0)
+        assert schedule.completion_time("j2") == pytest.approx(5.0)
+        assert schedule.completion_time("missing") is None
+        # j1 runs config 1 for 2 s (2/4 progress) then config 0 for 3 s (3/10).
+        assert schedule.total_progress("j1", tables) == pytest.approx(0.8)
+        assert schedule.configuration_changes("j1") == 1
+        assert schedule.configuration_changes("j2") == 0
+
+    def test_total_energy(self, job, other_job, tables):
+        schedule = self._schedule(job, other_job)
+        expected = 6.0 * 2 / 4 + 2.0 * 3 / 10 + 2.0 * 3 / 10
+        assert schedule.total_energy(tables) == pytest.approx(expected)
+
+    def test_with_segment_and_replace_segment(self, job, other_job):
+        schedule = Schedule([MappingSegment(0.0, 2.0, [JobMapping(job, 0)])])
+        extended = schedule.with_segment(MappingSegment(2.0, 3.0, [JobMapping(other_job, 0)]))
+        assert len(extended) == 2
+        target = extended.segments[0]
+        replaced = extended.replace_segment(
+            target, target.split_at(1.0)
+        )
+        assert len(replaced) == 3
+        with pytest.raises(SchedulingError):
+            extended.replace_segment(MappingSegment(9.0, 10.0, []), [])
+
+    def test_truncation(self, job, other_job):
+        schedule = self._schedule(job, other_job)
+        tail = schedule.truncated_before(3.0)
+        assert tail.start == pytest.approx(3.0)
+        assert tail.end == pytest.approx(5.0)
+        head = schedule.truncated_after(3.0)
+        assert head.start == pytest.approx(0.0)
+        assert head.end == pytest.approx(3.0)
+        # Truncating outside the schedule returns everything / nothing.
+        assert schedule.truncated_before(0.0) == schedule
+        assert len(schedule.truncated_after(0.0)) == 0

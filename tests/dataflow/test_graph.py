@@ -1,0 +1,116 @@
+"""Tests for KPN graphs and the synthetic paper applications."""
+
+import pytest
+
+from repro.dataflow import (
+    Channel,
+    KPNGraph,
+    Process,
+    audio_filter,
+    paper_applications,
+    pedestrian_recognition,
+    speaker_recognition,
+)
+from repro.exceptions import DataflowError
+
+
+def simple_graph():
+    return KPNGraph(
+        "pipe",
+        [Process("a", 1e9), Process("b", 2e9), Process("c", 3e9)],
+        [Channel("c0", "a", "b", 1e6), Channel("c1", "b", "c", 2e6)],
+    )
+
+
+class TestProcessAndChannel:
+    def test_process_validation(self):
+        with pytest.raises(DataflowError):
+            Process("", 1e9)
+        with pytest.raises(DataflowError):
+            Process("p", 0.0)
+
+    def test_channel_validation(self):
+        with pytest.raises(DataflowError):
+            Channel("", "a", "b", 1.0)
+        with pytest.raises(DataflowError):
+            Channel("c", "a", "a", 1.0)
+        with pytest.raises(DataflowError):
+            Channel("c", "a", "b", -1.0)
+
+
+class TestKPNGraph:
+    def test_accessors(self):
+        graph = simple_graph()
+        assert graph.num_processes == 3
+        assert graph.process_names == ("a", "b", "c")
+        assert graph.process("b").cycles == 2e9
+        assert graph.total_cycles == pytest.approx(6e9)
+        assert graph.total_bytes == pytest.approx(3e6)
+
+    def test_topology_queries(self):
+        graph = simple_graph()
+        assert graph.successors("a") == ("b",)
+        assert graph.predecessors("c") == ("b",)
+        assert graph.channels_between("a", "b")[0].name == "c0"
+        assert graph.channels_between("a", "c") == ()
+        assert graph.is_connected()
+
+    def test_disconnected_graph_is_detected(self):
+        graph = KPNGraph("split", [Process("a", 1e9), Process("b", 1e9)], [])
+        assert not graph.is_connected()
+
+    def test_validation(self):
+        with pytest.raises(DataflowError):
+            KPNGraph("", [Process("a", 1e9)])
+        with pytest.raises(DataflowError):
+            KPNGraph("g", [])
+        with pytest.raises(DataflowError):
+            KPNGraph("g", [Process("a", 1e9), Process("a", 2e9)])
+        with pytest.raises(DataflowError):
+            KPNGraph("g", [Process("a", 1e9)], [Channel("c", "a", "ghost", 1.0)])
+        with pytest.raises(DataflowError):
+            KPNGraph(
+                "g",
+                [Process("a", 1e9), Process("b", 1e9)],
+                [Channel("c", "a", "b", 1.0), Channel("c", "a", "b", 1.0)],
+            )
+        with pytest.raises(DataflowError):
+            simple_graph().process("ghost")
+
+    def test_scaling_preserves_structure(self):
+        graph = simple_graph()
+        scaled = graph.scaled(2.0)
+        assert scaled.total_cycles == pytest.approx(2 * graph.total_cycles)
+        assert scaled.total_bytes == pytest.approx(2 * graph.total_bytes)
+        assert scaled.process_names == graph.process_names
+        with pytest.raises(DataflowError):
+            graph.scaled(0.0)
+
+
+class TestPaperApplications:
+    def test_process_counts_match_the_paper(self):
+        assert speaker_recognition().graph.num_processes == 8
+        assert audio_filter().graph.num_processes == 8
+        assert pedestrian_recognition().graph.num_processes == 6
+
+    def test_graphs_are_connected(self):
+        for model in paper_applications().values():
+            assert model.graph.is_connected()
+
+    def test_input_size_variants(self):
+        model = audio_filter()
+        variants = model.variants()
+        assert set(variants) == {
+            "audio_filter/small",
+            "audio_filter/medium",
+            "audio_filter/large",
+        }
+        small = model.variant("small")
+        large = model.variant("large")
+        assert large.total_cycles > small.total_cycles
+        with pytest.raises(DataflowError):
+            model.variant("gigantic")
+
+    def test_custom_input_sizes(self):
+        model = speaker_recognition(input_sizes={"tiny": 0.1})
+        assert list(model.variants()) == ["speaker_recognition/tiny"]

@@ -1,0 +1,73 @@
+"""Tests for trace synthesis."""
+
+import pytest
+
+from repro.dataflow import TraceGenerator, speaker_recognition
+from repro.dataflow.trace import ProcessTrace, TraceSegment, merge_traces
+from repro.exceptions import DataflowError
+
+
+class TestTraceSegment:
+    def test_validation(self):
+        with pytest.raises(DataflowError):
+            TraceSegment(-1.0)
+        with pytest.raises(DataflowError):
+            TraceSegment(1.0, bytes_read=-1.0)
+
+
+class TestProcessTrace:
+    def test_totals(self):
+        trace = ProcessTrace("p", [TraceSegment(10.0, 1.0, 2.0), TraceSegment(20.0)])
+        assert trace.total_cycles == pytest.approx(30.0)
+        assert trace.total_bytes == pytest.approx(3.0)
+        assert len(trace) == 2
+
+    def test_validation(self):
+        with pytest.raises(DataflowError):
+            ProcessTrace("", [TraceSegment(1.0)])
+        with pytest.raises(DataflowError):
+            ProcessTrace("p", [])
+
+
+class TestTraceGenerator:
+    def test_one_trace_per_process(self):
+        graph = speaker_recognition().graph
+        traces = TraceGenerator(iterations=10, seed=1).generate(graph)
+        assert set(traces) == set(graph.process_names)
+        assert all(len(trace) == 10 for trace in traces.values())
+
+    def test_totals_match_the_graph(self):
+        graph = speaker_recognition().graph
+        traces = TraceGenerator(iterations=25, jitter=0.3, seed=4).generate(graph)
+        for process in graph:
+            assert traces[process.name].total_cycles == pytest.approx(
+                process.cycles, rel=1e-9
+            )
+
+    def test_generation_is_deterministic_per_seed(self):
+        graph = speaker_recognition().graph
+        first = TraceGenerator(iterations=10, seed=3).generate(graph)
+        second = TraceGenerator(iterations=10, seed=3).generate(graph)
+        other = TraceGenerator(iterations=10, seed=4).generate(graph)
+        name = graph.process_names[0]
+        assert first[name].segments == second[name].segments
+        assert first[name].segments != other[name].segments
+
+    def test_zero_jitter_gives_equal_segments(self):
+        graph = speaker_recognition().graph
+        traces = TraceGenerator(iterations=5, jitter=0.0, seed=0).generate(graph)
+        for trace in traces.values():
+            cycles = [segment.cycles for segment in trace]
+            assert max(cycles) == pytest.approx(min(cycles))
+
+    def test_parameter_validation(self):
+        with pytest.raises(DataflowError):
+            TraceGenerator(iterations=0)
+        with pytest.raises(DataflowError):
+            TraceGenerator(jitter=1.5)
+
+    def test_merge_traces(self):
+        graph = speaker_recognition().graph
+        traces = TraceGenerator(iterations=5, seed=1).generate(graph)
+        totals = merge_traces(traces)
+        assert totals["fft"] == pytest.approx(graph.process("fft").cycles)

@@ -1,0 +1,112 @@
+"""Tests for Pareto filtering and the design-space explorer."""
+
+import pytest
+
+from repro.dataflow import audio_filter, pedestrian_recognition
+from repro.dse import DesignSpaceExplorer, pareto_front, paper_operating_points, reduced_tables
+from repro.exceptions import MappingError
+from repro.platforms import big_little, odroid_xu4
+from repro.platforms.resources import ResourceVector
+
+
+class TestParetoFront:
+    def test_drops_dominated_points(self):
+        points = [(1, 5), (2, 2), (3, 3), (2, 6)]
+        assert pareto_front(points, objectives=lambda p: p) == [(1, 5), (2, 2)]
+
+    def test_keeps_everything_when_nothing_dominates(self):
+        points = [(1, 3), (2, 2), (3, 1)]
+        assert pareto_front(points, objectives=lambda p: p) == points
+
+    def test_collapses_exact_duplicates(self):
+        points = [(1, 1), (1, 1)]
+        assert pareto_front(points, objectives=lambda p: p) == [(1, 1)]
+
+    def test_works_with_custom_objectives(self):
+        items = [{"cost": 4, "time": 1}, {"cost": 1, "time": 9}, {"cost": 5, "time": 5}]
+        front = pareto_front(items, objectives=lambda d: (d["cost"], d["time"]))
+        assert {f["cost"] for f in front} == {4, 1}
+
+    def test_mixed_objective_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            pareto_front([(1,), (1, 2)], objectives=lambda p: p)
+
+    def test_empty_input(self):
+        assert pareto_front([], objectives=lambda p: p) == []
+
+
+class TestDesignSpaceExplorer:
+    @pytest.fixture(scope="class")
+    def explorer(self):
+        return DesignSpaceExplorer(odroid_xu4())
+
+    def test_evaluate_single_allocation(self, explorer):
+        result = explorer.evaluate_allocation(
+            audio_filter().graph, ResourceVector([2, 1])
+        )
+        assert result.operating_point.execution_time == pytest.approx(
+            result.simulation.execution_time
+        )
+        assert result.operating_point.resources.fits_into(ResourceVector([2, 1]))
+
+    def test_explore_all_skips_oversized_allocations(self):
+        explorer = DesignSpaceExplorer(odroid_xu4())
+        graph = pedestrian_recognition().graph  # 6 processes
+        results = explorer.explore_all(graph)
+        assert all(r.allocation.total <= graph.num_processes for r in results)
+
+    def test_explore_returns_pareto_optimal_table(self, explorer):
+        table = explorer.explore(audio_filter().graph)
+        assert len(table) > 4
+        assert table.is_pareto_optimal()
+        # The table must contain little-only and big-containing points.
+        assert any(p.resources[1] == 0 for p in table)
+        assert any(p.resources[1] > 0 for p in table)
+
+    def test_allocation_limit_is_validated(self):
+        with pytest.raises(MappingError):
+            DesignSpaceExplorer(big_little(2, 2), max_cores_per_type=[4, 4])
+
+    def test_allocation_limit_restricts_the_search(self):
+        limited = DesignSpaceExplorer(odroid_xu4(), max_cores_per_type=[1, 1])
+        table = limited.explore(audio_filter().graph)
+        assert all(p.resources.fits_into(ResourceVector([1, 1])) for p in table)
+
+
+class TestPaperTables:
+    def test_tables_cover_all_applications_and_sizes(self, paper_tables):
+        applications = {name.split("/")[0] for name in paper_tables}
+        assert applications == {
+            "speaker_recognition",
+            "audio_filter",
+            "pedestrian_recognition",
+        }
+        sizes = {name.split("/")[1] for name in paper_tables}
+        assert sizes == {"small", "medium", "large"}
+
+    def test_tables_have_realistic_sizes(self, paper_tables):
+        # The paper reports 28-36 Pareto points per application (summed over
+        # input sizes); our synthetic DSE should land in the same order of
+        # magnitude: at least a handful of points per variant.
+        for name, table in paper_tables.items():
+            assert 4 <= len(table) <= 40, name
+
+    def test_size_filter(self):
+        tables = paper_operating_points(input_sizes=("medium",))
+        assert all(name.endswith("/medium") for name in tables)
+
+    def test_reduced_tables_keep_extremes(self, paper_tables):
+        reduced = reduced_tables(paper_tables, max_points=5)
+        for name, table in reduced.items():
+            full = paper_tables[name]
+            assert len(table) <= 5
+            reduced_fastest = min(p.execution_time for p in table)
+            reduced_cheapest = min(p.energy for p in table)
+            assert reduced_fastest == pytest.approx(
+                min(p.execution_time for p in full)
+            )
+            assert reduced_cheapest == pytest.approx(min(p.energy for p in full))
+
+    def test_reduced_tables_validation(self, paper_tables):
+        with pytest.raises(ValueError):
+            reduced_tables(paper_tables, max_points=0)

@@ -1,0 +1,75 @@
+"""Additional tests for table reduction and DSE determinism."""
+
+import pytest
+
+from repro.core.config import ConfigTable, OperatingPoint
+from repro.dse import DesignSpaceExplorer, reduced_tables
+from repro.dataflow import audio_filter
+from repro.platforms import odroid_xu4
+from repro.platforms.resources import ResourceVector
+
+
+def synthetic_table(num_points: int = 12) -> ConfigTable:
+    """A synthetic Pareto-like front: time decreases, energy increases."""
+    points = [
+        OperatingPoint(
+            ResourceVector([1 + i % 4, i % 3]),
+            execution_time=20.0 - i,
+            energy=1.0 + 0.5 * i,
+        )
+        for i in range(num_points)
+    ]
+    return ConfigTable("synthetic", points)
+
+
+class TestReducedTables:
+    def test_small_tables_pass_through_unchanged(self):
+        table = synthetic_table(3)
+        result = reduced_tables({"synthetic": table}, max_points=8)
+        assert result["synthetic"] is table
+
+    def test_cap_is_respected(self):
+        table = synthetic_table(12)
+        for cap in (1, 2, 3, 5, 8):
+            reduced = reduced_tables({"synthetic": table}, max_points=cap)["synthetic"]
+            assert len(reduced) <= cap + 1  # the cheapest point may be re-added
+            assert len(reduced) >= min(cap, len(table))
+
+    def test_reduction_keeps_fastest_and_cheapest(self):
+        table = synthetic_table(12)
+        reduced = reduced_tables({"synthetic": table}, max_points=4)["synthetic"]
+        assert min(p.execution_time for p in reduced) == pytest.approx(
+            min(p.execution_time for p in table)
+        )
+        assert min(p.energy for p in reduced) == pytest.approx(
+            min(p.energy for p in table)
+        )
+
+    def test_selected_points_come_from_the_original_table(self):
+        table = synthetic_table(12)
+        reduced = reduced_tables({"synthetic": table}, max_points=5)["synthetic"]
+        assert all(point in table.points for point in reduced)
+
+    def test_cap_of_one_keeps_the_most_efficient_point(self):
+        table = synthetic_table(6)
+        reduced = reduced_tables({"synthetic": table}, max_points=1)["synthetic"]
+        assert len(reduced) == 1
+        assert reduced[0].energy == pytest.approx(min(p.energy for p in table))
+
+
+class TestExplorerDeterminism:
+    def test_exploring_twice_gives_identical_tables(self):
+        graph = audio_filter().graph
+        first = DesignSpaceExplorer(odroid_xu4()).explore(graph)
+        second = DesignSpaceExplorer(odroid_xu4()).explore(graph)
+        assert first == second
+
+    def test_larger_inputs_shift_the_front_up(self):
+        model = audio_filter()
+        explorer = DesignSpaceExplorer(odroid_xu4())
+        small = explorer.explore(model.variant("small"))
+        large = explorer.explore(model.variant("large"))
+        assert min(p.execution_time for p in large) > min(
+            p.execution_time for p in small
+        )
+        assert min(p.energy for p in large) > min(p.energy for p in small)

@@ -1,0 +1,129 @@
+"""Tests for JSON serialization round-trips."""
+
+import pytest
+
+from repro.core.request import Job
+from repro.exceptions import SerializationError
+from repro.io import (
+    config_table_from_dict,
+    config_table_to_dict,
+    job_from_dict,
+    job_to_dict,
+    load_json,
+    platform_from_dict,
+    platform_to_dict,
+    request_trace_from_dict,
+    request_trace_to_dict,
+    save_json,
+    schedule_to_dict,
+    tables_from_dict,
+    tables_to_dict,
+)
+# Aliased so pytest does not try to collect the library functions as tests.
+from repro.io import test_case_from_dict as case_from_dict
+from repro.io import test_case_to_dict as case_to_dict
+from repro.platforms import odroid_xu4
+from repro.runtime import RequestEvent, RequestTrace
+from repro.schedulers import MMKPMDFScheduler
+from repro.workload.motivational import motivational_problem, motivational_tables
+from repro.workload.testgen import DeadlineLevel, TestCaseGenerator
+
+
+class TestPlatformRoundTrip:
+    def test_round_trip_preserves_everything(self):
+        original = odroid_xu4()
+        restored = platform_from_dict(platform_to_dict(original))
+        assert restored.name == original.name
+        assert restored.core_counts == original.core_counts
+        assert restored.type_names == original.type_names
+        for name in original.type_names:
+            assert restored.processor_type(name).performance_factor == pytest.approx(
+                original.processor_type(name).performance_factor
+            )
+
+    def test_missing_field_raises(self):
+        data = platform_to_dict(odroid_xu4())
+        del data["core_counts"]
+        with pytest.raises(SerializationError):
+            platform_from_dict(data)
+
+
+class TestTableRoundTrip:
+    def test_single_table(self):
+        table = motivational_tables()["lambda1"]
+        restored = config_table_from_dict(config_table_to_dict(table))
+        assert restored == table
+
+    def test_table_mapping(self):
+        tables = motivational_tables()
+        restored = tables_from_dict(tables_to_dict(tables))
+        assert set(restored) == set(tables)
+        assert restored["lambda2"] == tables["lambda2"]
+
+    def test_key_mismatch_detected(self):
+        tables = motivational_tables()
+        data = tables_to_dict(tables)
+        data["wrong_key"] = data.pop("lambda1")
+        with pytest.raises(SerializationError):
+            tables_from_dict(data)
+
+
+class TestJobAndTestCaseRoundTrip:
+    def test_job(self):
+        job = Job("j", "lambda1", arrival=1.0, deadline=9.0, remaining_ratio=0.4)
+        assert job_from_dict(job_to_dict(job)) == job
+
+    def test_job_defaults_remaining_ratio(self):
+        data = job_to_dict(Job("j", "lambda1", 0.0, 5.0))
+        del data["remaining_ratio"]
+        assert job_from_dict(data).remaining_ratio == 1.0
+
+    def test_test_case(self):
+        generator = TestCaseGenerator(motivational_tables(), seed=2)
+        case = generator.generate_case(3, DeadlineLevel.TIGHT)
+        restored = case_from_dict(case_to_dict(case))
+        assert restored.name == case.name
+        assert restored.deadline_level is case.deadline_level
+        assert restored.jobs == case.jobs
+
+    def test_bad_deadline_level_rejected(self):
+        generator = TestCaseGenerator(motivational_tables(), seed=2)
+        data = case_to_dict(generator.generate_case(1, DeadlineLevel.WEAK))
+        data["deadline_level"] = "impossible"
+        with pytest.raises(SerializationError):
+            case_from_dict(data)
+
+
+class TestTraceAndScheduleSerialization:
+    def test_request_trace_round_trip(self):
+        trace = RequestTrace(
+            [RequestEvent(0.0, "lambda1", 9.0, "a"), RequestEvent(1.0, "lambda2", 4.0, "b")]
+        )
+        restored = request_trace_from_dict(request_trace_to_dict(trace))
+        assert [e.name for e in restored] == ["a", "b"]
+        assert restored[1].absolute_deadline == pytest.approx(5.0)
+
+    def test_schedule_export(self):
+        problem = motivational_problem("S1")
+        result = MMKPMDFScheduler().schedule(problem)
+        exported = schedule_to_dict(result.schedule)
+        assert len(exported["segments"]) == len(result.schedule)
+        first = exported["segments"][0]
+        assert {"start", "end", "mappings"} <= set(first)
+
+
+class TestFileHelpers:
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "nested" / "data.json"
+        save_json({"answer": 42}, path)
+        assert load_json(path) == {"answer": 42}
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_json(tmp_path / "nothing.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(SerializationError):
+            load_json(path)

@@ -1,0 +1,57 @@
+"""Tests for the MMKP problem/solution containers."""
+
+import pytest
+
+from repro.exceptions import SchedulingError
+from repro.knapsack import MMKPItem, MMKPProblem, MMKPSolution
+
+
+def small_problem():
+    return MMKPProblem(
+        capacities=[4.0, 2.0],
+        groups=[
+            [MMKPItem(3.0, (2.0, 1.0), label="a0"), MMKPItem(1.0, (1.0, 0.0), label="a1")],
+            [MMKPItem(4.0, (3.0, 1.0), label="b0"), MMKPItem(2.0, (1.0, 1.0), label="b1")],
+        ],
+    )
+
+
+class TestMMKPItem:
+    def test_negative_weights_rejected(self):
+        with pytest.raises(SchedulingError):
+            MMKPItem(1.0, (-1.0,))
+
+    def test_label_is_preserved(self):
+        assert MMKPItem(1.0, (0.0,), label=7).label == 7
+
+
+class TestMMKPProblem:
+    def test_dimensions_and_groups(self):
+        problem = small_problem()
+        assert problem.num_groups == 2
+        assert problem.num_dimensions == 2
+        assert problem.capacities == (4.0, 2.0)
+
+    def test_validation(self):
+        with pytest.raises(SchedulingError):
+            MMKPProblem([-1.0], [[MMKPItem(1.0, (0.0,))]])
+        with pytest.raises(SchedulingError):
+            MMKPProblem([1.0], [])
+        with pytest.raises(SchedulingError):
+            MMKPProblem([1.0], [[]])
+        with pytest.raises(SchedulingError):
+            MMKPProblem([1.0], [[MMKPItem(1.0, (0.0, 0.0))]])
+
+    def test_feasibility_value_and_weights(self):
+        problem = small_problem()
+        assert problem.is_feasible([1, 1])
+        assert not problem.is_feasible([0, 0])  # weights (5, 2) exceed (4, 2)
+        assert not problem.is_feasible([0])  # wrong length
+        assert problem.value_of([0, 1]) == pytest.approx(5.0)
+        assert problem.weights_of([0, 1]) == pytest.approx((3.0, 2.0))
+
+
+class TestMMKPSolution:
+    def test_truthiness_follows_feasibility(self):
+        assert MMKPSolution((0, 1), 5.0, True)
+        assert not MMKPSolution(None, float("-inf"), False)

@@ -1,0 +1,108 @@
+"""Tests for core allocation, process mappings and the LPT balancer."""
+
+import pytest
+
+from repro.dataflow import audio_filter, pedestrian_recognition
+from repro.exceptions import MappingError
+from repro.mapping import Core, ProcessMapping, allocation_cores, balance_processes
+from repro.mapping.mapping import cores_of_platform
+from repro.platforms import odroid_xu4
+from repro.platforms.resources import ResourceVector
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return odroid_xu4()
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return audio_filter().graph
+
+
+class TestCore:
+    def test_name_and_validation(self, platform):
+        core = Core(platform.processor_type("A15"), 2)
+        assert core.name == "A15.2"
+        with pytest.raises(MappingError):
+            Core(platform.processor_type("A15"), -1)
+
+
+class TestAllocationCores:
+    def test_materialises_the_requested_cores(self, platform):
+        cores = allocation_cores(platform, [2, 1])
+        assert [c.name for c in cores] == ["A7.0", "A7.1", "A15.0"]
+
+    def test_accepts_resource_vectors(self, platform):
+        cores = allocation_cores(platform, ResourceVector([0, 2]))
+        assert [c.name for c in cores] == ["A15.0", "A15.1"]
+
+    def test_validation(self, platform):
+        with pytest.raises(MappingError):
+            allocation_cores(platform, [5, 0])
+        with pytest.raises(MappingError):
+            allocation_cores(platform, [1])
+
+    def test_cores_of_platform_lists_every_core(self, platform):
+        cores = cores_of_platform(platform)
+        assert len(cores) == platform.total_cores
+        assert len({c.name for c in cores}) == platform.total_cores
+
+
+class TestBalanceProcesses:
+    def test_every_process_is_assigned(self, platform, graph):
+        cores = allocation_cores(platform, [2, 2])
+        mapping = balance_processes(graph, platform, cores)
+        assert set(mapping.assignment) == set(graph.process_names)
+        assert mapping.demand.fits_into(ResourceVector([2, 2]))
+
+    def test_single_core_mapping_uses_one_core(self, platform, graph):
+        cores = allocation_cores(platform, [1, 0])
+        mapping = balance_processes(graph, platform, cores)
+        assert mapping.demand.counts == (1, 0)
+        assert mapping.used_cores()[0].name == "A7.0"
+
+    def test_heaviest_process_lands_on_a_fast_core(self, platform):
+        graph = pedestrian_recognition().graph
+        cores = allocation_cores(platform, [1, 1])
+        mapping = balance_processes(graph, platform, cores)
+        heaviest = max(graph.processes, key=lambda p: p.cycles)
+        assert mapping.core_of(heaviest.name).processor_type.name == "A15"
+
+    def test_balancing_spreads_load(self, platform, graph):
+        cores = allocation_cores(platform, [0, 4])
+        mapping = balance_processes(graph, platform, cores)
+        per_core = [len(mapping.processes_on(core)) for core in mapping.used_cores()]
+        assert max(per_core) - min(per_core) <= 2
+
+    def test_empty_core_set_rejected(self, platform, graph):
+        with pytest.raises(MappingError):
+            balance_processes(graph, platform, [])
+
+
+class TestProcessMapping:
+    def test_validation(self, platform, graph):
+        cores = allocation_cores(platform, [1, 1])
+        good = balance_processes(graph, platform, cores)
+        assignment = good.assignment
+
+        with pytest.raises(MappingError):
+            ProcessMapping(graph, platform, {})  # nothing assigned
+        with pytest.raises(MappingError):
+            bogus = dict(assignment)
+            bogus["ghost"] = cores[0]
+            ProcessMapping(graph, platform, bogus)
+        with pytest.raises(MappingError):
+            bogus = dict(assignment)
+            bogus[graph.process_names[0]] = Core(platform.processor_type("A15"), 9)
+            ProcessMapping(graph, platform, bogus)
+        with pytest.raises(MappingError):
+            good.core_of("ghost")
+
+    def test_queries(self, platform, graph):
+        cores = allocation_cores(platform, [1, 1])
+        mapping = balance_processes(graph, platform, cores)
+        used = mapping.used_cores()
+        assert 1 <= len(used) <= 2
+        total = sum(len(mapping.processes_on(core)) for core in used)
+        assert total == graph.num_processes

@@ -1,0 +1,87 @@
+"""Tests for the trace-driven mapping simulator."""
+
+import pytest
+
+from repro.dataflow import TraceGenerator, audio_filter, speaker_recognition
+from repro.exceptions import MappingError
+from repro.mapping import MappingSimulator, allocation_cores, balance_processes
+from repro.platforms import odroid_xu4
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return odroid_xu4()
+
+
+def mapping_for(platform, allocation, graph=None):
+    graph = graph or audio_filter().graph
+    return balance_processes(graph, platform, allocation_cores(platform, allocation))
+
+
+class TestSimulationBasics:
+    def test_returns_positive_time_and_energy(self, platform):
+        result = MappingSimulator().simulate(mapping_for(platform, [0, 2]))
+        assert result.execution_time > 0
+        assert result.energy > 0
+        assert result.average_power > 0
+
+    def test_simulation_is_deterministic(self, platform):
+        simulator = MappingSimulator(TraceGenerator(seed=5))
+        first = simulator.simulate(mapping_for(platform, [2, 1]))
+        second = simulator.simulate(mapping_for(platform, [2, 1]))
+        assert first.execution_time == pytest.approx(second.execution_time)
+        assert first.energy == pytest.approx(second.energy)
+
+    def test_missing_traces_detected(self, platform):
+        mapping = mapping_for(platform, [1, 1])
+        traces = TraceGenerator(seed=1).generate(speaker_recognition().graph)
+        with pytest.raises(MappingError):
+            MappingSimulator().simulate(mapping, traces=traces)
+
+    def test_parameter_validation(self):
+        with pytest.raises(MappingError):
+            MappingSimulator(bandwidth_bytes_per_s=0.0)
+        with pytest.raises(MappingError):
+            MappingSimulator(energy_per_byte=-1.0)
+
+
+class TestBigLittleTradeOffs:
+    """The simulator must reproduce the qualitative shapes of Table II."""
+
+    def test_more_cores_are_faster(self, platform):
+        simulator = MappingSimulator(TraceGenerator(seed=3))
+        one_little = simulator.simulate(mapping_for(platform, [1, 0]))
+        four_little = simulator.simulate(mapping_for(platform, [4, 0]))
+        assert four_little.execution_time < one_little.execution_time
+
+    def test_big_cores_are_faster_but_less_efficient_than_little(self, platform):
+        simulator = MappingSimulator(TraceGenerator(seed=3))
+        little = simulator.simulate(mapping_for(platform, [2, 0]))
+        big = simulator.simulate(mapping_for(platform, [0, 2]))
+        assert big.execution_time < little.execution_time
+        assert big.energy > little.energy
+
+    def test_speedup_is_concave(self, platform):
+        # Adding the fourth core helps less than adding the second one.
+        simulator = MappingSimulator(TraceGenerator(seed=3))
+        times = [
+            simulator.simulate(mapping_for(platform, [n, 0])).execution_time
+            for n in (1, 2, 4)
+        ]
+        speedup_2 = times[0] / times[1]
+        speedup_4 = times[0] / times[2]
+        assert speedup_2 > 1.0
+        assert speedup_4 < 2 * speedup_2
+
+    def test_communication_is_charged_for_split_mappings(self, platform):
+        simulator = MappingSimulator(TraceGenerator(seed=3))
+        single = simulator.simulate(mapping_for(platform, [1, 0]))
+        split = simulator.simulate(mapping_for(platform, [4, 4]))
+        assert single.communication_bytes == pytest.approx(0.0)
+        assert split.communication_bytes > 0
+
+    def test_core_busy_times_are_bounded_by_execution_time(self, platform):
+        result = MappingSimulator(TraceGenerator(seed=3)).simulate(
+            mapping_for(platform, [2, 2])
+        )
+        assert all(busy <= result.execution_time + 1e-9 for busy in result.core_busy_time.values())

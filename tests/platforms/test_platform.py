@@ -1,0 +1,117 @@
+"""Tests for :class:`repro.platforms.platform.Platform` and the builders."""
+
+import pytest
+
+from repro.exceptions import PlatformError
+from repro.platforms import (
+    Platform,
+    ProcessorType,
+    PowerModel,
+    big_little,
+    generic_heterogeneous,
+    homogeneous,
+    odroid_xu4,
+)
+from repro.platforms.resources import ResourceVector
+
+
+def _types():
+    little = ProcessorType("little", 1.5e9, 1.0, PowerModel(0.05, 0.3))
+    big = ProcessorType("big", 1.8e9, 2.0, PowerModel(0.2, 1.4))
+    return little, big
+
+
+class TestPlatform:
+    def test_basic_properties(self):
+        platform = Platform("test", _types(), [2, 4])
+        assert platform.num_resource_types == 2
+        assert platform.capacity.counts == (2, 4)
+        assert platform.total_cores == 6
+        assert platform.type_names == ("little", "big")
+
+    def test_type_lookup(self):
+        platform = Platform("test", _types(), [2, 4])
+        assert platform.type_index("big") == 1
+        assert platform.processor_type("little").frequency_hz == pytest.approx(1.5e9)
+        with pytest.raises(PlatformError):
+            platform.type_index("gpu")
+
+    def test_resource_vector_from_demand_mapping(self):
+        platform = Platform("test", _types(), [2, 4])
+        assert platform.resource_vector({"big": 3}).counts == (0, 3)
+        with pytest.raises(PlatformError):
+            platform.resource_vector({"big": 5})
+
+    def test_fits(self):
+        platform = Platform("test", _types(), [2, 4])
+        assert platform.fits(ResourceVector([2, 4]))
+        assert not platform.fits(ResourceVector([3, 0]))
+
+    def test_busy_power_sums_core_power(self):
+        platform = Platform("test", _types(), [2, 4])
+        power = platform.busy_power(ResourceVector([1, 1]))
+        assert power == pytest.approx(0.35 + 1.6)
+
+    def test_allocations_enumeration_excludes_empty(self):
+        platform = Platform("test", _types(), [2, 2])
+        allocations = list(platform.allocations())
+        assert ResourceVector([0, 0]) not in allocations
+        assert len(allocations) == 3 * 3 - 1
+
+    def test_allocations_respect_limit(self):
+        platform = Platform("test", _types(), [2, 2])
+        allocations = list(platform.allocations(ResourceVector([1, 1])))
+        assert all(a.fits_into(ResourceVector([1, 1])) for a in allocations)
+
+    def test_validation_errors(self):
+        little, big = _types()
+        with pytest.raises(PlatformError):
+            Platform("", [little], [1])
+        with pytest.raises(PlatformError):
+            Platform("x", [], [])
+        with pytest.raises(PlatformError):
+            Platform("x", [little, big], [1])
+        with pytest.raises(PlatformError):
+            Platform("x", [little, big], [1, 0])
+        with pytest.raises(PlatformError):
+            Platform("x", [little, little], [1, 1])
+
+
+class TestBuilders:
+    def test_odroid_matches_paper_setup(self):
+        odroid = odroid_xu4()
+        assert odroid.capacity.counts == (4, 4)
+        assert odroid.type_names == ("A7", "A15")
+        a7 = odroid.processor_type("A7")
+        a15 = odroid.processor_type("A15")
+        assert a7.frequency_hz == pytest.approx(1.5e9)
+        assert a15.frequency_hz == pytest.approx(1.8e9)
+        # Big cores are faster and hungrier than little cores.
+        assert a15.performance_factor > a7.performance_factor
+        assert a15.power.power(1.0) > a7.power.power(1.0)
+
+    def test_big_little_builder(self):
+        platform = big_little(2, 3)
+        assert platform.capacity.counts == (2, 3)
+        with pytest.raises(PlatformError):
+            big_little(0, 2)
+
+    def test_homogeneous_builder(self):
+        platform = homogeneous(6)
+        assert platform.num_resource_types == 1
+        assert platform.capacity.counts == (6,)
+        with pytest.raises(PlatformError):
+            homogeneous(0)
+
+    def test_generic_heterogeneous_builder(self):
+        platform = generic_heterogeneous([2, 2, 4])
+        assert platform.num_resource_types == 3
+        # Default performance factors increase per cluster.
+        factors = [t.performance_factor for t in platform.processor_types]
+        assert factors == sorted(factors)
+        with pytest.raises(PlatformError):
+            generic_heterogeneous([])
+        with pytest.raises(PlatformError):
+            generic_heterogeneous([2], performance_factors=[1.0, 2.0])
+        with pytest.raises(PlatformError):
+            generic_heterogeneous([0])

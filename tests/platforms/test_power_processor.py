@@ -1,0 +1,82 @@
+"""Tests for the power model and processor types."""
+
+import pytest
+
+from repro.exceptions import PlatformError
+from repro.platforms.power import PowerModel
+from repro.platforms.processor import ProcessorType
+
+
+class TestPowerModel:
+    def test_power_at_full_utilisation(self):
+        model = PowerModel(static_watts=0.1, dynamic_watts=0.5)
+        assert model.power(1.0) == pytest.approx(0.6)
+
+    def test_power_at_idle(self):
+        model = PowerModel(static_watts=0.1, dynamic_watts=0.5)
+        assert model.power(0.0) == pytest.approx(0.1)
+
+    def test_partial_utilisation_scales_dynamic_part(self):
+        model = PowerModel(static_watts=0.1, dynamic_watts=0.5)
+        assert model.power(0.5) == pytest.approx(0.35)
+
+    def test_energy_is_power_times_duration(self):
+        model = PowerModel(static_watts=0.2, dynamic_watts=0.8)
+        assert model.energy(duration=10.0) == pytest.approx(10.0)
+
+    def test_negative_components_rejected(self):
+        with pytest.raises(PlatformError):
+            PowerModel(-0.1, 0.5)
+        with pytest.raises(PlatformError):
+            PowerModel(0.1, -0.5)
+
+    def test_invalid_utilisation_rejected(self):
+        model = PowerModel(0.1, 0.5)
+        with pytest.raises(PlatformError):
+            model.power(1.5)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(PlatformError):
+            PowerModel(0.1, 0.5).energy(-1.0)
+
+    def test_frequency_scaling_increases_dynamic_power(self):
+        model = PowerModel(0.1, 0.5)
+        faster = model.scaled_frequency(2.0)
+        assert faster.static_watts == pytest.approx(0.1)
+        assert faster.dynamic_watts == pytest.approx(0.5 * 8.0)
+
+    def test_frequency_scaling_rejects_non_positive_factor(self):
+        with pytest.raises(PlatformError):
+            PowerModel(0.1, 0.5).scaled_frequency(0.0)
+
+
+class TestProcessorType:
+    def _core(self, performance=2.0):
+        return ProcessorType("big", 2.0e9, performance, PowerModel(0.2, 1.0))
+
+    def test_cycles_to_seconds_uses_frequency_and_performance(self):
+        core = self._core(performance=2.0)
+        # 4e9 reference cycles at 2 GHz and performance factor 2 -> 1 second.
+        assert core.cycles_to_seconds(4.0e9) == pytest.approx(1.0)
+
+    def test_faster_core_is_faster(self):
+        slow = ProcessorType("little", 1.5e9, 1.0, PowerModel(0.05, 0.3))
+        fast = self._core()
+        assert fast.cycles_to_seconds(1e9) < slow.cycles_to_seconds(1e9)
+
+    def test_busy_and_idle_energy(self):
+        core = self._core()
+        assert core.busy_energy(2.0) == pytest.approx(2.4)
+        assert core.idle_energy(2.0) == pytest.approx(0.4)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(PlatformError):
+            ProcessorType("", 1e9, 1.0, PowerModel(0.1, 0.1))
+        with pytest.raises(PlatformError):
+            ProcessorType("x", -1e9, 1.0, PowerModel(0.1, 0.1))
+        with pytest.raises(PlatformError):
+            ProcessorType("x", 1e9, 0.0, PowerModel(0.1, 0.1))
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(PlatformError):
+            self._core().cycles_to_seconds(-1.0)

@@ -1,0 +1,91 @@
+"""Tests for :mod:`repro.platforms.resources`."""
+
+import pytest
+
+from repro.exceptions import PlatformError
+from repro.platforms.resources import ResourceVector
+
+
+class TestConstruction:
+    def test_counts_are_stored_as_tuple(self):
+        vector = ResourceVector([2, 3])
+        assert vector.counts == (2, 3)
+
+    def test_values_are_coerced_to_int(self):
+        vector = ResourceVector([2.0, 3.0])
+        assert vector.counts == (2, 3)
+
+    def test_negative_counts_are_rejected(self):
+        with pytest.raises(PlatformError):
+            ResourceVector([1, -1])
+
+    def test_zeros_constructor(self):
+        assert ResourceVector.zeros(3).counts == (0, 0, 0)
+
+    def test_empty_vector_is_allowed(self):
+        assert len(ResourceVector([])) == 0
+
+
+class TestContainerProtocol:
+    def test_len_iter_getitem(self):
+        vector = ResourceVector([1, 4, 2])
+        assert len(vector) == 3
+        assert list(vector) == [1, 4, 2]
+        assert vector[1] == 4
+
+    def test_equality_with_vector_and_tuple(self):
+        assert ResourceVector([1, 2]) == ResourceVector([1, 2])
+        assert ResourceVector([1, 2]) == (1, 2)
+        assert ResourceVector([1, 2]) != ResourceVector([2, 1])
+
+    def test_hashable(self):
+        assert len({ResourceVector([1, 2]), ResourceVector([1, 2])}) == 1
+
+
+class TestArithmetic:
+    def test_addition(self):
+        assert (ResourceVector([1, 2]) + ResourceVector([3, 0])).counts == (4, 2)
+
+    def test_subtraction(self):
+        assert (ResourceVector([3, 3]) - ResourceVector([1, 2])).counts == (2, 1)
+
+    def test_subtraction_below_zero_raises(self):
+        with pytest.raises(PlatformError):
+            ResourceVector([1, 0]) - ResourceVector([0, 1])
+
+    def test_saturating_subtraction_clamps(self):
+        result = ResourceVector([1, 0]).saturating_sub(ResourceVector([0, 5]))
+        assert result.counts == (1, 0)
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(PlatformError):
+            ResourceVector([1]) + ResourceVector([1, 2])
+
+    def test_scaled(self):
+        assert ResourceVector([1, 2]).scaled(3).counts == (3, 6)
+
+    def test_scaled_negative_raises(self):
+        with pytest.raises(PlatformError):
+            ResourceVector([1]).scaled(-1)
+
+    def test_sum_of_vectors(self):
+        total = ResourceVector.sum([ResourceVector([1, 0]), ResourceVector([2, 2])], 2)
+        assert total.counts == (3, 2)
+
+    def test_sum_of_empty_sequence_is_zero(self):
+        assert ResourceVector.sum([], 2).counts == (0, 0)
+
+
+class TestComparisons:
+    def test_fits_into(self):
+        assert ResourceVector([2, 1]).fits_into(ResourceVector([4, 4]))
+        assert not ResourceVector([5, 0]).fits_into(ResourceVector([4, 4]))
+
+    def test_dominates(self):
+        assert ResourceVector([2, 2]).dominates(ResourceVector([1, 2]))
+        assert not ResourceVector([2, 0]).dominates(ResourceVector([1, 2]))
+
+    def test_is_zero_and_total(self):
+        assert ResourceVector([0, 0]).is_zero()
+        assert not ResourceVector([0, 1]).is_zero()
+        assert ResourceVector([2, 3]).total == 5

@@ -1,0 +1,105 @@
+"""Tests for the online runtime manager."""
+
+import pytest
+
+from repro.exceptions import AdmissionError
+from repro.runtime import RequestEvent, RequestTrace, RuntimeManager, poisson_trace
+from repro.schedulers import FixedMinEnergyScheduler, MMKPMDFScheduler
+from repro.workload.motivational import motivational_platform, motivational_tables
+
+
+@pytest.fixture()
+def manager():
+    return RuntimeManager(
+        motivational_platform(), motivational_tables(), MMKPMDFScheduler()
+    )
+
+
+def two_request_trace(second_deadline: float = 4.0) -> RequestTrace:
+    return RequestTrace(
+        [
+            RequestEvent(0.0, "lambda1", 9.0, "sigma1"),
+            RequestEvent(1.0, "lambda2", second_deadline, "sigma2"),
+        ]
+    )
+
+
+class TestAdmission:
+    def test_both_requests_admitted_and_completed(self, manager):
+        log = manager.run(two_request_trace())
+        assert log.acceptance_rate == 1.0
+        assert not log.deadline_misses
+        assert log.completion_of("sigma1") is not None
+        assert log.completion_of("sigma2") is not None
+        assert log.activations == 2
+
+    def test_infeasible_request_is_rejected_without_harming_admitted_jobs(self, manager):
+        # A deadline of 1 s cannot be met by any lambda2 configuration.
+        log = manager.run(two_request_trace(second_deadline=1.0))
+        outcomes = {o.name: o for o in log.outcomes}
+        assert outcomes["sigma1"].accepted
+        assert not outcomes["sigma2"].accepted
+        # The previously admitted job still completes before its deadline.
+        assert outcomes["sigma1"].met_deadline
+
+    def test_unknown_application_raises(self, manager):
+        trace = RequestTrace([RequestEvent(0.0, "ghost", 5.0, "r0")])
+        with pytest.raises(AdmissionError):
+            manager.run(trace)
+
+
+class TestAccounting:
+    def test_energy_matches_the_committed_schedules(self, manager):
+        log = manager.run(two_request_trace())
+        # Fig. 1(c): the adaptive mapper consumes 14.63 J in total.
+        assert log.total_energy == pytest.approx(14.63, abs=0.01)
+        assert log.makespan == pytest.approx(8.3, abs=1e-6)
+
+    def test_timeline_is_ordered_and_gap_free(self, manager):
+        log = manager.run(two_request_trace())
+        intervals = log.timeline
+        assert all(a.end <= b.start + 1e-9 for a, b in zip(intervals, intervals[1:]))
+        assert log.total_energy == pytest.approx(
+            sum(interval.energy for interval in intervals)
+        )
+
+    def test_completion_times_respect_deadlines(self, manager):
+        log = manager.run(two_request_trace())
+        for outcome in log.accepted:
+            assert outcome.met_deadline
+
+    def test_remap_on_finish_reduces_fixed_mapper_energy(self):
+        fixed = RuntimeManager(
+            motivational_platform(), motivational_tables(), FixedMinEnergyScheduler()
+        )
+        refined = RuntimeManager(
+            motivational_platform(),
+            motivational_tables(),
+            FixedMinEnergyScheduler(),
+            remap_on_finish=True,
+        )
+        trace = RequestTrace(
+            [
+                RequestEvent(0.0, "lambda1", 9.0, "sigma1"),
+                RequestEvent(1.0, "lambda2", 4.0, "sigma2"),
+            ]
+        )
+        assert refined.run(trace).total_energy < fixed.run(trace).total_energy
+        assert refined.run(trace).activations > fixed.run(trace).activations
+
+
+class TestRandomOnlineWorkload:
+    def test_long_trace_executes_without_violations(self):
+        tables = motivational_tables()
+        manager = RuntimeManager(motivational_platform(), tables, MMKPMDFScheduler())
+        trace = poisson_trace(
+            tables, arrival_rate=0.1, num_requests=15, deadline_factor_range=(2.0, 4.0), seed=5
+        )
+        log = manager.run(trace)
+        assert len(log.outcomes) == 15
+        # Every admitted request must have completed and met its deadline:
+        # the manager only admits requests with a feasible schedule.
+        for outcome in log.accepted:
+            assert outcome.completion_time is not None
+            assert outcome.met_deadline
+        assert log.total_energy > 0

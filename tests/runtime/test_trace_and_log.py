@@ -1,0 +1,113 @@
+"""Tests for request traces and execution logs."""
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.runtime import RequestEvent, RequestTrace, poisson_trace
+from repro.runtime.log import ExecutedInterval, ExecutionLog, RequestOutcome
+from repro.workload.motivational import motivational_tables
+
+
+class TestRequestEvent:
+    def test_absolute_deadline(self):
+        event = RequestEvent(2.0, "app", 5.0, "r0")
+        assert event.absolute_deadline == pytest.approx(7.0)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            RequestEvent(-1.0, "app", 5.0, "r0")
+        with pytest.raises(WorkloadError):
+            RequestEvent(0.0, "app", 0.0, "r0")
+        with pytest.raises(WorkloadError):
+            RequestEvent(0.0, "app", 5.0, "")
+
+
+class TestRequestTrace:
+    def test_events_are_sorted_by_time(self):
+        trace = RequestTrace(
+            [RequestEvent(5.0, "a", 1.0, "late"), RequestEvent(1.0, "a", 1.0, "early")]
+        )
+        assert [e.name for e in trace] == ["early", "late"]
+        assert trace.end_time == 5.0
+        assert trace.applications() == {"a"}
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(WorkloadError):
+            RequestTrace(
+                [RequestEvent(0.0, "a", 1.0, "x"), RequestEvent(1.0, "a", 1.0, "x")]
+            )
+
+    def test_indexing(self):
+        trace = RequestTrace([RequestEvent(0.0, "a", 1.0, "x")])
+        assert trace[0].name == "x"
+        assert len(trace) == 1
+
+
+class TestPoissonTrace:
+    def test_generates_the_requested_number_of_events(self):
+        trace = poisson_trace(motivational_tables(), arrival_rate=0.5, num_requests=20, seed=1)
+        assert len(trace) == 20
+        assert trace.applications() <= {"lambda1", "lambda2"}
+        # Arrival times must be strictly increasing on average.
+        times = [e.time for e in trace]
+        assert times == sorted(times)
+
+    def test_deadlines_follow_the_factor_range(self):
+        tables = motivational_tables()
+        trace = poisson_trace(tables, 1.0, 50, deadline_factor_range=(2.0, 3.0), seed=2)
+        slowest = max(
+            point.execution_time for table in tables.values() for point in table
+        )
+        for event in trace:
+            assert event.relative_deadline <= 3.0 * slowest + 1e-9
+
+    def test_determinism(self):
+        first = poisson_trace(motivational_tables(), 1.0, 10, seed=7)
+        second = poisson_trace(motivational_tables(), 1.0, 10, seed=7)
+        assert [e.time for e in first] == [e.time for e in second]
+
+    def test_validation(self):
+        tables = motivational_tables()
+        with pytest.raises(WorkloadError):
+            poisson_trace(tables, 0.0, 5)
+        with pytest.raises(WorkloadError):
+            poisson_trace(tables, 1.0, 0)
+        with pytest.raises(WorkloadError):
+            poisson_trace(tables, 1.0, 5, deadline_factor_range=(0.0, 1.0))
+
+
+class TestExecutionLog:
+    def _log(self):
+        log = ExecutionLog()
+        log.outcomes = [
+            RequestOutcome("a", "app", 0.0, 10.0, accepted=True, completion_time=8.0),
+            RequestOutcome("b", "app", 1.0, 12.0, accepted=True, completion_time=13.0),
+            RequestOutcome("c", "app", 2.0, 9.0, accepted=False),
+        ]
+        log.timeline = [
+            ExecutedInterval(0.0, 4.0, (("a", 0),), energy=2.0),
+            ExecutedInterval(4.0, 8.0, (("a", 0), ("b", 1)), energy=6.0),
+        ]
+        log.total_energy = 8.0
+        return log
+
+    def test_acceptance_and_misses(self):
+        log = self._log()
+        assert log.acceptance_rate == pytest.approx(2 / 3)
+        assert [o.name for o in log.rejected] == ["c"]
+        assert [o.name for o in log.deadline_misses] == ["b"]
+        assert log.completion_of("a") == 8.0
+        assert log.completion_of("c") is None
+        assert log.completion_of("ghost") is None
+
+    def test_timeline_queries(self):
+        log = self._log()
+        assert log.makespan == pytest.approx(8.0)
+        # Half of the first interval plus half of the second interval.
+        assert log.energy_between(2.0, 6.0) == pytest.approx(1.0 + 3.0)
+
+    def test_empty_log_defaults(self):
+        log = ExecutionLog()
+        assert log.acceptance_rate == 1.0
+        assert log.makespan == 0.0
+        assert log.energy_between(0.0, 10.0) == 0.0

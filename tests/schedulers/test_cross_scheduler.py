@@ -1,0 +1,115 @@
+"""Cross-scheduler consistency checks on the DSE-generated workload.
+
+These tests encode the relationships the paper's evaluation relies on:
+EX-MEM is the energy reference and schedules a superset of the heuristics'
+test cases; all schedulers agree on single-job cases; every accepted schedule
+satisfies the formal constraints (2b)-(2e).
+"""
+
+import pytest
+
+from repro.schedulers import (
+    ExMemScheduler,
+    FixedMinEnergyScheduler,
+    MMKPLRScheduler,
+    MMKPMDFScheduler,
+)
+
+
+@pytest.fixture(scope="module")
+def scheduler_results(random_problems):
+    """Run all four schedulers on the shared random workload once."""
+    schedulers = {
+        "ex-mem": ExMemScheduler(),
+        "mmkp-mdf": MMKPMDFScheduler(),
+        "mmkp-lr": MMKPLRScheduler(),
+        "fixed": FixedMinEnergyScheduler(),
+    }
+    results = []
+    for problem in random_problems:
+        per_scheduler = {
+            name: scheduler.schedule(problem) for name, scheduler in schedulers.items()
+        }
+        results.append((problem, per_scheduler))
+    return results
+
+
+class TestFeasibilityRelations:
+    def test_every_accepted_schedule_is_constraint_clean(self, scheduler_results):
+        for problem, per_scheduler in scheduler_results:
+            for name, result in per_scheduler.items():
+                if result.feasible:
+                    report = problem.validate(result.schedule)
+                    assert report.feasible, (name, report.violations)
+
+    def test_exmem_accepts_whatever_any_other_scheduler_accepts(self, scheduler_results):
+        for _, per_scheduler in scheduler_results:
+            others_feasible = any(
+                result.feasible
+                for name, result in per_scheduler.items()
+                if name != "ex-mem"
+            )
+            if others_feasible:
+                assert per_scheduler["ex-mem"].feasible
+
+    def test_fixed_mapper_acceptances_are_a_subset_of_exmem(self, scheduler_results):
+        # A fixed concurrent mapping is a special case of a segment schedule,
+        # so the exhaustive search accepts every case the fixed mapper accepts.
+        accepted_fixed = 0
+        for _, per_scheduler in scheduler_results:
+            if per_scheduler["fixed"].feasible:
+                accepted_fixed += 1
+                assert per_scheduler["ex-mem"].feasible
+        assert accepted_fixed > 0
+
+
+class TestEnergyRelations:
+    def test_exmem_is_the_energy_lower_bound(self, scheduler_results):
+        for _, per_scheduler in scheduler_results:
+            reference = per_scheduler["ex-mem"]
+            if not reference.feasible:
+                continue
+            for name, result in per_scheduler.items():
+                if result.feasible:
+                    assert result.energy >= reference.energy - 1e-6, name
+
+    def test_single_job_energies_agree_across_schedulers(self, scheduler_results):
+        for problem, per_scheduler in scheduler_results:
+            if len(problem.jobs) != 1:
+                continue
+            energies = {
+                name: result.energy
+                for name, result in per_scheduler.items()
+                if result.feasible
+            }
+            if len(energies) > 1:
+                values = list(energies.values())
+                assert max(values) - min(values) <= 1e-6 * max(values), energies
+
+    def test_mdf_energy_close_to_optimal_on_average(self, scheduler_results):
+        from repro.analysis.stats import geometric_mean
+
+        ratios = []
+        for _, per_scheduler in scheduler_results:
+            reference = per_scheduler["ex-mem"]
+            candidate = per_scheduler["mmkp-mdf"]
+            if reference.feasible and candidate.feasible and reference.energy > 0:
+                ratios.append(candidate.energy / reference.energy)
+        assert ratios
+        # The paper reports a 3.6 % gap overall; on the reduced tables used in
+        # the tests a 15 % bound is a comfortable sanity margin.
+        assert geometric_mean(ratios) <= 1.15
+
+
+class TestOverheadRelations:
+    def test_mdf_total_overhead_is_the_smallest_heuristic(self, scheduler_results):
+        totals = {"mmkp-mdf": 0.0, "mmkp-lr": 0.0}
+        for _, per_scheduler in scheduler_results:
+            for name in totals:
+                totals[name] += per_scheduler[name].search_time
+        assert totals["mmkp-mdf"] < totals["mmkp-lr"]
+
+    def test_all_schedulers_report_positive_search_time(self, scheduler_results):
+        for _, per_scheduler in scheduler_results:
+            for result in per_scheduler.values():
+                assert result.search_time > 0.0

@@ -1,0 +1,146 @@
+"""Tests for the EDF mapping-segment packer (Algorithm 2)."""
+
+import pytest
+
+from repro.core.config import ConfigTable, OperatingPoint
+from repro.core.problem import SchedulingProblem
+from repro.core.request import Job
+from repro.exceptions import SchedulingError
+from repro.platforms.resources import ResourceVector
+from repro.schedulers.edf_packer import pack_jobs_edf
+from repro.workload.motivational import CONFIG_2L1B, motivational_problem
+
+
+@pytest.fixture()
+def simple_problem():
+    """Two jobs on a 2-core single-type platform with two configurations."""
+    table = ConfigTable(
+        "app",
+        [
+            OperatingPoint(ResourceVector([1]), 10.0, 2.0),  # slow, cheap, 1 core
+            OperatingPoint(ResourceVector([2]), 6.0, 3.0),  # fast, 2 cores
+        ],
+    )
+    jobs = [
+        Job("early", "app", arrival=0.0, deadline=8.0),
+        Job("late", "app", arrival=0.0, deadline=30.0),
+    ]
+    return SchedulingProblem(ResourceVector([2]), {"app": table}, jobs, now=0.0)
+
+
+class TestBasicPacking:
+    def test_single_job_gets_one_segment(self, simple_problem):
+        problem = simple_problem.with_jobs([simple_problem.job("late")])
+        schedule = pack_jobs_edf(problem, {"late": 0})
+        assert schedule is not None
+        assert len(schedule) == 1
+        assert schedule.completion_time("late") == pytest.approx(10.0)
+
+    def test_jobs_without_assignment_are_ignored(self, simple_problem):
+        schedule = pack_jobs_edf(simple_problem, {"late": 0})
+        assert schedule.job_names() == {"late"}
+
+    def test_unknown_configuration_raises(self, simple_problem):
+        with pytest.raises(SchedulingError):
+            pack_jobs_edf(simple_problem, {"late": 99})
+
+    def test_edf_order_puts_urgent_job_first(self, simple_problem):
+        # Both jobs want the 2-core configuration, so they cannot overlap; the
+        # earlier deadline must be served first.
+        schedule = pack_jobs_edf(simple_problem, {"early": 1, "late": 1})
+        assert schedule is not None
+        assert schedule.completion_time("early") == pytest.approx(6.0)
+        assert schedule.completion_time("late") == pytest.approx(12.0)
+
+    def test_concurrent_execution_when_resources_allow(self, simple_problem):
+        relaxed = simple_problem.with_jobs(
+            [
+                simple_problem.job("early").with_remaining(1.0),
+                simple_problem.job("late"),
+            ]
+        )
+        relaxed = relaxed.with_jobs(
+            [Job("early", "app", 0.0, 30.0), Job("late", "app", 0.0, 30.0)]
+        )
+        schedule = pack_jobs_edf(relaxed, {"early": 0, "late": 0})
+        # Both single-core jobs fit side by side in one segment.
+        assert len(schedule) == 1
+        assert schedule.completion_time("early") == pytest.approx(10.0)
+        assert schedule.completion_time("late") == pytest.approx(10.0)
+
+    def test_deadline_violation_returns_none(self, simple_problem):
+        # The slow configuration finishes "early" at 10 s, after its 8 s deadline.
+        assert pack_jobs_edf(simple_problem, {"early": 0, "late": 0}) is None
+
+    def test_remaining_ratio_shortens_execution(self, simple_problem):
+        half_done = simple_problem.job("late").with_remaining(0.5)
+        problem = simple_problem.with_jobs([half_done])
+        schedule = pack_jobs_edf(problem, {"late": 0})
+        assert schedule.completion_time("late") == pytest.approx(5.0)
+
+
+class TestSegmentStructure:
+    def test_segment_split_when_job_finishes_inside(self, simple_problem):
+        # "early" runs 6 s with the fast config; "late" with the slow config
+        # shares the remaining core and continues after "early" finishes.
+        table = ConfigTable(
+            "app",
+            [
+                OperatingPoint(ResourceVector([1]), 10.0, 2.0),
+                OperatingPoint(ResourceVector([1]), 6.0, 3.0),
+            ],
+        )
+        jobs = [
+            Job("early", "app", arrival=0.0, deadline=8.0),
+            Job("late", "app", arrival=0.0, deadline=30.0),
+        ]
+        problem = SchedulingProblem(ResourceVector([2]), {"app": table}, jobs, now=0.0)
+        schedule = pack_jobs_edf(problem, {"early": 1, "late": 0})
+        assert schedule is not None
+        # The packer first places "early" as one segment [0, 6), then "late"
+        # splits it at its own completion... late runs 10 s total, so the
+        # timeline is [0, 6) with both jobs and [6, 10) with late alone.
+        assert len(schedule) == 2
+        assert schedule.segments[0].job_names() == {"early", "late"}
+        assert schedule.segments[1].job_names() == {"late"}
+        assert schedule.end == pytest.approx(10.0)
+
+    def test_schedule_is_contiguous_and_starts_at_now(self, simple_problem):
+        schedule = pack_jobs_edf(simple_problem, {"early": 1, "late": 1})
+        assert schedule.is_contiguous()
+        assert schedule.start == pytest.approx(simple_problem.now)
+
+    def test_packing_respects_activation_time(self, simple_problem):
+        problem = simple_problem.with_now(2.0)
+        schedule = pack_jobs_edf(problem, {"early": 1, "late": 1})
+        assert schedule is not None
+        assert schedule.start == pytest.approx(2.0)
+        assert schedule.completion_time("early") == pytest.approx(8.0)
+
+
+class TestMotivationalExample:
+    def test_reproduces_the_adaptive_schedule_of_fig1c(self):
+        problem = motivational_problem("S1")
+        schedule = pack_jobs_edf(
+            problem, {"sigma1": CONFIG_2L1B, "sigma2": CONFIG_2L1B}
+        )
+        assert schedule is not None
+        # sigma2 (deadline 5) occupies 2L1B first; sigma1 is suspended and
+        # resumes at t=4 finishing at 1 + 3 + 4.3 = 8.3 (cf. Fig. 1c).
+        assert schedule.completion_time("sigma2") == pytest.approx(4.0)
+        assert schedule.completion_time("sigma1") == pytest.approx(8.3, abs=1e-6)
+        report = problem.validate(schedule)
+        assert report.feasible, report.violations
+
+    def test_validation_of_all_feasible_packings(self):
+        problem = motivational_problem("S1")
+        tables = problem.tables
+        for config1 in range(len(tables["lambda1"])):
+            for config2 in range(len(tables["lambda2"])):
+                schedule = pack_jobs_edf(
+                    problem, {"sigma1": config1, "sigma2": config2}
+                )
+                if schedule is None:
+                    continue
+                report = problem.validate(schedule)
+                assert report.feasible, (config1, config2, report.violations)

@@ -1,0 +1,100 @@
+"""Tests for the EX-MEM exhaustive reference scheduler."""
+
+import pytest
+
+from repro.core.config import ConfigTable, OperatingPoint
+from repro.core.problem import SchedulingProblem
+from repro.core.request import Job
+from repro.platforms.resources import ResourceVector
+from repro.schedulers import ExMemScheduler, MMKPMDFScheduler, MMKPLRScheduler
+
+
+class TestOptimality:
+    def test_motivational_s1_optimum(self, mot_problem_s1):
+        result = ExMemScheduler().schedule(mot_problem_s1)
+        assert result.feasible
+        # 12.95 J remaining energy corresponds to the 14.63 J total of Fig. 1c.
+        assert result.energy == pytest.approx(12.951, abs=0.01)
+        assert mot_problem_s1.validate(result.schedule).feasible
+
+    def test_never_worse_than_the_heuristics(self, random_problems):
+        reference = ExMemScheduler()
+        heuristics = [MMKPMDFScheduler(), MMKPLRScheduler()]
+        compared = 0
+        for problem in random_problems:
+            optimal = reference.schedule(problem)
+            if not optimal.feasible:
+                continue
+            assert problem.validate(optimal.schedule).feasible
+            for heuristic in heuristics:
+                other = heuristic.schedule(problem)
+                if other.feasible:
+                    compared += 1
+                    assert optimal.energy <= other.energy + 1e-6
+        assert compared > 0
+
+    def test_schedules_whatever_the_heuristics_schedule(self, random_problems):
+        # EX-MEM explores a superset of the heuristics' schedules, so any test
+        # case the heuristics can place must be schedulable for EX-MEM too.
+        reference = ExMemScheduler()
+        for problem in random_problems:
+            mdf = MMKPMDFScheduler().schedule(problem)
+            if mdf.feasible:
+                assert reference.schedule(problem).feasible
+
+    def test_exploits_reconfiguration_across_segments(self):
+        # One big/little platform, one job whose deadline forces a fast start
+        # but allows a cheap finish after a competing job departs.
+        table_a = ConfigTable(
+            "a",
+            [
+                OperatingPoint(ResourceVector([1, 0]), 10.0, 2.0),
+                OperatingPoint(ResourceVector([0, 1]), 4.0, 6.0),
+            ],
+        )
+        table_b = ConfigTable(
+            "b",
+            [OperatingPoint(ResourceVector([1, 0]), 2.0, 1.0)],
+        )
+        jobs = [
+            Job("flexible", "a", arrival=0.0, deadline=11.0),
+            Job("blocker", "b", arrival=0.0, deadline=2.0),
+        ]
+        problem = SchedulingProblem(
+            ResourceVector([1, 1]), {"a": table_a, "b": table_b}, jobs
+        )
+        result = ExMemScheduler().schedule(problem)
+        assert result.feasible
+        report = problem.validate(result.schedule)
+        assert report.feasible, report.violations
+        # The optimum (5 J) requires "flexible" to start on the big core and
+        # switch to the little core once "blocker" departs; a fixed assignment
+        # would cost 7 J.
+        assert result.energy == pytest.approx(5.0, abs=1e-6)
+        assert result.schedule.configuration_changes("flexible") == 1
+
+
+class TestPracticalKnobs:
+    def test_max_configs_per_job_restricts_the_search(self, mot_problem_s1):
+        unrestricted = ExMemScheduler().schedule(mot_problem_s1)
+        restricted = ExMemScheduler(max_configs_per_job=2).schedule(mot_problem_s1)
+        # Fewer options can only keep or worsen the optimal energy.
+        if restricted.feasible:
+            assert restricted.energy >= unrestricted.energy - 1e-9
+
+    def test_state_budget_reports_exhaustion(self, mot_problem_s1):
+        result = ExMemScheduler(max_states=1).schedule(mot_problem_s1)
+        assert not result.feasible
+        assert result.statistics["budget_exhausted"] == 1.0
+
+    def test_statistics_contain_state_count(self, mot_problem_s1):
+        result = ExMemScheduler().schedule(mot_problem_s1)
+        assert result.statistics["states"] >= 1
+        assert result.statistics["budget_exhausted"] == 0.0
+
+    def test_infeasible_problem_is_rejected(self):
+        table = ConfigTable("a", [OperatingPoint(ResourceVector([1]), 10.0, 1.0)])
+        problem = SchedulingProblem(
+            ResourceVector([1]), {"a": table}, [Job("late", "a", 0.0, 5.0)]
+        )
+        assert not ExMemScheduler().schedule(problem).feasible

@@ -1,0 +1,136 @@
+"""Tests for the fixed-mapping scheduler and the job-selection policies."""
+
+import pytest
+
+from repro.core.config import ConfigTable, OperatingPoint
+from repro.core.problem import SchedulingProblem
+from repro.core.request import Job
+from repro.platforms.resources import ResourceVector
+from repro.schedulers import FixedMinEnergyScheduler, MMKPMDFScheduler
+from repro.schedulers.policies import (
+    ArrivalOrderPolicy,
+    EarliestDeadlinePolicy,
+    MaximumDifferencePolicy,
+    MinimumLaxityPolicy,
+    RandomPolicy,
+)
+from repro.workload.motivational import (
+    CONFIG_1L1B,
+    motivational_problem,
+    motivational_tables,
+)
+
+
+class TestFixedScheduler:
+    def test_motivational_s1_selects_1l1b_for_both_jobs(self, mot_problem_s1):
+        # With both jobs forced to run concurrently the cheapest feasible pair
+        # is 1L1B/1L1B, as discussed in Section III of the paper.
+        result = FixedMinEnergyScheduler().schedule(mot_problem_s1)
+        assert result.feasible
+        assert result.assignment == {"sigma1": CONFIG_1L1B, "sigma2": CONFIG_1L1B}
+        report = mot_problem_s1.validate(result.schedule)
+        assert report.feasible, report.violations
+
+    def test_motivational_s2_is_rejected(self, mot_problem_s2):
+        # The tighter deadline of S2 cannot be met without adaptation.
+        assert not FixedMinEnergyScheduler().schedule(mot_problem_s2).feasible
+
+    def test_fixed_energy_is_never_below_the_adaptive_mapper(self, random_problems):
+        for problem in random_problems:
+            fixed = FixedMinEnergyScheduler().schedule(problem)
+            adaptive = MMKPMDFScheduler().schedule(problem)
+            if fixed.feasible and adaptive.feasible:
+                # Both are valid; the fixed mapping is a restricted special
+                # case of the segment-based schedules.
+                assert problem.validate(fixed.schedule).feasible
+
+    def test_single_job(self):
+        problem = SchedulingProblem(
+            ResourceVector([2, 2]),
+            motivational_tables(),
+            [Job("solo", "lambda2", 0.0, 4.0)],
+        )
+        result = FixedMinEnergyScheduler().schedule(problem)
+        assert result.feasible
+        # Cheapest lambda2 point finishing within 4 s is 2L1B (3 s, 5.73 J).
+        assert result.energy == pytest.approx(5.73)
+
+    def test_rejects_when_no_concurrent_assignment_fits(self):
+        table = ConfigTable("a", [OperatingPoint(ResourceVector([2]), 4.0, 1.0)])
+        jobs = [Job("j1", "a", 0.0, 20.0), Job("j2", "a", 0.0, 20.0)]
+        problem = SchedulingProblem(ResourceVector([2]), {"a": table}, jobs)
+        assert not FixedMinEnergyScheduler().schedule(problem).feasible
+
+
+class TestPolicies:
+    def _candidates(self, problem):
+        tables = problem.tables
+        return [
+            (job, list(tables[job.application].indices())) for job in problem.jobs
+        ], tables
+
+    def test_mdf_prefers_the_job_with_the_largest_energy_gap(self, mot_problem_s1):
+        candidates, tables = self._candidates(mot_problem_s1)
+        job, _ = MaximumDifferencePolicy().select(candidates, tables, now=1.0)
+        # With all configurations available, the largest best-to-second-best
+        # gap belongs to sigma2 (2.00 vs 2.87 J) compared to sigma1.
+        assert job.name == "sigma2"
+
+    def test_mdf_gives_priority_to_single_option_jobs(self, mot_problem_s1):
+        candidates, tables = self._candidates(mot_problem_s1)
+        # Restrict sigma1 to a single configuration: it must be selected first.
+        restricted = [
+            (job, indices if job.name != "sigma1" else [0])
+            for job, indices in candidates
+        ]
+        job, indices = MaximumDifferencePolicy().select(restricted, tables, now=1.0)
+        assert job.name == "sigma1"
+        assert indices == [0]
+
+    def test_policies_return_hopeless_jobs_immediately(self, mot_problem_s1):
+        candidates, tables = self._candidates(mot_problem_s1)
+        hopeless = [
+            (job, [] if job.name == "sigma2" else indices)
+            for job, indices in candidates
+        ]
+        for policy in (
+            MaximumDifferencePolicy(),
+            EarliestDeadlinePolicy(),
+            ArrivalOrderPolicy(),
+            MinimumLaxityPolicy(),
+            RandomPolicy(seed=3),
+        ):
+            job, indices = policy.select(hopeless, tables, now=1.0)
+            assert job.name == "sigma2"
+            assert indices == []
+
+    def test_edf_and_arrival_and_laxity_orders(self, mot_problem_s1):
+        candidates, tables = self._candidates(mot_problem_s1)
+        job, _ = EarliestDeadlinePolicy().select(candidates, tables, now=1.0)
+        assert job.name == "sigma2"  # deadline 5 < 9
+        job, _ = ArrivalOrderPolicy().select(candidates, tables, now=1.0)
+        assert job.name == "sigma1"  # arrived at t=0
+        job, _ = MinimumLaxityPolicy().select(candidates, tables, now=1.0)
+        assert job.name == "sigma2"
+
+    def test_random_policy_is_deterministic_per_seed(self, mot_problem_s1):
+        candidates, tables = self._candidates(mot_problem_s1)
+        first = RandomPolicy(seed=5).select(candidates, tables, now=1.0)
+        second = RandomPolicy(seed=5).select(candidates, tables, now=1.0)
+        assert first[0].name == second[0].name
+
+    def test_mdf_scheduler_beats_or_matches_other_policies_on_energy(
+        self, random_problems
+    ):
+        # MDF is the paper's choice; averaged over the random workload it
+        # should not lose to a naive arrival-order policy.
+        mdf_total, fifo_total, counted = 0.0, 0.0, 0
+        for problem in random_problems:
+            mdf = MMKPMDFScheduler(policy=MaximumDifferencePolicy()).schedule(problem)
+            fifo = MMKPMDFScheduler(policy=ArrivalOrderPolicy()).schedule(problem)
+            if mdf.feasible and fifo.feasible:
+                mdf_total += mdf.energy
+                fifo_total += fifo.energy
+                counted += 1
+        assert counted > 0
+        assert mdf_total <= fifo_total * 1.02

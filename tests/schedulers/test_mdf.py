@@ -1,0 +1,119 @@
+"""Tests for the MMKP-MDF scheduler (the paper's Algorithm 1)."""
+
+import pytest
+
+from repro.core.config import ConfigTable, OperatingPoint
+from repro.core.problem import SchedulingProblem
+from repro.core.request import Job
+from repro.platforms.resources import ResourceVector
+from repro.schedulers import MMKPMDFScheduler
+from repro.schedulers.policies import EarliestDeadlinePolicy
+from repro.workload.motivational import (
+    CONFIG_2L1B,
+    motivational_problem,
+    motivational_tables,
+)
+
+
+class TestMotivationalExample:
+    def test_scenario_s1_matches_fig1c(self, mot_problem_s1):
+        result = MMKPMDFScheduler().schedule(mot_problem_s1)
+        assert result.feasible
+        # Both requests use the 2L1B configuration (Fig. 1c) and the remaining
+        # energy is 0.8113 * 8.9 + 5.73 = 12.95 J.
+        assert result.assignment == {"sigma1": CONFIG_2L1B, "sigma2": CONFIG_2L1B}
+        assert result.energy == pytest.approx(12.951, abs=0.01)
+        report = mot_problem_s1.validate(result.schedule)
+        assert report.feasible, report.violations
+
+    def test_scenario_s2_is_schedulable_by_the_adaptive_mapper(self, mot_problem_s2):
+        # A fixed mapper rejects sigma2 in S2; the adaptive MMKP-MDF admits it.
+        result = MMKPMDFScheduler().schedule(mot_problem_s2)
+        assert result.feasible
+        assert mot_problem_s2.validate(result.schedule).feasible
+
+    def test_single_job_picks_the_most_efficient_feasible_point(self):
+        problem = SchedulingProblem(
+            ResourceVector([2, 2]),
+            motivational_tables(),
+            [Job("solo", "lambda1", arrival=0.0, deadline=9.0)],
+            now=0.0,
+        )
+        result = MMKPMDFScheduler().schedule(problem)
+        # Table II: 2L1B (5.3 s, 8.9 J) is the cheapest point meeting t=9.
+        assert result.assignment == {"solo": CONFIG_2L1B}
+        assert result.energy == pytest.approx(8.9)
+
+
+class TestRejection:
+    def test_impossible_deadline_is_rejected(self):
+        problem = SchedulingProblem(
+            ResourceVector([2, 2]),
+            motivational_tables(),
+            [Job("hopeless", "lambda1", arrival=0.0, deadline=1.0)],
+            now=0.0,
+        )
+        result = MMKPMDFScheduler().schedule(problem)
+        assert not result.feasible
+        assert result.schedule is None
+
+    def test_resource_starved_job_set_is_rejected(self):
+        # Three jobs that all need at least two little cores within a horizon
+        # that forbids any serialisation.
+        table = ConfigTable(
+            "greedy",
+            [OperatingPoint(ResourceVector([2]), 10.0, 5.0)],
+        )
+        jobs = [Job(f"j{i}", "greedy", 0.0, 12.0) for i in range(3)]
+        problem = SchedulingProblem(ResourceVector([2]), {"greedy": table}, jobs)
+        result = MMKPMDFScheduler().schedule(problem)
+        assert not result.feasible
+
+
+class TestResultMetadata:
+    def test_statistics_and_search_time_are_reported(self, mot_problem_s1):
+        result = MMKPMDFScheduler().schedule(mot_problem_s1)
+        assert result.search_time > 0
+        assert result.statistics["packer_calls"] >= 2
+        assert result.statistics["policy_calls"] == 2
+
+    def test_energy_matches_problem_objective(self, mot_problem_s1):
+        result = MMKPMDFScheduler().schedule(mot_problem_s1)
+        assert result.energy == pytest.approx(
+            mot_problem_s1.energy_of(result.schedule)
+        )
+
+    def test_alternative_policy_is_used(self, mot_problem_s1):
+        scheduler = MMKPMDFScheduler(policy=EarliestDeadlinePolicy())
+        assert scheduler.policy.name == "edf"
+        result = scheduler.schedule(mot_problem_s1)
+        assert result.feasible
+        assert mot_problem_s1.validate(result.schedule).feasible
+
+
+class TestAgainstRandomWorkload:
+    def test_all_accepted_schedules_are_valid(self, random_problems):
+        scheduler = MMKPMDFScheduler()
+        accepted = 0
+        for problem in random_problems:
+            result = scheduler.schedule(problem)
+            if not result.feasible:
+                continue
+            accepted += 1
+            report = problem.validate(result.schedule)
+            assert report.feasible, report.violations
+            # The committed assignment covers every job of the problem.
+            assert set(result.assignment) == {job.name for job in problem.jobs}
+        assert accepted > 0, "the random workload should contain feasible cases"
+
+    def test_single_job_cases_match_exhaustive_optimum(self, random_problems):
+        from repro.schedulers import ExMemScheduler
+
+        for problem in random_problems:
+            if len(problem.jobs) != 1:
+                continue
+            mdf = MMKPMDFScheduler().schedule(problem)
+            reference = ExMemScheduler().schedule(problem)
+            assert mdf.feasible == reference.feasible
+            if mdf.feasible:
+                assert mdf.energy == pytest.approx(reference.energy, rel=1e-6)

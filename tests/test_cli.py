@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io import save_json, tables_to_dict
+from repro.io import test_case_to_dict as case_to_dict
+from repro.workload.motivational import motivational_tables
+from repro.workload.testgen import DeadlineLevel, TestCaseGenerator
+
+
+class TestMotivationalCommand:
+    def test_prints_the_three_variants(self, capsys):
+        assert main(["motivational"]) == 0
+        output = capsys.readouterr().out
+        assert "Scenario S1" in output
+        assert "Scenario S2" in output
+        assert "adaptive mapper (MMKP-MDF)" in output
+
+
+class TestDseCommand:
+    def test_writes_tables(self, tmp_path, capsys):
+        output = tmp_path / "points.json"
+        assert main(["dse", "--output", str(output), "--sizes", "medium"]) == 0
+        data = json.loads(output.read_text())
+        assert any(name.endswith("/medium") for name in data)
+        assert "Pareto points" in capsys.readouterr().out
+
+
+class TestWorkloadCommand:
+    def test_writes_test_cases(self, tmp_path, capsys):
+        tables_path = tmp_path / "tables.json"
+        save_json(tables_to_dict(motivational_tables()), tables_path)
+        output = tmp_path / "workload.json"
+        code = main(
+            [
+                "workload",
+                "--tables",
+                str(tables_path),
+                "--output",
+                str(output),
+                "--fraction",
+                "0.01",
+                "--seed",
+                "5",
+            ]
+        )
+        assert code == 0
+        data = json.loads(output.read_text())
+        assert len(data["cases"]) >= 8
+        assert "Table III" in capsys.readouterr().out
+
+
+class TestScheduleCommand:
+    def test_schedules_an_exported_case(self, tmp_path, capsys):
+        tables = motivational_tables()
+        tables_path = tmp_path / "tables.json"
+        save_json(tables_to_dict(tables), tables_path)
+        case = TestCaseGenerator(tables, seed=8).generate_case(2, DeadlineLevel.WEAK)
+        case_path = tmp_path / "case.json"
+        save_json(case_to_dict(case), case_path)
+
+        code = main(
+            [
+                "schedule",
+                str(case_path),
+                "--tables",
+                str(tables_path),
+                "--scheduler",
+                "mmkp-mdf",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "energy" in output
+        assert "[" in output  # at least one printed segment
+
+
+class TestArgumentParsing:
+    def test_missing_command_fails(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_scheduler_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["schedule", "case.json", "--tables", "t.json", "--scheduler", "magic"])

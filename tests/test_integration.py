@@ -1,0 +1,81 @@
+"""End-to-end integration tests: DSE → workload → schedulers → analysis → RM."""
+
+import pytest
+
+from repro.analysis import evaluate_suite
+from repro.platforms import odroid_xu4
+from repro.runtime import RuntimeManager, poisson_trace
+from repro.schedulers import ExMemScheduler, MMKPLRScheduler, MMKPMDFScheduler
+from repro.workload import EvaluationSuite
+from repro.workload.suite import scaled_census
+from repro.workload.testgen import DeadlineLevel
+
+
+class TestOfflineEvaluationPipeline:
+    """The full Fig.2/Table IV/Fig.4 pipeline on a miniature workload."""
+
+    @pytest.fixture(scope="class")
+    def results(self, small_tables, odroid):
+        suite = EvaluationSuite.generate(small_tables, scaled_census(0.01), seed=21)
+        schedulers = [ExMemScheduler(), MMKPLRScheduler(), MMKPMDFScheduler()]
+        return evaluate_suite(suite, odroid, small_tables, schedulers)
+
+    def test_every_scheduler_ran_every_case(self, results):
+        per_scheduler = {name: len(results.runs_of(name)) for name in results.schedulers}
+        assert len(set(per_scheduler.values())) == 1
+
+    def test_exmem_scheduling_rate_dominates(self, results):
+        for level in (DeadlineLevel.WEAK, DeadlineLevel.TIGHT):
+            reference = results.scheduling_rate("ex-mem", level)
+            for scheduler in ("mmkp-lr", "mmkp-mdf"):
+                rates = results.scheduling_rate(scheduler, level)
+                for num_jobs, rate in rates.items():
+                    assert rate <= reference[num_jobs] + 1e-9
+
+    def test_relative_energies_are_at_least_one(self, results):
+        for scheduler in ("mmkp-lr", "mmkp-mdf"):
+            for _, ratio in results.relative_energies(scheduler, "ex-mem"):
+                assert ratio >= 1.0 - 1e-9
+
+    def test_mdf_is_faster_than_lr_on_average(self, results):
+        mdf = results.search_time_stats("mmkp-mdf")
+        lr = results.search_time_stats("mmkp-lr")
+        mdf_mean = sum(s.mean for s in mdf.values()) / len(mdf)
+        lr_mean = sum(s.mean for s in lr.values()) / len(lr)
+        assert mdf_mean < lr_mean
+
+
+class TestOnlineRuntimeManagerPipeline:
+    """DSE tables driving the online runtime manager over a Poisson trace."""
+
+    def test_online_simulation_with_dse_tables(self, small_tables, odroid):
+        trace = poisson_trace(
+            small_tables,
+            arrival_rate=0.2,
+            num_requests=10,
+            deadline_factor_range=(2.0, 5.0),
+            seed=13,
+        )
+        manager = RuntimeManager(odroid, small_tables, MMKPMDFScheduler())
+        log = manager.run(trace)
+        assert len(log.outcomes) == 10
+        assert log.total_energy > 0
+        for outcome in log.accepted:
+            assert outcome.met_deadline
+        # The executed timeline is time-ordered and gap-free in execution.
+        for earlier, later in zip(log.timeline, log.timeline[1:]):
+            assert earlier.end <= later.start + 1e-9
+
+    def test_acceptance_degrades_gracefully_under_overload(self, small_tables, odroid):
+        relaxed = poisson_trace(
+            small_tables, arrival_rate=0.05, num_requests=8,
+            deadline_factor_range=(3.0, 5.0), seed=3,
+        )
+        overloaded = poisson_trace(
+            small_tables, arrival_rate=5.0, num_requests=8,
+            deadline_factor_range=(1.0, 1.5), seed=3,
+        )
+        manager = RuntimeManager(odroid, small_tables, MMKPMDFScheduler())
+        relaxed_rate = manager.run(relaxed).acceptance_rate
+        overloaded_rate = manager.run(overloaded).acceptance_rate
+        assert overloaded_rate <= relaxed_rate

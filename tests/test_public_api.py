@@ -1,0 +1,83 @@
+"""Tests for the top-level package surface and the exception hierarchy."""
+
+import pytest
+
+import repro
+from repro import exceptions
+
+
+class TestPublicApi:
+    def test_version_is_exposed(self):
+        assert repro.__version__
+        major = int(repro.__version__.split(".")[0])
+        assert major >= 1
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_scheduler_names_are_unique(self):
+        from repro.schedulers import (
+            ExMemScheduler,
+            FixedMinEnergyScheduler,
+            MMKPLRScheduler,
+            MMKPMDFScheduler,
+        )
+
+        names = {
+            cls.name
+            for cls in (
+                ExMemScheduler,
+                FixedMinEnergyScheduler,
+                MMKPLRScheduler,
+                MMKPMDFScheduler,
+            )
+        }
+        assert len(names) == 4
+
+    def test_subpackage_alls_resolve(self):
+        import repro.analysis
+        import repro.dataflow
+        import repro.dse
+        import repro.io
+        import repro.knapsack
+        import repro.mapping
+        import repro.platforms
+        import repro.runtime
+        import repro.schedulers
+        import repro.workload
+
+        for module in (
+            repro.analysis,
+            repro.dataflow,
+            repro.dse,
+            repro.io,
+            repro.knapsack,
+            repro.mapping,
+            repro.platforms,
+            repro.runtime,
+            repro.schedulers,
+            repro.workload,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), (module.__name__, name)
+
+
+class TestExceptionHierarchy:
+    def test_every_library_exception_derives_from_reproerror(self):
+        for name in dir(exceptions):
+            obj = getattr(exceptions, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) and obj is not Exception:
+                assert issubclass(obj, exceptions.ReproError), name
+
+    def test_specific_errors_can_be_caught_as_base(self):
+        with pytest.raises(exceptions.ReproError):
+            raise exceptions.PlatformError("boom")
+        with pytest.raises(exceptions.SchedulingError):
+            raise exceptions.InfeasibleScheduleError("no schedule")
+
+    def test_scheduling_errors_raised_by_the_library_are_library_errors(self):
+        from repro.core.request import Job
+
+        with pytest.raises(exceptions.ReproError):
+            Job("", "app", 0.0, 1.0)

@@ -1,0 +1,138 @@
+"""Tests for the motivational example data (Tables I/II, Fig. 1)."""
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.schedulers import (
+    ExMemScheduler,
+    FixedMinEnergyScheduler,
+    MMKPMDFScheduler,
+)
+from repro.runtime import RequestEvent, RequestTrace, RuntimeManager
+from repro.workload.motivational import (
+    FIGURE1_ENERGIES,
+    LAMBDA1_TABLE,
+    LAMBDA2_TABLE,
+    SIGMA1_PROGRESS_AT_T1,
+    initial_problem,
+    motivational_platform,
+    motivational_problem,
+    motivational_tables,
+    scenario_s1,
+    scenario_s2,
+)
+
+
+class TestTables:
+    def test_table_ii_row_counts(self):
+        assert len(LAMBDA1_TABLE) == 8
+        assert len(LAMBDA2_TABLE) == 8
+        tables = motivational_tables()
+        assert len(tables["lambda1"]) == 8
+        assert len(tables["lambda2"]) == 8
+
+    def test_underlined_value_of_the_paper(self):
+        # The energy-optimal deadline-meeting point of lambda1 is 2L1B @ 8.9 J.
+        tables = motivational_tables()
+        assert tables["lambda1"][6].energy == pytest.approx(8.9)
+        assert tables["lambda1"][6].resources.counts == (2, 1)
+
+    def test_platform_is_2l2b(self):
+        assert motivational_platform().capacity.counts == (2, 2)
+
+
+class TestScenarios:
+    def test_scenario_jobs(self):
+        s1 = scenario_s1()
+        assert [job.name for job in s1] == ["sigma1", "sigma2"]
+        assert s1[0].remaining_ratio == pytest.approx(1.0 - SIGMA1_PROGRESS_AT_T1)
+        assert s1[1].deadline == 5.0
+        s2 = scenario_s2()
+        assert s2[1].deadline == 4.0
+
+    def test_problem_construction(self):
+        problem = motivational_problem("S2")
+        assert problem.now == 1.0
+        assert problem.capacity.counts == (2, 2)
+        with pytest.raises(WorkloadError):
+            motivational_problem("S3")
+
+    def test_initial_problem_has_one_job(self):
+        problem = initial_problem("S1")
+        assert len(problem.jobs) == 1
+        assert problem.now == 0.0
+        with pytest.raises(WorkloadError):
+            initial_problem("S9")
+
+
+class TestFigure1Reproduction:
+    """End-to-end reproduction of the three schedules of Fig. 1."""
+
+    def _trace(self, scenario: str) -> RequestTrace:
+        from repro.workload.motivational import SCENARIOS
+
+        requests = SCENARIOS[scenario]
+        return RequestTrace(
+            [
+                RequestEvent(
+                    requests["sigma1"][0],
+                    "lambda1",
+                    requests["sigma1"][1] - requests["sigma1"][0],
+                    "sigma1",
+                ),
+                RequestEvent(
+                    requests["sigma2"][0],
+                    "lambda2",
+                    requests["sigma2"][1] - requests["sigma2"][0],
+                    "sigma2",
+                ),
+            ]
+        )
+
+    def _run(self, scheduler, remap_on_finish: bool, scenario: str = "S1"):
+        manager = RuntimeManager(
+            motivational_platform(),
+            motivational_tables(),
+            scheduler,
+            remap_on_finish=remap_on_finish,
+        )
+        return manager.run(self._trace(scenario))
+
+    def test_fig1a_fixed_mapper_remap_at_start(self):
+        log = self._run(FixedMinEnergyScheduler(), remap_on_finish=False)
+        assert log.acceptance_rate == 1.0
+        assert log.total_energy == pytest.approx(
+            FIGURE1_ENERGIES["fixed_remap_at_start"], abs=0.01
+        )
+
+    def test_fig1b_fixed_mapper_remap_at_start_and_finish(self):
+        log = self._run(FixedMinEnergyScheduler(), remap_on_finish=True)
+        assert log.total_energy == pytest.approx(
+            FIGURE1_ENERGIES["fixed_remap_at_start_and_finish"], abs=0.01
+        )
+
+    def test_fig1c_adaptive_mapper(self):
+        log = self._run(MMKPMDFScheduler(), remap_on_finish=False)
+        assert log.total_energy == pytest.approx(
+            FIGURE1_ENERGIES["adaptive"], abs=0.01
+        )
+
+    def test_energy_ordering_of_the_three_variants(self):
+        fixed = self._run(FixedMinEnergyScheduler(), False).total_energy
+        fixed_refine = self._run(FixedMinEnergyScheduler(), True).total_energy
+        adaptive = self._run(MMKPMDFScheduler(), False).total_energy
+        assert adaptive < fixed_refine < fixed
+
+    def test_scenario_s2_fixed_mapper_rejects_but_adaptive_admits(self):
+        fixed_log = self._run(FixedMinEnergyScheduler(), False, scenario="S2")
+        adaptive_log = self._run(MMKPMDFScheduler(), False, scenario="S2")
+        assert fixed_log.acceptance_rate == pytest.approx(0.5)
+        assert adaptive_log.acceptance_rate == pytest.approx(1.0)
+        assert not adaptive_log.deadline_misses
+
+    def test_exmem_matches_the_adaptive_energy(self, mot_problem_s1):
+        result = ExMemScheduler().schedule(mot_problem_s1)
+        pre_arrival = motivational_tables()["lambda1"][6].energy * SIGMA1_PROGRESS_AT_T1
+        assert result.energy + pre_arrival == pytest.approx(
+            FIGURE1_ENERGIES["adaptive"], abs=0.01
+        )

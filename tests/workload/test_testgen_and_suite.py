@@ -1,0 +1,152 @@
+"""Tests for the Section VI.A test-case generator and the evaluation suite."""
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workload import EvaluationSuite, TestCaseGenerator, table_iii_census
+from repro.workload.motivational import motivational_tables
+from repro.workload.suite import TABLE_III, TOTAL_TEST_CASES, scaled_census
+from repro.workload.testgen import (
+    DeadlineLevel,
+    INITIAL_STATE_SHARE,
+    SINGLE_APPLICATION_SHARE,
+    TIGHT_FACTOR_RANGE,
+    WEAK_FACTOR_RANGE,
+)
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return TestCaseGenerator(motivational_tables(), seed=42)
+
+
+class TestDeadlineLevel:
+    def test_factor_ranges_match_the_paper(self):
+        assert DeadlineLevel.WEAK.factor_range == WEAK_FACTOR_RANGE == (2.0, 6.0)
+        assert DeadlineLevel.TIGHT.factor_range == TIGHT_FACTOR_RANGE == (0.6, 2.0)
+
+
+class TestTestCaseGenerator:
+    def test_case_structure(self, generator):
+        case = generator.generate_case(3, DeadlineLevel.WEAK)
+        assert case.num_jobs == 3
+        assert len(set(job.name for job in case.jobs)) == 3
+        assert all(job.arrival == 0.0 for job in case.jobs)
+        assert all(job.deadline > 0.0 for job in case.jobs)
+        assert case.deadline_level is DeadlineLevel.WEAK
+
+    def test_newly_arrived_job_is_in_initial_state(self, generator):
+        for _ in range(20):
+            case = generator.generate_case(3, DeadlineLevel.TIGHT)
+            assert case.jobs[-1].remaining_ratio == pytest.approx(1.0)
+
+    def test_progress_stays_within_the_paper_range(self, generator):
+        for _ in range(50):
+            case = generator.generate_case(4, DeadlineLevel.TIGHT)
+            for job in case.jobs:
+                assert 0.1 - 1e-9 <= job.remaining_ratio <= 1.0 + 1e-9
+
+    def test_determinism_per_seed(self):
+        tables = motivational_tables()
+        first = TestCaseGenerator(tables, seed=5).generate_case(2, DeadlineLevel.WEAK)
+        second = TestCaseGenerator(tables, seed=5).generate_case(2, DeadlineLevel.WEAK)
+        assert [j.deadline for j in first.jobs] == [j.deadline for j in second.jobs]
+        assert first.applications == second.applications
+
+    def test_weak_deadlines_are_looser_than_tight_ones(self):
+        tables = motivational_tables()
+        weak_gen = TestCaseGenerator(tables, seed=1)
+        tight_gen = TestCaseGenerator(tables, seed=1)
+        weak = [
+            weak_gen.generate_case(1, DeadlineLevel.WEAK).jobs[0].deadline
+            for _ in range(100)
+        ]
+        tight = [
+            tight_gen.generate_case(1, DeadlineLevel.TIGHT).jobs[0].deadline
+            for _ in range(100)
+        ]
+        assert sum(weak) / len(weak) > sum(tight) / len(tight)
+
+    def test_statistical_shares_roughly_match_the_paper(self):
+        tables = motivational_tables()
+        generator = TestCaseGenerator(tables, seed=123)
+        cases = generator.generate_batch(600, 2, DeadlineLevel.WEAK)
+        single = sum(1 for c in cases if c.single_application) / len(cases)
+        initial = sum(
+            1 for c in cases if all(not j.is_started() for j in c.jobs)
+        ) / len(cases)
+        assert single == pytest.approx(SINGLE_APPLICATION_SHARE, abs=0.12)
+        # All-initial cases also arise by chance beyond the dedicated share.
+        assert initial >= INITIAL_STATE_SHARE - 0.1
+
+    def test_invalid_parameters(self, generator):
+        with pytest.raises(WorkloadError):
+            generator.generate_case(0, DeadlineLevel.WEAK)
+        with pytest.raises(WorkloadError):
+            TestCaseGenerator({}, seed=1)
+
+    def test_generate_from_census(self, generator):
+        census = {(DeadlineLevel.WEAK, 1): 3, (DeadlineLevel.TIGHT, 2): 2}
+        cases = generator.generate_from_census(census)
+        assert len(cases) == 5
+        assert sum(1 for c in cases if c.num_jobs == 1) == 3
+
+
+class TestTableIIICensus:
+    def test_counts_match_the_paper(self):
+        census = table_iii_census()
+        assert census[(DeadlineLevel.WEAK, 2)] == 255
+        assert census[(DeadlineLevel.TIGHT, 4)] == 206
+        assert sum(census.values()) == TOTAL_TEST_CASES == 1676
+
+    def test_scaled_census_keeps_all_buckets(self):
+        scaled = scaled_census(0.01)
+        assert set(scaled) == set(TABLE_III)
+        assert all(count >= 1 for count in scaled.values())
+        with pytest.raises(WorkloadError):
+            scaled_census(0.0)
+
+
+class TestEvaluationSuite:
+    @pytest.fixture(scope="class")
+    def suite(self):
+        return EvaluationSuite.generate(
+            motivational_tables(), scaled_census(0.02), seed=9
+        )
+
+    def test_census_reflects_the_requested_counts(self, suite):
+        requested = scaled_census(0.02)
+        assert suite.census() == requested
+        assert len(suite) == sum(requested.values())
+
+    def test_full_census_is_the_default(self):
+        # Generating the complete 1676-case suite is cheap (no scheduling).
+        suite = EvaluationSuite.generate(motivational_tables(), seed=1)
+        assert len(suite) == TOTAL_TEST_CASES
+
+    def test_filtering(self, suite):
+        tight_three = suite.filtered(DeadlineLevel.TIGHT, 3)
+        assert all(
+            c.deadline_level is DeadlineLevel.TIGHT and c.num_jobs == 3
+            for c in tight_three
+        )
+        assert len(suite.filtered(num_jobs=2)) == len(
+            suite.filtered(DeadlineLevel.WEAK, 2)
+        ) + len(suite.filtered(DeadlineLevel.TIGHT, 2))
+
+    def test_problems_are_constructible(self, suite):
+        from repro.platforms import big_little
+
+        platform = big_little(2, 2)
+        pairs = list(suite.problems(platform, motivational_tables(), num_jobs=1))
+        assert pairs
+        for case, problem in pairs:
+            assert len(problem.jobs) == case.num_jobs
+
+    def test_shares_are_reported(self, suite):
+        assert 0.0 <= suite.single_application_share() <= 1.0
+        assert 0.0 <= suite.initial_state_share() <= 1.0
+
+    def test_empty_suite_rejected(self):
+        with pytest.raises(WorkloadError):
+            EvaluationSuite([])
