@@ -1,0 +1,91 @@
+"""E10 — batch-simulation service throughput (traces/sec).
+
+Measures how fast :class:`~repro.service.pool.SimulationService` pushes a
+repeated-sweep workload (the shape that dominates parameter studies: the same
+trace seeds re-simulated across repeats and schedulers) through the runtime
+manager, comparing
+
+* one worker without the activation cache (the seed's one-trace-at-a-time
+  baseline),
+* one worker with the cache (repeated activations solved once),
+* ``--workers``/``REPRO_BENCH_WORKERS`` workers with a shared cache.
+
+The acceptance bar of the service subsystem is a ≥ 2× traces/sec improvement
+from cache + fan-out on this workload; the cache alone typically clears it
+(hit rate ≈ 1 − 1/repeats).  All configurations must simulate every trace
+without failures, and the cached runs must be bit-identical to each other
+regardless of worker count.
+"""
+
+import time
+
+from repro.service import BatchSpec, SimulationService
+
+#: Repeated-sweep workload: distinct trace seeds × repeats.
+ARRIVAL_RATES = (0.15, 0.3)
+TRACES_PER_POINT = 5
+NUM_REQUESTS = 12
+REPEATS = 8
+
+
+def _sweep() -> BatchSpec:
+    return BatchSpec.sweep(
+        arrival_rates=ARRIVAL_RATES,
+        schedulers=["mmkp-mdf"],
+        traces_per_point=TRACES_PER_POINT,
+        num_requests=NUM_REQUESTS,
+        repeats=REPEATS,
+        name="throughput",
+    )
+
+
+def _timed(service: SimulationService, spec: BatchSpec):
+    start = time.perf_counter()
+    results = service.run_batch(spec)
+    elapsed = time.perf_counter() - start
+    assert results.failures == [], [f.error for f in results.failures]
+    return results, elapsed
+
+
+def test_service_throughput(bench_workers):
+    spec = _sweep()
+    print(
+        f"\nE10 — service throughput on a repeated sweep "
+        f"({len(spec)} traces = {len(ARRIVAL_RATES)} rates × "
+        f"{TRACES_PER_POINT} seeds × {REPEATS} repeats, "
+        f"{NUM_REQUESTS} requests each)"
+    )
+
+    baseline = SimulationService(workers=1, use_cache=False)
+    _, baseline_time = _timed(baseline, spec)
+
+    cached = SimulationService(workers=1, use_cache=True)
+    cached_results, cached_time = _timed(cached, spec)
+
+    fanout = SimulationService(workers=bench_workers, executor="thread", use_cache=True)
+    fanout_results, fanout_time = _timed(fanout, spec)
+
+    rows = [
+        ("1 worker, cache off", baseline_time, 1.0),
+        ("1 worker, cache on", cached_time, baseline_time / cached_time),
+        (
+            f"{bench_workers} workers, cache on",
+            fanout_time,
+            baseline_time / fanout_time,
+        ),
+    ]
+    print(f"{'configuration':28s} {'time':>9s} {'traces/s':>10s} {'speedup':>9s}")
+    for label, elapsed, speedup in rows:
+        print(
+            f"{label:28s} {elapsed:8.3f}s {len(spec) / elapsed:10.1f} "
+            f"{speedup:8.2f}x"
+        )
+    hit_rate = cached.cache.info()["hit_rate"]
+    print(f"activation cache hit rate: {hit_rate:.1%}")
+
+    # Correctness before speed: caching is deterministic and fan-out-invariant.
+    assert cached_results.fingerprint() == fanout_results.fingerprint()
+    assert hit_rate > 0.5, "repeated sweep should mostly hit the cache"
+    # The headline claim: cache (+ fan-out) buys at least 2× on this workload.
+    best = max(baseline_time / cached_time, baseline_time / fanout_time)
+    assert best >= 2.0, f"expected ≥2x traces/sec, got {best:.2f}x"

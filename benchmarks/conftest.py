@@ -11,6 +11,9 @@ harness serves both quick CI runs and full-scale reproductions:
   for the scheduler comparison (default ``8``); the exhaustive EX-MEM
   reference is exponential in this number.
 * ``REPRO_BENCH_SEED`` — workload generator seed (default ``2020``).
+* ``REPRO_BENCH_WORKERS`` — worker count for the service-throughput
+  benchmark (default ``2``); the ``--workers`` command-line flag overrides
+  it for quick smoke runs.
 """
 
 from __future__ import annotations
@@ -18,6 +21,18 @@ from __future__ import annotations
 import os
 
 import pytest
+
+
+def pytest_addoption(parser):
+    """Smoke flag: override the service worker count from the command line."""
+    parser.addoption(
+        "--workers",
+        action="store",
+        type=int,
+        default=None,
+        help="worker count for bench_service_throughput "
+        "(default: REPRO_BENCH_WORKERS or 2)",
+    )
 
 from repro.analysis import evaluate_suite
 from repro.dse import paper_operating_points, reduced_tables
@@ -29,6 +44,14 @@ from repro.workload.suite import scaled_census, table_iii_census
 BENCH_FRACTION = float(os.environ.get("REPRO_BENCH_FRACTION", "0.05"))
 BENCH_MAX_POINTS = int(os.environ.get("REPRO_BENCH_MAX_POINTS", "8"))
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "2020"))
+BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "2"))
+
+
+@pytest.fixture(scope="session")
+def bench_workers(request) -> int:
+    """Worker count for the service benchmarks (--workers beats the env var)."""
+    value = request.config.getoption("--workers")
+    return BENCH_WORKERS if value is None else value
 
 
 @pytest.fixture(scope="session")

@@ -36,7 +36,10 @@ class SchedulerRun:
     num_jobs:
         Number of jobs in the test case.
     deadline_level:
-        Deadline tightness of the test case.
+        Deadline tightness of the test case.  ``None`` for runs derived from
+        online traces (see
+        :meth:`repro.service.pool.BatchResults.to_scheduler_runs`), which
+        have no generator deadline level.
     scheduler:
         Name of the scheduler.
     feasible:
@@ -49,7 +52,7 @@ class SchedulerRun:
 
     case_name: str
     num_jobs: int
-    deadline_level: DeadlineLevel
+    deadline_level: DeadlineLevel | None
     scheduler: str
     feasible: bool
     energy: float

@@ -31,7 +31,8 @@ def write_runs_csv(results: SuiteResults, path: str | Path) -> int:
                 [
                     run.case_name,
                     run.num_jobs,
-                    run.deadline_level.value,
+                    # Runs bridged from online batches carry no deadline level.
+                    "" if run.deadline_level is None else run.deadline_level.value,
                     run.scheduler,
                     int(run.feasible),
                     "" if run.energy == float("inf") else f"{run.energy:.6f}",

@@ -11,6 +11,10 @@ The CLI mirrors the typical usage of the library:
 * ``repro-rm evaluate`` — run the full comparison (Fig. 2, Table IV, Fig. 3,
   Fig. 4) on a down-scaled census and print the text reports.
 * ``repro-rm motivational`` — reproduce the motivational example (Fig. 1).
+* ``repro-rm batch`` — run a batch of online runtime-manager simulations
+  described by a :class:`~repro.service.jobs.BatchSpec` JSON file through the
+  concurrent :class:`~repro.service.pool.SimulationService` (worker fan-out,
+  activation caching, service metrics); see :mod:`repro.service`.
 """
 
 from __future__ import annotations
@@ -44,6 +48,7 @@ from repro.schedulers import (
     MMKPLRScheduler,
     MMKPMDFScheduler,
 )
+from repro.service.jobs import SCHEDULERS
 from repro.workload import EvaluationSuite
 from repro.workload.motivational import (
     SCENARIOS,
@@ -52,12 +57,8 @@ from repro.workload.motivational import (
 )
 from repro.workload.suite import scaled_census, table_iii_census
 
-SCHEDULERS = {
-    "mmkp-mdf": MMKPMDFScheduler,
-    "mmkp-lr": MMKPLRScheduler,
-    "ex-mem": ExMemScheduler,
-    "fixed": FixedMinEnergyScheduler,
-}
+# Scheduler registry shared with the batch service, so the names accepted by
+# ``--scheduler`` and by BatchSpec JSON files can never drift apart.
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -93,6 +94,41 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     subparsers.add_parser("motivational", help="reproduce the motivational example (Fig. 1)")
+
+    batch = subparsers.add_parser(
+        "batch",
+        help="run a batch of online simulations from a BatchSpec JSON file",
+        description=(
+            "Run every simulation job of a BatchSpec file through the "
+            "concurrent SimulationService: per-job seeding keeps results "
+            "bit-identical for any worker count, repeated scheduler "
+            "activations are served from the activation cache, and one "
+            "failing trace does not abort the batch."
+        ),
+    )
+    batch.add_argument("spec", help="BatchSpec JSON file (see repro.service.jobs)")
+    batch.add_argument(
+        "--workers", type=int, default=1, help="worker count for the fan-out"
+    )
+    batch.add_argument(
+        "--executor",
+        choices=["auto", "serial", "thread", "process"],
+        default="auto",
+        help="fan-out backend (auto: serial for one worker, threads otherwise)",
+    )
+    batch.add_argument(
+        "--no-cache", action="store_true", help="disable the activation cache"
+    )
+    batch.add_argument(
+        "--cache-size", type=int, default=4096, help="activation cache capacity"
+    )
+    batch.add_argument(
+        "--shard", default=None, metavar="I/N", help="run only shard I of N"
+    )
+    batch.add_argument("--output", default=None, help="write result summaries JSON")
+    batch.add_argument(
+        "--quiet", action="store_true", help="omit the service metrics block"
+    )
     return parser
 
 
@@ -194,6 +230,48 @@ def _cmd_motivational(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.exceptions import SerializationError, WorkloadError
+    from repro.service import BatchSpec, SimulationService
+
+    try:
+        spec = BatchSpec.load(args.spec)
+        if args.shard:
+            try:
+                index, count = (int(part) for part in args.shard.split("/"))
+            except ValueError:
+                print(f"invalid --shard {args.shard!r}; expected I/N", file=sys.stderr)
+                return 2
+            spec = spec.shard(index, count)
+        service = SimulationService(
+            workers=args.workers,
+            executor=args.executor,
+            use_cache=not args.no_cache,
+            cache_size=args.cache_size,
+        )
+    except (SerializationError, WorkloadError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    results = service.run_batch(spec)
+    aggregate = results.aggregate()
+    print(
+        f"batch {spec.name}: {aggregate['traces']} traces "
+        f"({aggregate['failed']} failed), "
+        f"{aggregate['requests']} requests, "
+        f"acceptance {aggregate['acceptance_rate'] * 100:.1f} %, "
+        f"energy {aggregate['total_energy']:.2f} J, "
+        f"{aggregate['activations']} activations"
+    )
+    for failure in results.failures:
+        print(f"  FAILED {failure.job_name}: {failure.error}")
+    if not args.quiet:
+        print(service.metrics.format())
+    if args.output:
+        save_json(results.to_dict(), args.output)
+        print(f"wrote {len(results)} result summaries to {args.output}")
+    return 1 if results.failures else 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point (also installed as the ``repro-rm`` script)."""
     parser = _build_parser()
@@ -204,6 +282,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "schedule": _cmd_schedule,
         "evaluate": _cmd_evaluate,
         "motivational": _cmd_motivational,
+        "batch": _cmd_batch,
     }
     return handlers[args.command](args)
 

@@ -8,6 +8,9 @@ small helpers for saving/loading whole experiment setups.
 """
 
 from repro.io.serialization import (
+    batch_results_to_dict,
+    batch_spec_from_dict,
+    batch_spec_to_dict,
     config_table_from_dict,
     config_table_to_dict,
     job_from_dict,
@@ -19,6 +22,8 @@ from repro.io.serialization import (
     request_trace_to_dict,
     save_json,
     schedule_to_dict,
+    simulation_job_from_dict,
+    simulation_job_to_dict,
     tables_from_dict,
     tables_to_dict,
     test_case_from_dict,
@@ -26,6 +31,11 @@ from repro.io.serialization import (
 )
 
 __all__ = [
+    "batch_spec_to_dict",
+    "batch_spec_from_dict",
+    "batch_results_to_dict",
+    "simulation_job_to_dict",
+    "simulation_job_from_dict",
     "platform_to_dict",
     "platform_from_dict",
     "config_table_to_dict",

@@ -15,28 +15,80 @@ and drives one of the schedulers:
   (``remap_on_finish=True``), which is how the "fixed mapper with remapping at
   application start and finish" of Fig. 1(b) behaves.
 
+Two time-advance engines are available.  The default ``"events"`` engine
+drives the simulation from a heap-based
+:class:`~repro.service.events.EventQueue`: arrivals and segment boundaries
+become events (job finishes coincide with the end of the job's last segment,
+so boundary events cover them), and picking the next time step costs
+``O(log n)``.
+The ``"linear"`` engine reproduces the seed implementation's outer loop
+(advance to each arrival in trace order); both engines share the execution
+primitives and produce identical :class:`~repro.runtime.log.ExecutionLog`
+contents, which the equivalence tests assert.
+
+All per-run state lives in a private run context, so ``run()`` itself is
+reentrant and one manager instance can be shared across concurrent callers —
+*provided the scheduler is*.  The scheduler instance is shared between runs,
+and some schedulers keep per-solve state on ``self`` (EX-MEM's memo tables,
+for example), so concurrent runs are only safe with stateless or thread-safe
+schedulers such as MMKP-MDF;
+:class:`~repro.service.pool.SimulationService` side-steps this by building a
+fresh scheduler instance per simulation job.
+
 The result of a run is an :class:`~repro.runtime.log.ExecutionLog` with the
 admission decisions, the executed timeline and the total consumed energy.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Mapping
 
 from repro.core.config import ConfigTable
 from repro.core.problem import SchedulingProblem
 from repro.core.request import Job
-from repro.core.segment import Schedule
-from repro.exceptions import AdmissionError
+from repro.core.segment import MappingSegment, Schedule
+from repro.exceptions import AdmissionError, SchedulingError
 from repro.platforms.platform import Platform
 from repro.platforms.resources import ResourceVector
 from repro.runtime.log import ExecutedInterval, ExecutionLog, RequestOutcome
 from repro.runtime.trace import RequestEvent, RequestTrace
 from repro.schedulers.base import Scheduler
+from repro.service.events import Event, EventKind, EventQueue
 
 #: Remaining-ratio threshold below which a job counts as completed.
 _FINISH_TOLERANCE = 1e-6
 _TIME_EPSILON = 1e-9
+
+#: The supported time-advance engines.
+ENGINES = ("events", "linear")
+
+
+@dataclass
+class _RunContext:
+    """All mutable state of one simulation run.
+
+    Keeping the state here (instead of on the manager) makes
+    :meth:`RuntimeManager.run` reentrant: a single manager instance can be
+    shared by concurrent workers, each run owning its private context.
+    """
+
+    now: float = 0.0
+    active: dict[str, Job] = field(default_factory=dict)
+    schedule: Schedule = field(default_factory=Schedule)
+    #: Index of the first committed segment that may still execute.  The
+    #: cursor only moves forward and is reset when a schedule is committed,
+    #: making the next-segment lookup O(1) amortised instead of the seed's
+    #: O(n) rescan per advance.
+    cursor: int = 0
+    #: Schedule generation counter used to lazily invalidate queued
+    #: segment-boundary events after a new schedule is committed.
+    epoch: int = 0
+    queue: EventQueue | None = None
+    log: ExecutionLog = field(default_factory=ExecutionLog)
+    completions: dict[str, float] = field(default_factory=dict)
+    request_info: dict[str, RequestEvent] = field(default_factory=dict)
+    admissions: dict[str, tuple[bool, float]] = field(default_factory=dict)
 
 
 class RuntimeManager:
@@ -54,6 +106,10 @@ class RuntimeManager:
         Re-activate the scheduler whenever a job completes.  The adaptive
         schedulers do not need this (their schedules already cover the whole
         horizon); the fixed mapper of Fig. 1(b) does.
+    engine:
+        Default time-advance engine: ``"events"`` (heap-based event queue) or
+        ``"linear"`` (the seed's arrival-by-arrival loop).  Both produce the
+        same execution log; ``run()`` may override the choice per call.
 
     Examples
     --------
@@ -75,164 +131,272 @@ class RuntimeManager:
         tables: Mapping[str, ConfigTable],
         scheduler: Scheduler,
         remap_on_finish: bool = False,
+        engine: str = "events",
     ):
+        if engine not in ENGINES:
+            raise SchedulingError(
+                f"unknown time-advance engine {engine!r}; choose from {ENGINES}"
+            )
         self._capacity = (
             platform.capacity if isinstance(platform, Platform) else platform
         )
         self._tables = dict(tables)
         self._scheduler = scheduler
         self._remap_on_finish = remap_on_finish
+        self._engine = engine
 
     # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #
-    def run(self, trace: RequestTrace) -> ExecutionLog:
-        """Simulate the runtime manager over a full request trace."""
-        self._now = 0.0
-        self._active: dict[str, Job] = {}
-        self._schedule: Schedule = Schedule()
-        self._log = ExecutionLog()
-        self._completions: dict[str, float] = {}
-        self._request_info: dict[str, RequestEvent] = {}
-        self._admissions: dict[str, tuple[bool, float]] = {}
+    def run(self, trace: RequestTrace, engine: str | None = None) -> ExecutionLog:
+        """Simulate the runtime manager over a full request trace.
 
+        Parameters
+        ----------
+        trace:
+            The request arrivals to simulate.
+        engine:
+            Override the manager's default time-advance engine for this run.
+        """
+        engine = self._engine if engine is None else engine
+        if engine not in ENGINES:
+            raise SchedulingError(
+                f"unknown time-advance engine {engine!r}; choose from {ENGINES}"
+            )
+        ctx = _RunContext()
+        if engine == "events":
+            self._run_events(trace, ctx)
+        else:
+            self._run_linear(trace, ctx)
+        self._finalise_outcomes(ctx)
+        return ctx.log
+
+    # ------------------------------------------------------------------ #
+    # Drivers
+    # ------------------------------------------------------------------ #
+    def _run_linear(self, trace: RequestTrace, ctx: _RunContext) -> None:
+        """The seed driver: advance to each arrival in trace order."""
         for event in trace:
-            if event.application not in self._tables:
-                raise AdmissionError(
-                    f"request {event.name!r} asks for unknown application "
-                    f"{event.application!r}"
-                )
-            self._advance_to(event.time)
-            self._handle_arrival(event)
+            self._check_application(event)
+            self._advance_to(ctx, event.time)
+            self._handle_arrival(ctx, event)
+        self._advance_to(ctx, float("inf"))
 
-        # Run the remaining schedule to completion.
-        self._advance_to(float("inf"))
-        self._finalise_outcomes()
-        return self._log
+    def _run_events(self, trace: RequestTrace, ctx: _RunContext) -> None:
+        """The event-engine driver: hop from event to event via a heap."""
+        ctx.queue = EventQueue()
+        for request in trace:
+            ctx.queue.push(Event(request.time, EventKind.ARRIVAL, payload=request))
+        while ctx.queue:
+            event = ctx.queue.pop()
+            if event.kind is EventKind.ARRIVAL:
+                request = event.payload
+                self._check_application(request)
+                self._advance_to(ctx, event.time)
+                self._handle_arrival(ctx, request)
+            elif event.epoch == ctx.epoch:
+                # A segment boundary of the current schedule (job finishes
+                # coincide with segment ends, so boundary events cover them).
+                # Boundaries of superseded schedules are lazily invalidated:
+                # their epoch no longer matches and they are simply skipped.
+                self._advance_to(ctx, event.time)
+        # Defensive: execute anything the boundary events did not cover.
+        self._advance_to(ctx, float("inf"))
+
+    def _check_application(self, event: RequestEvent) -> None:
+        if event.application not in self._tables:
+            raise AdmissionError(
+                f"request {event.name!r} asks for unknown application "
+                f"{event.application!r}"
+            )
 
     # ------------------------------------------------------------------ #
     # Arrival handling
     # ------------------------------------------------------------------ #
-    def _handle_arrival(self, event: RequestEvent) -> None:
+    def _handle_arrival(self, ctx: _RunContext, event: RequestEvent) -> None:
         job = Job(
             name=event.name,
             application=event.application,
             arrival=event.time,
             deadline=event.absolute_deadline,
         )
-        self._request_info[event.name] = event
-        candidate_jobs = list(self._active.values()) + [job]
+        ctx.request_info[event.name] = event
+        candidate_jobs = list(ctx.active.values()) + [job]
         problem = SchedulingProblem(
             self._capacity, self._tables, candidate_jobs, now=event.time
         )
         result = self._scheduler.schedule(problem)
-        self._log.activations += 1
+        ctx.log.activations += 1
 
         if result.feasible:
-            self._active[job.name] = job
-            self._schedule = result.schedule
-            self._admissions[event.name] = (True, result.search_time)
+            ctx.active[job.name] = job
+            self._commit(ctx, result.schedule)
+            ctx.admissions[event.name] = (True, result.search_time)
         else:
             # The new request is rejected; the previously committed schedule
             # keeps serving the already admitted jobs.
-            self._admissions[event.name] = (False, result.search_time)
+            ctx.admissions[event.name] = (False, result.search_time)
+
+    # ------------------------------------------------------------------ #
+    # Schedule commits
+    # ------------------------------------------------------------------ #
+    def _commit(self, ctx: _RunContext, schedule: Schedule) -> None:
+        """Install ``schedule`` as the in-force schedule.
+
+        Mappings of jobs that are no longer active are dropped and segments
+        that become empty disappear, so the executed timeline never carries
+        ghost entries for finished jobs.  The segment cursor resets and, in
+        event-engine runs, the schedule's boundary events are queued under a
+        fresh epoch (stale events of the superseded schedule are skipped on
+        pop).
+        """
+        ctx.schedule = self._without_finished(ctx, schedule)
+        ctx.cursor = 0
+        ctx.epoch += 1
+        if ctx.queue is not None:
+            # One boundary event per future segment end.  Job finishes need no
+            # separate events: a job completes exactly at the end of its last
+            # segment, so the boundary events already cover them.
+            for segment in ctx.schedule:
+                if segment.end > ctx.now + _TIME_EPSILON:
+                    ctx.queue.push(
+                        Event(segment.end, EventKind.SEGMENT_END, epoch=ctx.epoch)
+                    )
+
+    def _without_finished(self, ctx: _RunContext, schedule: Schedule) -> Schedule:
+        """Strip not-yet-executed mappings whose job already finished."""
+        changed = False
+        kept: list[MappingSegment] = []
+        for segment in schedule:
+            if segment.end <= ctx.now + _TIME_EPSILON:
+                kept.append(segment)
+                continue
+            live = [m for m in segment if m.job_name in ctx.active]
+            if len(live) == len(segment.mappings):
+                kept.append(segment)
+            else:
+                changed = True
+                if live:
+                    kept.append(MappingSegment(segment.start, segment.end, live))
+        return Schedule(kept) if changed else schedule
 
     # ------------------------------------------------------------------ #
     # Time advance / schedule execution
     # ------------------------------------------------------------------ #
-    def _advance_to(self, target: float) -> None:
+    def _advance_to(self, ctx: _RunContext, target: float) -> None:
         """Execute the committed schedule from the current time up to ``target``."""
-        while self._now < target - _TIME_EPSILON:
-            segment = self._next_segment()
+        while ctx.now < target - _TIME_EPSILON:
+            segment = self._next_segment(ctx)
             if segment is None:
                 # Nothing left to execute; jump straight to the target time.
                 if target != float("inf"):
-                    self._now = target
+                    ctx.now = target
                 return
 
-            if segment.start > self._now + _TIME_EPSILON:
+            if segment.start > ctx.now + _TIME_EPSILON:
                 # Idle gap before the next planned segment.
                 if segment.start >= target - _TIME_EPSILON:
-                    self._now = target
+                    ctx.now = target
                     return
-                self._now = segment.start
+                ctx.now = segment.start
                 continue
 
             interval_end = min(segment.end, target)
-            if interval_end <= self._now + _TIME_EPSILON:
+            if interval_end <= ctx.now + _TIME_EPSILON:
                 return
-            self._execute_interval(segment, self._now, interval_end)
-            self._now = interval_end
+            self._execute_interval(ctx, segment, ctx.now, interval_end)
+            ctx.now = interval_end
 
             if interval_end >= segment.end - _TIME_EPSILON:
-                finished = self._collect_finished(segment.end)
-                if finished and self._remap_on_finish and self._active:
-                    self._reschedule_at(self._now)
+                finished = self._collect_finished(ctx, segment.end)
+                if finished and self._remap_on_finish and ctx.active:
+                    self._reschedule_at(ctx, ctx.now)
 
-    def _next_segment(self):
-        """The first committed segment that has not fully executed yet."""
-        for segment in self._schedule:
-            if segment.end > self._now + _TIME_EPSILON:
-                return segment
+    def _next_segment(self, ctx: _RunContext) -> MappingSegment | None:
+        """The first committed segment that has not fully executed yet.
+
+        The cursor is monotonic within one committed schedule (it resets on
+        commit), so the lookup is O(1) amortised over a run instead of the
+        seed's O(n) rescan from index 0 on every advance.
+        """
+        segments = ctx.schedule.segments
+        while (
+            ctx.cursor < len(segments)
+            and segments[ctx.cursor].end <= ctx.now + _TIME_EPSILON
+        ):
+            ctx.cursor += 1
+        if ctx.cursor < len(segments):
+            return segments[ctx.cursor]
         return None
 
-    def _execute_interval(self, segment, start: float, end: float) -> None:
+    def _execute_interval(
+        self, ctx: _RunContext, segment: MappingSegment, start: float, end: float
+    ) -> None:
         """Account progress and energy of one executed interval."""
         duration = end - start
         energy = 0.0
         job_configs = []
         for mapping in segment:
-            job = self._active.get(mapping.job_name)
+            job = ctx.active.get(mapping.job_name)
             if job is None:
                 continue
             point = mapping.operating_point(self._tables)
             progress = duration / point.execution_time
             energy += point.energy * progress
-            self._active[job.name] = job.with_progress(
+            ctx.active[job.name] = job.with_progress(
                 min(progress, job.remaining_ratio)
             )
             job_configs.append((mapping.job_name, mapping.config_index))
-        self._log.timeline.append(
+        if not job_configs:
+            # Every mapped job already finished (possible only for schedules
+            # kept in force past a failed re-activation): nothing ran, so
+            # nothing is logged.
+            return
+        ctx.log.timeline.append(
             ExecutedInterval(start, end, tuple(job_configs), energy)
         )
-        self._log.total_energy += energy
+        ctx.log.total_energy += energy
 
-    def _collect_finished(self, time: float) -> list[str]:
+    def _collect_finished(self, ctx: _RunContext, time: float) -> list[str]:
         """Remove completed jobs from the active set and record their completion."""
         finished = []
-        for name, job in list(self._active.items()):
+        for name, job in list(ctx.active.items()):
             if job.remaining_ratio <= _FINISH_TOLERANCE:
-                self._completions[name] = time
-                del self._active[name]
+                ctx.completions[name] = time
+                del ctx.active[name]
                 finished.append(name)
+        if finished and ctx.active:
+            pruned = self._without_finished(ctx, ctx.schedule)
+            if pruned is not ctx.schedule:
+                self._commit(ctx, pruned)
         return finished
 
-    def _reschedule_at(self, time: float) -> None:
+    def _reschedule_at(self, ctx: _RunContext, time: float) -> None:
         """Re-activate the scheduler for the remaining jobs (remap on finish)."""
         problem = SchedulingProblem(
-            self._capacity, self._tables, list(self._active.values()), now=time
+            self._capacity, self._tables, list(ctx.active.values()), now=time
         )
         result = self._scheduler.schedule(problem)
-        self._log.activations += 1
+        ctx.log.activations += 1
         if result.feasible:
-            self._schedule = result.schedule
+            self._commit(ctx, result.schedule)
         # If rescheduling fails the previously committed schedule (which is
         # still feasible for the remaining jobs) stays in force.
 
     # ------------------------------------------------------------------ #
     # Final bookkeeping
     # ------------------------------------------------------------------ #
-    def _finalise_outcomes(self) -> None:
-        for name, event in self._request_info.items():
-            accepted, search_time = self._admissions[name]
-            self._log.outcomes.append(
+    def _finalise_outcomes(self, ctx: _RunContext) -> None:
+        for name, event in ctx.request_info.items():
+            accepted, search_time = ctx.admissions[name]
+            ctx.log.outcomes.append(
                 RequestOutcome(
                     name=name,
                     application=event.application,
                     arrival=event.time,
                     deadline=event.absolute_deadline,
                     accepted=accepted,
-                    completion_time=self._completions.get(name),
+                    completion_time=ctx.completions.get(name),
                     scheduler_time=search_time,
                 )
             )

@@ -1,0 +1,115 @@
+"""``repro.service`` — concurrent batch simulation on top of the runtime manager.
+
+The seed reproduction runs one :class:`~repro.runtime.trace.RequestTrace` at
+a time through a single :class:`~repro.runtime.manager.RuntimeManager`.  This
+package scales that into a *service*: declarative batches of thousands of
+simulations, executed concurrently, with repeated scheduler activations
+served from a cache.
+
+Modules
+-------
+* :mod:`repro.service.events` — heap-based :class:`EventQueue`
+  (arrival/finish/segment-boundary/timer events); the runtime manager's
+  default ``"events"`` time-advance engine is driven by it.
+* :mod:`repro.service.jobs` — :class:`SimulationJob` / :class:`BatchSpec`:
+  declarative, JSON-serialisable descriptions of simulations (trace or
+  generator spec + platform + tables + scheduler + seed) with sweep and
+  shard helpers.
+* :mod:`repro.service.cache` — :class:`ActivationCache` /
+  :class:`CachingScheduler`: an LRU over canonical scheduling-problem
+  signatures, so structurally identical activations across traces are solved
+  once.
+* :mod:`repro.service.pool` — :class:`SimulationService`: serial, threaded or
+  multi-process fan-out with per-job seeding, failure isolation and ordered,
+  bit-reproducible results.
+* :mod:`repro.service.metrics` — :class:`ServiceMetrics`: counters and
+  histograms (acceptance rate, search time, energy, cache hit rate) with a
+  ``snapshot()`` the CLI prints.
+
+Usage
+-----
+
+Describe a batch declaratively, then run it::
+
+    from repro.service import BatchSpec, SimulationService
+
+    spec = BatchSpec.sweep(
+        arrival_rates=[0.1, 0.2, 0.4],
+        schedulers=["mmkp-mdf", "mmkp-lr"],
+        traces_per_point=25,
+        num_requests=10,
+    )
+    spec.save("sweep.json")                      # shareable, shardable
+
+    service = SimulationService(workers=4)
+    results = service.run_batch(BatchSpec.load("sweep.json"))
+    print(results.aggregate()["acceptance_rate"])
+    print(service.metrics.format())
+
+Determinism guarantees
+----------------------
+Every job carries its own trace seed and activation caching is *canonical*
+(cached and uncached paths return bit-identical schedules), so a batch yields
+the same :meth:`~repro.service.pool.BatchResults.fingerprint` for any worker
+count and executor.  Wall-clock fields are excluded from the fingerprint.
+
+Cache semantics
+---------------
+Cache keys are canonical problem signatures — capacity, table content
+fingerprints, sorted job residuals and *relative* deadlines, scheduler name —
+so hits are exact modulo a time shift and request renaming.  One cache is
+shared across all traces of a batch (per worker process under the
+``"process"`` executor).
+
+The corresponding CLI entry point is ``repro-rm batch`` (see
+:mod:`repro.cli`).
+"""
+
+from repro.service.cache import ActivationCache, CachingScheduler
+from repro.service.events import Event, EventKind, EventQueue
+from repro.service.metrics import Counter, Histogram, ServiceMetrics
+
+__all__ = [
+    "ActivationCache",
+    "CachingScheduler",
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "Counter",
+    "Histogram",
+    "ServiceMetrics",
+    # Lazily loaded (they depend on repro.runtime, which imports this package):
+    "SimulationJob",
+    "TraceSpec",
+    "BatchSpec",
+    "SimulationService",
+    "SimulationResult",
+    "BatchResults",
+]
+
+#: Lazy attribute → defining submodule.  ``repro.runtime.manager`` imports
+#: ``repro.service.events`` while ``jobs``/``pool`` import the runtime
+#: manager, so importing those eagerly here would create an import cycle.
+_LAZY = {
+    "SimulationJob": "repro.service.jobs",
+    "TraceSpec": "repro.service.jobs",
+    "BatchSpec": "repro.service.jobs",
+    "SimulationService": "repro.service.pool",
+    "SimulationResult": "repro.service.pool",
+    "BatchResults": "repro.service.pool",
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import importlib
+
+        module = importlib.import_module(_LAZY[name])
+        value = getattr(module, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

@@ -1,0 +1,133 @@
+"""Heap-based event engine for discrete-event simulation.
+
+The seed runtime manager advanced simulated time by linearly scanning the
+committed schedule for the next segment boundary.  The :class:`EventQueue`
+replaces that scan with a binary heap of timestamped :class:`Event` objects —
+request arrivals, segment boundaries, job finishes and user timers — so that
+selecting the next time step is ``O(log n)`` regardless of how many segments
+or pending requests exist.
+
+Events at equal times are ordered by :class:`EventKind` priority (finishes and
+segment boundaries before arrivals, arrivals before timers) and, within one
+kind, by insertion order, which makes the processing order fully
+deterministic.  Stale events from superseded schedules are handled by *lazy
+invalidation*: producers tag schedule-derived events with an epoch counter and
+simply skip popped events whose epoch no longer matches, instead of paying
+``O(n)`` to delete them from the heap.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+
+class EventKind(enum.IntEnum):
+    """Kinds of simulation events, in ascending same-time processing order.
+
+    The integer value doubles as the tie-breaking priority: when several
+    events carry the same timestamp, finishes are processed before segment
+    boundaries, boundaries before arrivals and arrivals before timers.
+    """
+
+    FINISH = 0
+    SEGMENT_END = 1
+    ARRIVAL = 2
+    TIMER = 3
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timestamped simulation event.
+
+    Parameters
+    ----------
+    time:
+        Simulated time at which the event fires.
+    kind:
+        The :class:`EventKind`; determines same-time processing order.
+    payload:
+        Arbitrary data attached by the producer (e.g. the
+        :class:`~repro.runtime.trace.RequestEvent` of an arrival).
+    epoch:
+        Schedule generation counter for lazily invalidated events.  Consumers
+        compare it against their current epoch and drop stale events.
+    callback:
+        Optional callable invoked by :meth:`EventQueue.dispatch` (used for
+        timer events).
+    """
+
+    time: float
+    kind: EventKind
+    payload: Any = None
+    epoch: int = 0
+    callback: Callable[["Event"], None] | None = None
+
+
+class EventQueue:
+    """A priority queue of :class:`Event` objects.
+
+    Examples
+    --------
+    >>> queue = EventQueue()
+    >>> queue.push(Event(2.0, EventKind.ARRIVAL, payload="late"))
+    >>> queue.push(Event(1.0, EventKind.ARRIVAL, payload="early"))
+    >>> queue.pop().payload
+    'early'
+    >>> queue.next_time
+    2.0
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._counter = 0
+
+    def push(self, event: Event) -> None:
+        """Add an event; ``O(log n)``."""
+        heapq.heappush(self._heap, (event.time, int(event.kind), self._counter, event))
+        self._counter += 1
+
+    def push_timer(
+        self, time: float, callback: Callable[[Event], None], payload: Any = None
+    ) -> None:
+        """Schedule a :attr:`EventKind.TIMER` event that runs ``callback``."""
+        self.push(Event(time, EventKind.TIMER, payload=payload, callback=callback))
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event; ``O(log n)``."""
+        if not self._heap:
+            raise IndexError("pop from an empty event queue")
+        return heapq.heappop(self._heap)[-1]
+
+    def peek(self) -> Event:
+        """Return the earliest event without removing it."""
+        if not self._heap:
+            raise IndexError("peek into an empty event queue")
+        return self._heap[0][-1]
+
+    def dispatch(self, event: Event) -> None:
+        """Invoke the event's callback, if any (timer events)."""
+        if event.callback is not None:
+            event.callback(event)
+
+    @property
+    def next_time(self) -> float:
+        """Timestamp of the earliest pending event (``inf`` when empty)."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def clear(self) -> None:
+        """Drop all pending events."""
+        self._heap.clear()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def drain(self) -> Iterator[Event]:
+        """Pop events until the queue is empty (helper for tests/tools)."""
+        while self._heap:
+            yield self.pop()

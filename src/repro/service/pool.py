@@ -1,0 +1,444 @@
+"""Concurrent batch execution of runtime-manager simulations.
+
+:class:`SimulationService` turns a :class:`~repro.service.jobs.BatchSpec`
+into a :class:`BatchResults`: every job is materialised, simulated by its own
+:class:`~repro.runtime.manager.RuntimeManager` (with an optional shared
+:class:`~repro.service.cache.ActivationCache`) and summarised into a
+picklable :class:`SimulationResult`.  Three executors are available:
+
+* ``"serial"`` — run in the calling thread (the ``workers=1`` default);
+* ``"thread"`` — a thread pool sharing one activation cache, so repeated
+  activations *across* traces hit;
+* ``"process"`` — a process pool for CPU parallelism; each worker keeps a
+  process-local cache (cache statistics are not aggregated in this mode).
+
+Determinism guarantee
+---------------------
+Results are returned in job order and every simulation is a pure function of
+its declarative spec: per-job trace seeds, canonical activation caching (the
+cached and uncached paths produce bit-identical schedules) and fresh
+scheduler instances per job mean that a batch produces **bit-identical
+deterministic results for any worker count and any executor** — aggregate
+fingerprints for ``workers=1`` and ``workers=4`` match exactly.  Wall-clock
+fields (``search_time_total``, ``wall_time``) are the only exception and are
+excluded from :meth:`BatchResults.fingerprint`.
+
+Failure isolation: an exception inside one simulation is captured as that
+job's ``error`` string; the rest of the batch is unaffected.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping, Sequence
+
+from repro.analysis.experiments import SchedulerRun, SuiteResults
+from repro.analysis.stats import BoxplotStats
+from repro.exceptions import WorkloadError
+from repro.runtime.log import ExecutionLog, RequestOutcome
+from repro.runtime.manager import RuntimeManager
+from repro.service.cache import ActivationCache, CachingScheduler
+from repro.service.jobs import BatchSpec, SimulationJob, build_scheduler
+from repro.service.metrics import ServiceMetrics
+
+#: Executor names accepted by :class:`SimulationService`.
+EXECUTORS = ("auto", "serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """The summarised outcome of one simulated trace.
+
+    All fields are plain data, so results cross process boundaries and
+    serialise cheaply.  ``search_time_total`` and ``wall_time`` are
+    wall-clock measurements and therefore vary between runs; every other
+    field is deterministic given the job spec.
+    """
+
+    job_name: str
+    scheduler: str
+    engine: str
+    requests: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    total_energy: float = 0.0
+    makespan: float = 0.0
+    activations: int = 0
+    search_time_total: float = 0.0
+    wall_time: float = 0.0
+    outcomes: tuple[RequestOutcome, ...] = ()
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """``True`` iff the simulation completed without an error."""
+        return self.error is None
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of admitted requests (1.0 for an empty trace)."""
+        return self.accepted / self.requests if self.requests else 1.0
+
+    @classmethod
+    def from_log(
+        cls, job: SimulationJob, log: ExecutionLog, wall_time: float
+    ) -> "SimulationResult":
+        """Summarise one finished :class:`ExecutionLog`."""
+        return cls(
+            job_name=job.name,
+            scheduler=job.scheduler,
+            engine=job.engine,
+            requests=len(log.outcomes),
+            accepted=len(log.accepted),
+            rejected=len(log.rejected),
+            total_energy=log.total_energy,
+            makespan=log.makespan,
+            activations=log.activations,
+            search_time_total=sum(o.scheduler_time for o in log.outcomes),
+            wall_time=wall_time,
+            outcomes=tuple(log.outcomes),
+        )
+
+    @classmethod
+    def from_error(cls, job: SimulationJob, message: str) -> "SimulationResult":
+        """Record a failed simulation (failure isolation)."""
+        return cls(
+            job_name=job.name,
+            scheduler=job.scheduler,
+            engine=job.engine,
+            error=message,
+        )
+
+    def fingerprint_key(self) -> tuple:
+        """The deterministic identity of the result (no wall-clock fields)."""
+        return (
+            self.job_name,
+            self.scheduler,
+            self.engine,
+            self.requests,
+            self.accepted,
+            self.rejected,
+            repr(self.total_energy),
+            repr(self.makespan),
+            self.activations,
+            self.error,
+            tuple(
+                (
+                    o.name,
+                    o.application,
+                    repr(o.arrival),
+                    repr(o.deadline),
+                    o.accepted,
+                    repr(o.completion_time),
+                )
+                for o in self.outcomes
+            ),
+        )
+
+
+class BatchResults:
+    """The ordered results of one batch run plus aggregate views."""
+
+    def __init__(self, results: Sequence[SimulationResult]):
+        self._results = tuple(results)
+
+    @property
+    def results(self) -> tuple[SimulationResult, ...]:
+        """All results, in job order."""
+        return self._results
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __iter__(self) -> Iterator[SimulationResult]:
+        return iter(self._results)
+
+    def __getitem__(self, index: int) -> SimulationResult:
+        return self._results[index]
+
+    def result(self, job_name: str) -> SimulationResult:
+        """The result of the named job."""
+        for entry in self._results:
+            if entry.job_name == job_name:
+                return entry
+        raise WorkloadError(f"no result for job {job_name!r}")
+
+    @property
+    def ok(self) -> list[SimulationResult]:
+        """Results of simulations that completed."""
+        return [r for r in self._results if r.ok]
+
+    @property
+    def failures(self) -> list[SimulationResult]:
+        """Results of simulations that raised (failure isolation)."""
+        return [r for r in self._results if not r.ok]
+
+    # ------------------------------------------------------------------ #
+    # Aggregation
+    # ------------------------------------------------------------------ #
+    def aggregate(self) -> dict:
+        """Batch-level totals (sums in job order, hence deterministic)."""
+        ok = self.ok
+        requests = sum(r.requests for r in ok)
+        accepted = sum(r.accepted for r in ok)
+        return {
+            "traces": len(self._results),
+            "failed": len(self.failures),
+            "requests": requests,
+            "accepted": accepted,
+            "rejected": sum(r.rejected for r in ok),
+            "acceptance_rate": accepted / requests if requests else 1.0,
+            "total_energy": sum(r.total_energy for r in ok),
+            "activations": sum(r.activations for r in ok),
+            "search_time_total": sum(r.search_time_total for r in ok),
+        }
+
+    def fingerprint(self) -> str:
+        """A SHA-256 digest of every deterministic result field.
+
+        Two batch runs with the same specs and seeds produce the same
+        fingerprint regardless of worker count, executor or caching.
+        """
+        digest = hashlib.sha256()
+        for result in self._results:
+            digest.update(repr(result.fingerprint_key()).encode("utf-8"))
+        return digest.hexdigest()
+
+    def search_time_stats(self) -> BoxplotStats:
+        """Box-plot statistics of the per-trace cumulative scheduler time."""
+        samples = [r.search_time_total for r in self.ok]
+        return BoxplotStats.from_samples(samples)
+
+    # ------------------------------------------------------------------ #
+    # Bridges into the existing analysis structures
+    # ------------------------------------------------------------------ #
+    def to_scheduler_runs(self) -> list[SchedulerRun]:
+        """One :class:`SchedulerRun` per trace, for the analysis helpers.
+
+        Online traces have no deadline level, so ``deadline_level`` is
+        ``None``; ``feasible`` records whether the simulation completed and
+        ``energy``/``search_time`` carry the per-trace totals.
+        """
+        return [
+            SchedulerRun(
+                case_name=r.job_name,
+                num_jobs=r.requests,
+                deadline_level=None,
+                scheduler=r.scheduler,
+                feasible=r.ok,
+                energy=r.total_energy if r.ok else float("inf"),
+                search_time=r.search_time_total,
+            )
+            for r in self._results
+        ]
+
+    def to_suite_results(self) -> SuiteResults:
+        """Wrap the per-trace runs in a :class:`SuiteResults` for reporting."""
+        return SuiteResults(self.to_scheduler_runs())
+
+    def to_dict(self) -> dict:
+        """Serialise the batch results (summaries, not full timelines)."""
+        return {
+            "aggregate": self.aggregate(),
+            "fingerprint": self.fingerprint(),
+            "results": [
+                {
+                    "job_name": r.job_name,
+                    "scheduler": r.scheduler,
+                    "engine": r.engine,
+                    "requests": r.requests,
+                    "accepted": r.accepted,
+                    "rejected": r.rejected,
+                    "total_energy": r.total_energy,
+                    "makespan": r.makespan,
+                    "activations": r.activations,
+                    "search_time_total": r.search_time_total,
+                    "wall_time": r.wall_time,
+                    "error": r.error,
+                }
+                for r in self._results
+            ],
+        }
+
+
+def _simulate(job: SimulationJob, cache: ActivationCache | None) -> SimulationResult:
+    """Materialise and run one job, capturing any failure in the result."""
+    start = time.perf_counter()
+    try:
+        tables = job.resolve_tables()
+        platform = job.resolve_platform()
+        scheduler = build_scheduler(job.scheduler)
+        if cache is not None:
+            scheduler = CachingScheduler(scheduler, cache)
+        trace = job.resolve_trace(tables)
+        manager = RuntimeManager(
+            platform,
+            tables,
+            scheduler,
+            remap_on_finish=job.remap_on_finish,
+            engine=job.engine,
+        )
+        log = manager.run(trace)
+    except Exception as error:  # noqa: BLE001 — failure isolation by design
+        return SimulationResult.from_error(job, f"{type(error).__name__}: {error}")
+    return SimulationResult.from_log(job, log, time.perf_counter() - start)
+
+
+#: Per-process activation cache for the ``"process"`` executor, keyed by the
+#: configured size; initialised lazily in each worker process.
+_PROCESS_CACHE: ActivationCache | None = None
+_PROCESS_CACHE_SIZE: int = 0
+
+
+def _process_simulate(job_data: Mapping, cache_size: int) -> SimulationResult:
+    """Worker-process entry point: rebuild the job and simulate it."""
+    global _PROCESS_CACHE, _PROCESS_CACHE_SIZE
+    cache = None
+    if cache_size > 0:
+        if _PROCESS_CACHE is None or _PROCESS_CACHE_SIZE != cache_size:
+            _PROCESS_CACHE = ActivationCache(cache_size)
+            _PROCESS_CACHE_SIZE = cache_size
+        cache = _PROCESS_CACHE
+    return _simulate(SimulationJob.from_dict(job_data), cache)
+
+
+class SimulationService:
+    """Run batches of runtime-manager simulations with fan-out and caching.
+
+    Parameters
+    ----------
+    workers:
+        Worker count.  ``1`` runs serially in the calling thread.
+    executor:
+        ``"auto"`` (serial for one worker, threads otherwise), ``"serial"``,
+        ``"thread"`` or ``"process"``.
+    use_cache:
+        Enable the shared activation cache (see :mod:`repro.service.cache`).
+    cache_size:
+        Maximum cached activations (per service, or per worker process for
+        the ``"process"`` executor).
+    metrics:
+        An existing :class:`ServiceMetrics` registry to record into; a fresh
+        one is created when omitted.
+
+    Examples
+    --------
+    >>> from repro.service.jobs import BatchSpec
+    >>> spec = BatchSpec.sweep(arrival_rates=[0.2], traces_per_point=3,
+    ...                        num_requests=3)
+    >>> service = SimulationService(workers=1)
+    >>> results = service.run_batch(spec)
+    >>> len(results)
+    3
+    >>> results.failures
+    []
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        executor: str = "auto",
+        use_cache: bool = True,
+        cache_size: int = 4096,
+        metrics: ServiceMetrics | None = None,
+    ):
+        if workers < 1:
+            raise WorkloadError(f"worker count must be positive, got {workers}")
+        if executor not in EXECUTORS:
+            raise WorkloadError(
+                f"unknown executor {executor!r}; choose from {EXECUTORS}"
+            )
+        self.workers = workers
+        self.executor = executor
+        self.use_cache = use_cache
+        self.cache_size = cache_size
+        self.cache = ActivationCache(cache_size) if use_cache else None
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+
+    # ------------------------------------------------------------------ #
+    # Batch execution
+    # ------------------------------------------------------------------ #
+    def run_batch(
+        self,
+        batch: BatchSpec | Sequence[SimulationJob],
+        progress: Callable[[int, SimulationResult], None] | None = None,
+    ) -> BatchResults:
+        """Simulate every job of the batch and return ordered results.
+
+        ``progress`` (if given) is called as ``progress(index, result)`` from
+        the coordinating thread whenever a job completes — completion order,
+        not job order.  The returned results are always in job order.
+        """
+        jobs = list(batch.jobs if isinstance(batch, BatchSpec) else batch)
+        if not jobs:
+            return BatchResults(())
+        executor = self.executor
+        if executor == "auto":
+            executor = "serial" if self.workers == 1 else "thread"
+
+        cache_before = self.cache.info() if self.cache is not None else None
+        if executor == "serial":
+            results = self._run_serial(jobs, progress)
+        elif executor == "thread":
+            results = self._run_threads(jobs, progress)
+        else:
+            results = self._run_processes(jobs, progress)
+
+        for result in results:
+            self.metrics.observe_result(result)
+        if self.cache is not None and executor != "process":
+            after = self.cache.info()
+            self.metrics.observe_cache(
+                {
+                    "hits": after["hits"] - cache_before["hits"],
+                    "misses": after["misses"] - cache_before["misses"],
+                }
+            )
+        return BatchResults(results)
+
+    def _run_serial(self, jobs, progress) -> list[SimulationResult]:
+        results = []
+        for index, job in enumerate(jobs):
+            result = _simulate(job, self.cache)
+            results.append(result)
+            if progress is not None:
+                progress(index, result)
+        return results
+
+    def _run_threads(self, jobs, progress) -> list[SimulationResult]:
+        results: list[SimulationResult | None] = [None] * len(jobs)
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            futures = {
+                pool.submit(_simulate, job, self.cache): index
+                for index, job in enumerate(jobs)
+            }
+            for future in as_completed(futures):
+                index = futures[future]
+                results[index] = future.result()
+                if progress is not None:
+                    progress(index, results[index])
+        return results
+
+    def _run_processes(self, jobs, progress) -> list[SimulationResult]:
+        cache_size = self.cache_size if self.use_cache else 0
+        results: list[SimulationResult | None] = [None] * len(jobs)
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            futures = {
+                pool.submit(_process_simulate, job.to_dict(), cache_size): index
+                for index, job in enumerate(jobs)
+            }
+            for future in as_completed(futures):
+                index = futures[future]
+                results[index] = future.result()
+                if progress is not None:
+                    progress(index, results[index])
+        return results
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulationService(workers={self.workers}, executor={self.executor!r}, "
+            f"cache={'on' if self.use_cache else 'off'})"
+        )

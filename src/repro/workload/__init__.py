@@ -8,6 +8,7 @@
   Table III census.
 """
 
+from repro.exceptions import WorkloadError
 from repro.workload.testgen import TestCase, TestCaseGenerator, DeadlineLevel
 from repro.workload.suite import EvaluationSuite, table_iii_census
 from repro.workload.motivational import (
@@ -18,7 +19,40 @@ from repro.workload.motivational import (
     scenario_s2,
 )
 
+#: Names accepted by :func:`named_tables`.
+TABLE_SETS = ("motivational", "paper", "paper-reduced")
+
+
+def named_tables(name: str):
+    """Build one of the well-known application table sets by name.
+
+    * ``"motivational"`` — Tables I/II of the paper (two synthetic apps).
+    * ``"paper"`` — the full DSE-generated operating-point tables.
+    * ``"paper-reduced"`` — the DSE tables capped at 8 points per app (the
+      size used for the EX-MEM comparison).
+
+    The registry gives declarative specs (batch files, CLI arguments) a
+    stable vocabulary without embedding table contents.
+    """
+    if name == "motivational":
+        return motivational_tables()
+    if name in ("paper", "paper-reduced"):
+        # Local import: the DSE flow is comparatively heavy and only needed
+        # when a paper-scale table set is actually requested.
+        from repro.dse import paper_operating_points, reduced_tables
+
+        tables = paper_operating_points()
+        if name == "paper-reduced":
+            tables = reduced_tables(tables, max_points=8)
+        return tables
+    raise WorkloadError(
+        f"unknown table set {name!r}; choose from {sorted(TABLE_SETS)}"
+    )
+
+
 __all__ = [
+    "named_tables",
+    "TABLE_SETS",
     "TestCase",
     "TestCaseGenerator",
     "DeadlineLevel",

@@ -1,11 +1,29 @@
 """Tests for the online runtime manager."""
 
+import threading
+
 import pytest
 
-from repro.exceptions import AdmissionError
+from repro.core.request import Job
+from repro.core.segment import JobMapping, MappingSegment, Schedule
+from repro.exceptions import AdmissionError, SchedulingError
 from repro.runtime import RequestEvent, RequestTrace, RuntimeManager, poisson_trace
 from repro.schedulers import FixedMinEnergyScheduler, MMKPMDFScheduler
+from repro.schedulers.base import Scheduler, SchedulingResult
 from repro.workload.motivational import motivational_platform, motivational_tables
+
+
+def assert_logs_equivalent(first, second):
+    """Two logs describe the same simulation (modulo wall-clock timings)."""
+    deterministic = lambda o: (  # noqa: E731
+        o.name, o.application, o.arrival, o.deadline, o.accepted, o.completion_time
+    )
+    assert [deterministic(o) for o in first.outcomes] == [
+        deterministic(o) for o in second.outcomes
+    ]
+    assert first.timeline == second.timeline
+    assert first.total_energy == second.total_energy
+    assert first.activations == second.activations
 
 
 @pytest.fixture()
@@ -86,6 +104,180 @@ class TestAccounting:
         )
         assert refined.run(trace).total_energy < fixed.run(trace).total_energy
         assert refined.run(trace).activations > fixed.run(trace).activations
+
+
+class TestRejectionPath:
+    def overloaded_trace(self, count=6):
+        """Many simultaneous tight requests — the platform cannot serve all."""
+        return RequestTrace(
+            [
+                RequestEvent(0.1 * index, "lambda2", 4.0, f"req{index}")
+                for index in range(count)
+            ]
+        )
+
+    def test_overload_rejects_but_admitted_jobs_meet_deadlines(self, manager):
+        log = manager.run(self.overloaded_trace())
+        assert log.rejected, "expected at least one rejection under overload"
+        assert log.accepted, "expected at least one admission"
+        for outcome in log.accepted:
+            assert outcome.completion_time is not None
+            assert outcome.met_deadline
+        for outcome in log.rejected:
+            assert outcome.completion_time is None
+
+    def test_rejection_leaves_prior_schedule_in_force(self):
+        """An infeasible arrival must not perturb the committed schedule."""
+        tables = motivational_tables()
+        base = RequestTrace([RequestEvent(0.0, "lambda1", 9.0, "sigma1")])
+        with_rejection = RequestTrace(
+            [
+                RequestEvent(0.0, "lambda1", 9.0, "sigma1"),
+                # 1 s is below every lambda2 execution time: always rejected.
+                RequestEvent(1.0, "lambda2", 1.0, "sigma2"),
+            ]
+        )
+        manager = RuntimeManager(
+            motivational_platform(), tables, MMKPMDFScheduler()
+        )
+        alone = manager.run(base)
+        disturbed = manager.run(with_rejection)
+        assert not disturbed.completion_of("sigma2")
+        assert disturbed.completion_of("sigma1") == alone.completion_of("sigma1")
+        assert disturbed.total_energy == pytest.approx(alone.total_energy)
+
+    def test_rejection_path_with_remap_on_finish(self):
+        """remap_on_finish must coexist with rejections (Fig. 1(b) mapper)."""
+        manager = RuntimeManager(
+            motivational_platform(),
+            motivational_tables(),
+            FixedMinEnergyScheduler(),
+            remap_on_finish=True,
+        )
+        log = manager.run(self.overloaded_trace())
+        assert log.rejected
+        for outcome in log.accepted:
+            assert outcome.met_deadline
+        # Finish-triggered activations happened on top of the per-arrival ones.
+        assert log.activations > len(log.outcomes) - len(log.rejected)
+
+
+class _OvercoveringScheduler(Scheduler):
+    """Returns a schedule with a ghost segment after the job completes.
+
+    The single lambda2 job finishes exactly at t=10 (configuration 0 takes
+    10 s), yet the schedule keeps mapping it during [10, 12).  The runtime
+    manager must prune that ghost segment instead of logging an empty
+    executed interval for it.
+    """
+
+    name = "overcovering-stub"
+
+    def _solve(self, problem):
+        job = problem.jobs[0]
+        segments = [
+            MappingSegment(0.0, 10.0, [JobMapping(job, 0)]),
+            MappingSegment(10.0, 12.0, [JobMapping(job, 0)]),
+        ]
+        schedule = Schedule(segments)
+        return SchedulingResult(schedule=schedule, assignment={job.name: 0})
+
+
+class TestGhostEntryPruning:
+    @pytest.mark.parametrize("engine", ["events", "linear"])
+    def test_ghost_segments_never_reach_the_timeline(self, engine):
+        manager = RuntimeManager(
+            motivational_platform(),
+            motivational_tables(),
+            _OvercoveringScheduler(),
+            engine=engine,
+        )
+        trace = RequestTrace([RequestEvent(0.0, "lambda2", 100.0, "sigma1")])
+        log = manager.run(trace)
+        assert log.completion_of("sigma1") == pytest.approx(10.0)
+        # Exactly one executed interval, and no empty ghost entries.
+        assert len(log.timeline) == 1
+        assert all(interval.job_configs for interval in log.timeline)
+        assert log.makespan == pytest.approx(10.0)
+
+
+class TestEngineEquivalence:
+    """The event engine must reproduce the seed (linear) execution exactly."""
+
+    def test_motivational_workload(self):
+        for scheduler_factory, remap in [
+            (MMKPMDFScheduler, False),
+            (FixedMinEnergyScheduler, False),
+            (FixedMinEnergyScheduler, True),
+        ]:
+            for second_deadline in (4.0, 1.0):
+                trace = two_request_trace(second_deadline)
+                linear = RuntimeManager(
+                    motivational_platform(),
+                    motivational_tables(),
+                    scheduler_factory(),
+                    remap_on_finish=remap,
+                    engine="linear",
+                ).run(trace)
+                events = RuntimeManager(
+                    motivational_platform(),
+                    motivational_tables(),
+                    scheduler_factory(),
+                    remap_on_finish=remap,
+                    engine="events",
+                ).run(trace)
+                assert_logs_equivalent(events, linear)
+
+    def test_random_traces(self):
+        tables = motivational_tables()
+        for seed in range(4):
+            trace = poisson_trace(tables, 0.3, 12, seed=seed)
+            manager = RuntimeManager(
+                motivational_platform(), tables, MMKPMDFScheduler()
+            )
+            assert_logs_equivalent(
+                manager.run(trace, engine="events"),
+                manager.run(trace, engine="linear"),
+            )
+
+    def test_unknown_engine_rejected(self, manager):
+        with pytest.raises(SchedulingError):
+            manager.run(two_request_trace(), engine="spiral")
+        with pytest.raises(SchedulingError):
+            RuntimeManager(
+                motivational_platform(),
+                motivational_tables(),
+                MMKPMDFScheduler(),
+                engine="spiral",
+            )
+
+
+class TestReentrancy:
+    def test_shared_manager_across_threads(self):
+        """Run state lives in a per-run context, so one instance is shareable."""
+        tables = motivational_tables()
+        manager = RuntimeManager(
+            motivational_platform(), tables, MMKPMDFScheduler()
+        )
+        trace = poisson_trace(tables, 0.25, 10, seed=7)
+        reference = manager.run(trace)
+        logs = [None] * 4
+        errors = []
+
+        def worker(slot):
+            try:
+                logs[slot] = manager.run(trace)
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        for log in logs:
+            assert_logs_equivalent(log, reference)
 
 
 class TestRandomOnlineWorkload:

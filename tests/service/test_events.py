@@ -1,0 +1,93 @@
+"""Tests for the heap-based event engine."""
+
+import pytest
+
+from repro.service.events import Event, EventKind, EventQueue
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        for time in (3.0, 1.0, 2.0, 0.5):
+            queue.push(Event(time, EventKind.ARRIVAL))
+        assert [queue.pop().time for _ in range(4)] == [0.5, 1.0, 2.0, 3.0]
+
+    def test_same_time_orders_by_kind_priority(self):
+        queue = EventQueue()
+        queue.push(Event(1.0, EventKind.TIMER))
+        queue.push(Event(1.0, EventKind.ARRIVAL))
+        queue.push(Event(1.0, EventKind.SEGMENT_END))
+        queue.push(Event(1.0, EventKind.FINISH))
+        kinds = [queue.pop().kind for _ in range(4)]
+        assert kinds == [
+            EventKind.FINISH,
+            EventKind.SEGMENT_END,
+            EventKind.ARRIVAL,
+            EventKind.TIMER,
+        ]
+
+    def test_fifo_among_equal_time_and_kind(self):
+        queue = EventQueue()
+        for index in range(5):
+            queue.push(Event(2.0, EventKind.ARRIVAL, payload=index))
+        assert [queue.pop().payload for _ in range(5)] == [0, 1, 2, 3, 4]
+
+
+class TestQueueProtocol:
+    def test_len_bool_and_clear(self):
+        queue = EventQueue()
+        assert not queue
+        queue.push(Event(1.0, EventKind.ARRIVAL))
+        queue.push(Event(2.0, EventKind.ARRIVAL))
+        assert len(queue) == 2 and queue
+        queue.clear()
+        assert len(queue) == 0 and not queue
+
+    def test_peek_and_next_time(self):
+        queue = EventQueue()
+        assert queue.next_time == float("inf")
+        queue.push(Event(4.0, EventKind.ARRIVAL, payload="later"))
+        queue.push(Event(1.5, EventKind.ARRIVAL, payload="sooner"))
+        assert queue.next_time == 1.5
+        assert queue.peek().payload == "sooner"
+        assert len(queue) == 2  # peek does not remove
+
+    def test_pop_and_peek_empty_raise(self):
+        queue = EventQueue()
+        with pytest.raises(IndexError):
+            queue.pop()
+        with pytest.raises(IndexError):
+            queue.peek()
+
+    def test_drain_empties_in_order(self):
+        queue = EventQueue()
+        for time in (2.0, 1.0, 3.0):
+            queue.push(Event(time, EventKind.FINISH))
+        assert [event.time for event in queue.drain()] == [1.0, 2.0, 3.0]
+        assert not queue
+
+
+class TestTimers:
+    def test_timer_dispatch_invokes_callback(self):
+        queue = EventQueue()
+        fired = []
+        queue.push_timer(5.0, lambda event: fired.append(event.payload), payload="tick")
+        event = queue.pop()
+        assert event.kind is EventKind.TIMER
+        queue.dispatch(event)
+        assert fired == ["tick"]
+
+    def test_dispatch_without_callback_is_a_noop(self):
+        queue = EventQueue()
+        queue.push(Event(1.0, EventKind.ARRIVAL))
+        queue.dispatch(queue.pop())  # must not raise
+
+
+class TestEpochs:
+    def test_events_carry_epoch_for_lazy_invalidation(self):
+        queue = EventQueue()
+        queue.push(Event(1.0, EventKind.SEGMENT_END, epoch=1))
+        queue.push(Event(1.0, EventKind.SEGMENT_END, epoch=2))
+        current_epoch = 2
+        live = [event for event in queue.drain() if event.epoch == current_epoch]
+        assert len(live) == 1 and live[0].epoch == 2

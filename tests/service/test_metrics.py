@@ -1,0 +1,99 @@
+"""Tests for the service metric primitives."""
+
+import math
+
+import pytest
+
+from repro.service.metrics import Counter, Histogram, ServiceMetrics
+from repro.service.pool import SimulationResult
+
+
+class TestCounter:
+    def test_increment(self):
+        counter = Counter("c")
+        counter.increment()
+        counter.increment(4)
+        assert counter.value == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("c").increment(-1)
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        histogram = Histogram("h")
+        for value in (1.0, 3.0, 2.0, 4.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.total == pytest.approx(10.0)
+        assert histogram.mean == pytest.approx(2.5)
+        assert histogram.min == 1.0 and histogram.max == 4.0
+        assert histogram.percentile(0.0) == 1.0
+        assert histogram.percentile(1.0) == 4.0
+        assert histogram.percentile(0.5) in (2.0, 3.0)
+
+    def test_empty_histogram_is_nan(self):
+        histogram = Histogram("h")
+        assert math.isnan(histogram.mean)
+        assert math.isnan(histogram.percentile(0.5))
+
+    def test_percentile_bounds_checked(self):
+        with pytest.raises(ValueError):
+            Histogram("h").percentile(1.5)
+
+    def test_sample_cap_keeps_exact_totals(self):
+        histogram = Histogram("h", max_samples=10)
+        for value in range(100):
+            histogram.observe(float(value))
+        assert histogram.count == 100
+        assert histogram.total == pytest.approx(4950.0)
+
+
+def ok_result(**overrides):
+    fields = dict(
+        job_name="job",
+        scheduler="mmkp-mdf",
+        engine="events",
+        requests=10,
+        accepted=8,
+        rejected=2,
+        total_energy=50.0,
+        makespan=12.0,
+        activations=10,
+        search_time_total=0.01,
+        wall_time=0.02,
+    )
+    fields.update(overrides)
+    return SimulationResult(**fields)
+
+
+class TestServiceMetrics:
+    def test_observe_result_and_snapshot(self):
+        metrics = ServiceMetrics()
+        metrics.observe_result(ok_result())
+        metrics.observe_result(ok_result(job_name="other", accepted=10, rejected=0))
+        metrics.observe_result(
+            SimulationResult("bad", "mmkp-mdf", "events", error="boom")
+        )
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"]["traces_run"] == 2
+        assert snapshot["counters"]["traces_failed"] == 1
+        assert snapshot["counters"]["requests_total"] == 20
+        assert snapshot["counters"]["requests_accepted"] == 18
+        assert metrics.acceptance_rate == pytest.approx(0.9)
+        assert snapshot["histograms"]["trace_energy"]["count"] == 2
+
+    def test_observe_cache_and_hit_rate(self):
+        metrics = ServiceMetrics()
+        metrics.observe_cache({"hits": 30, "misses": 10})
+        assert metrics.cache_hit_rate == pytest.approx(0.75)
+        assert metrics.snapshot()["derived"]["cache_hit_rate"] == pytest.approx(0.75)
+
+    def test_format_renders_counters(self):
+        metrics = ServiceMetrics()
+        metrics.observe_result(ok_result())
+        text = metrics.format()
+        assert "traces_run" in text
+        assert "acceptance_rate" in text
+        assert "trace_energy" in text

@@ -78,6 +78,58 @@ class TestScheduleCommand:
         assert "[" in output  # at least one printed segment
 
 
+class TestBatchCommand:
+    @pytest.fixture()
+    def spec_path(self, tmp_path):
+        from repro.service import BatchSpec
+
+        spec = BatchSpec.sweep(
+            arrival_rates=[0.2],
+            traces_per_point=4,
+            num_requests=3,
+            name="cli-smoke",
+        )
+        path = tmp_path / "batch.json"
+        spec.save(path)
+        return path
+
+    def test_runs_a_batch_and_prints_metrics(self, spec_path, capsys):
+        assert main(["batch", str(spec_path), "--workers", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "batch cli-smoke: 4 traces" in output
+        assert "service metrics" in output
+        assert "cache_hit_rate" in output
+
+    def test_writes_result_summaries(self, spec_path, tmp_path, capsys):
+        output_path = tmp_path / "results.json"
+        code = main(
+            ["batch", str(spec_path), "--output", str(output_path), "--quiet"]
+        )
+        assert code == 0
+        data = json.loads(output_path.read_text())
+        assert data["aggregate"]["traces"] == 4
+        assert len(data["results"]) == 4
+        assert "service metrics" not in capsys.readouterr().out
+
+    def test_shard_selects_a_subset(self, spec_path, capsys):
+        assert main(["batch", str(spec_path), "--shard", "0/2", "--quiet"]) == 0
+        assert "2 traces" in capsys.readouterr().out
+
+    def test_invalid_shard_is_reported(self, spec_path):
+        assert main(["batch", str(spec_path), "--shard", "bogus"]) == 2
+
+    def test_failing_jobs_set_exit_code(self, tmp_path, capsys):
+        from repro.runtime import RequestEvent, RequestTrace
+        from repro.service import BatchSpec, SimulationJob
+
+        ghost = RequestTrace([RequestEvent(0.0, "ghost-app", 5.0, "r0")])
+        spec = BatchSpec("failing", (SimulationJob("bad", trace=ghost),))
+        path = tmp_path / "failing.json"
+        spec.save(path)
+        assert main(["batch", str(path), "--quiet"]) == 1
+        assert "FAILED bad" in capsys.readouterr().out
+
+
 class TestArgumentParsing:
     def test_missing_command_fails(self):
         with pytest.raises(SystemExit):
