@@ -1,0 +1,88 @@
+"""E8 — overhead and savings of the online energy subsystem.
+
+Two checks:
+
+* the incremental :class:`~repro.energy.accounting.EnergyMeter` (per-cluster
+  and per-job attribution on every executed interval) adds less than 10 %
+  wall-clock overhead to ``RuntimeManager.run`` compared to running with
+  accounting disabled (the seed's scalar-total-only behaviour);
+* under analytical accounting, the schedule-aware governor beats the
+  fixed-frequency performance governor on a Poisson workload with zero
+  deadline misses.
+"""
+
+import time
+
+from repro.energy import PerformanceGovernor, ScheduleAwareGovernor
+from repro.runtime import RuntimeManager
+from repro.runtime.trace import poisson_trace
+from repro.schedulers import MMKPMDFScheduler
+from repro.workload.motivational import motivational_platform, motivational_tables
+
+#: Poisson workload driven through the manager for the overhead measurement.
+NUM_REQUESTS = 150
+ARRIVAL_RATE = 0.25
+#: Acceptance threshold on the metered / unmetered wall-clock ratio.
+MAX_OVERHEAD = 1.10
+#: Best-of repetitions (the minimum filters scheduler/OS noise).
+REPEATS = 5
+
+
+def _best_run_seconds(manager, trace) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        manager.run(trace)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_online_meter_overhead(benchmark):
+    platform, tables = motivational_platform(), motivational_tables()
+    trace = poisson_trace(
+        tables, arrival_rate=ARRIVAL_RATE, num_requests=NUM_REQUESTS, seed=2020
+    )
+    metered = RuntimeManager(platform, tables, MMKPMDFScheduler())
+    unmetered = RuntimeManager(
+        platform, tables, MMKPMDFScheduler(), account_energy=False
+    )
+    # Warm up both paths, then take the best of several runs each.
+    metered.run(trace)
+    unmetered.run(trace)
+    with_meter = _best_run_seconds(metered, trace)
+    without_meter = _best_run_seconds(unmetered, trace)
+    ratio = with_meter / without_meter
+    print(
+        f"\nE8 — meter overhead over {NUM_REQUESTS} requests: "
+        f"{without_meter * 1000:.2f} ms -> {with_meter * 1000:.2f} ms "
+        f"({(ratio - 1) * 100:+.1f} %)"
+    )
+    assert ratio < MAX_OVERHEAD, (
+        f"online energy accounting costs {(ratio - 1) * 100:.1f} % "
+        f"(budget: {(MAX_OVERHEAD - 1) * 100:.0f} %)"
+    )
+    benchmark(metered.run, trace)
+
+
+def test_governor_savings_on_poisson_workload():
+    platform, tables = motivational_platform(), motivational_tables()
+    trace = poisson_trace(
+        tables, arrival_rate=0.15, num_requests=50, seed=7
+    )
+
+    def run(governor):
+        manager = RuntimeManager(
+            platform, tables, MMKPMDFScheduler(), governor=governor
+        )
+        return manager.run(trace)
+
+    fixed = run(PerformanceGovernor())
+    aware = run(ScheduleAwareGovernor())
+    saving = 1.0 - aware.total_energy / fixed.total_energy
+    print(
+        f"\nE8 — governor comparison over 50 Poisson requests: "
+        f"performance {fixed.total_energy:.2f} J vs schedule-aware "
+        f"{aware.total_energy:.2f} J ({saving * 100:.1f} % saved)"
+    )
+    assert not aware.deadline_misses
+    assert aware.total_energy <= fixed.total_energy

@@ -11,7 +11,13 @@ with the number of jobs and is clearly worse than MMKP-MDF overall
 import pytest
 
 from repro.analysis import format_table_iv
-from repro.schedulers import ExMemScheduler
+from repro.energy import (
+    ScheduleAwareGovernor,
+    analytical_schedule_energy,
+    decide,
+    stretch_schedule,
+)
+from repro.schedulers import ExMemScheduler, MMKPMDFScheduler
 from repro.workload.testgen import DeadlineLevel
 
 #: Table IV of the paper (geometric mean of energy relative to EX-MEM).
@@ -59,3 +65,49 @@ def test_table4_relative_energy(
     problem = cases[0].problem(platform, bench_tables)
     reference = ExMemScheduler()
     benchmark(reference.schedule, problem)
+
+
+def test_table4_dvfs_governor_energy(bench_suite, platform, bench_tables, scale_note):
+    """Fixed frequency vs the schedule-aware governor over the census.
+
+    Every MMKP-MDF schedule of the Table IV workload is costed twice under
+    the same analytical per-core accounting: at nominal frequency and under
+    the schedule-aware governor (slowest deadline-feasible OPPs).  The
+    governor must save energy overall and introduce zero deadline misses.
+    """
+    scheduler = MMKPMDFScheduler()
+    governor = ScheduleAwareGovernor()
+    nominal = decide(platform, 1.0)
+    total_fixed = total_scaled = 0.0
+    scheduled = slowed = misses = 0
+    for case in bench_suite:
+        problem = case.problem(platform, bench_tables)
+        result = scheduler.schedule(problem)
+        if not result.feasible:
+            continue
+        scheduled += 1
+        jobs = {job.name: job for job in problem.jobs}
+        scale = governor.select_scale(
+            result.schedule, jobs, problem.now, platform, bench_tables
+        )
+        stretched = stretch_schedule(result.schedule, problem.now, scale)
+        total_fixed += analytical_schedule_energy(
+            result.schedule, bench_tables, platform, nominal
+        )
+        total_scaled += analytical_schedule_energy(
+            stretched, bench_tables, platform, decide(platform, scale)
+        )
+        slowed += scale < 1.0
+        for name, job in jobs.items():
+            completion = stretched.completion_time(name)
+            if completion is not None and completion > job.deadline + 1e-6:
+                misses += 1
+    saving = 1.0 - total_scaled / total_fixed
+    print(f"\nE4b — fixed vs schedule-aware governor {scale_note}")
+    print(
+        f"{scheduled} scheduled cases, {slowed} slowed down: "
+        f"fixed {total_fixed:.1f} J vs governed {total_scaled:.1f} J "
+        f"({saving * 100:.1f} % saved), {misses} deadline misses"
+    )
+    assert misses == 0
+    assert total_scaled < total_fixed

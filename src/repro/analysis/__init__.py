@@ -16,6 +16,7 @@ from repro.analysis.experiments import (
     evaluate_suite,
 )
 from repro.analysis.report import (
+    format_energy_breakdown,
     format_fig2_scheduling_rate,
     format_fig3_scurve,
     format_fig4_search_time,
@@ -32,6 +33,7 @@ __all__ = [
     "SchedulerRun",
     "SuiteResults",
     "evaluate_suite",
+    "format_energy_breakdown",
     "format_table_iii",
     "format_table_iv",
     "format_fig2_scheduling_rate",

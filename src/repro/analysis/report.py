@@ -154,6 +154,44 @@ def format_schedule_gantt(
     return "\n".join(lines)
 
 
+def format_energy_breakdown(
+    clusters: Mapping[str, Mapping[str, float]], title: str = "energy breakdown"
+) -> str:
+    """Render a per-cluster busy/idle/total energy table.
+
+    ``clusters`` maps cluster (processor-type) names to ``{"busy": J,
+    "idle": J, "total": J}`` entries as produced by
+    :meth:`~repro.energy.accounting.EnergyMeter.cluster_breakdown` or
+    :meth:`~repro.service.pool.BatchResults.cluster_energy`.  In table-mode
+    accounting the busy/idle split is not observable, so idle reads zero and
+    the totals carry the attribution.
+    """
+    if not clusters:
+        return f"{title}: no cluster data (bare capacity vector?)"
+    total = sum(entry["total"] for entry in clusters.values())
+    lines = [f"{title} [total {total:.3f} J]"]
+    widths = [10, 12, 12, 12, 8]
+    lines.append(
+        _format_row(["cluster", "busy [J]", "idle [J]", "total [J]", "share"], widths)
+    )
+    for name in sorted(clusters):
+        entry = clusters[name]
+        share = entry["total"] / total if total > 0 else 0.0
+        lines.append(
+            _format_row(
+                [
+                    name,
+                    f"{entry['busy']:.3f}",
+                    f"{entry['idle']:.3f}",
+                    f"{entry['total']:.3f}",
+                    f"{share * 100:.1f}%",
+                ],
+                widths,
+            )
+        )
+    return "\n".join(lines)
+
+
 def format_fig4_search_time(
     results: SuiteResults, schedulers: Sequence[str]
 ) -> str:

@@ -15,6 +15,9 @@ The CLI mirrors the typical usage of the library:
   described by a :class:`~repro.service.jobs.BatchSpec` JSON file through the
   concurrent :class:`~repro.service.pool.SimulationService` (worker fan-out,
   activation caching, service metrics); see :mod:`repro.service`.
+* ``repro-rm energy`` — replay a batch (or the motivational trace) under a
+  frequency governor and report the per-cluster energy breakdown; see
+  :mod:`repro.energy`.
 """
 
 from __future__ import annotations
@@ -25,6 +28,7 @@ from typing import Sequence
 
 from repro.analysis import (
     evaluate_suite,
+    format_energy_breakdown,
     format_fig2_scheduling_rate,
     format_fig3_scurve,
     format_fig4_search_time,
@@ -32,6 +36,7 @@ from repro.analysis import (
     format_table_iv,
 )
 from repro.dse import paper_operating_points, reduced_tables
+from repro.energy import GOVERNORS, EnergyBudget, build_governor
 from repro.io import (
     load_json,
     save_json,
@@ -41,7 +46,7 @@ from repro.io import (
     test_case_to_dict,
 )
 from repro.platforms import odroid_xu4
-from repro.runtime import RequestEvent, RequestTrace, RuntimeManager
+from repro.runtime import RuntimeManager
 from repro.schedulers import (
     ExMemScheduler,
     FixedMinEnergyScheduler,
@@ -51,9 +56,9 @@ from repro.schedulers import (
 from repro.service.jobs import SCHEDULERS
 from repro.workload import EvaluationSuite
 from repro.workload.motivational import (
-    SCENARIOS,
     motivational_platform,
     motivational_tables,
+    motivational_trace,
 )
 from repro.workload.suite import scaled_census, table_iii_census
 
@@ -72,6 +77,11 @@ def _build_parser() -> argparse.ArgumentParser:
     dse.add_argument("--output", default="operating_points.json", help="output JSON file")
     dse.add_argument(
         "--sizes", nargs="*", default=None, help="input sizes to include (default: all)"
+    )
+    dse.add_argument(
+        "--sweep-opps",
+        action="store_true",
+        help="also sweep the DVFS operating points (adds a frequency column)",
     )
 
     workload = subparsers.add_parser("workload", help="generate the evaluation suite")
@@ -129,6 +139,44 @@ def _build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--quiet", action="store_true", help="omit the service metrics block"
     )
+
+    energy = subparsers.add_parser(
+        "energy",
+        help="per-cluster energy breakdown under a frequency governor",
+        description=(
+            "Replay a BatchSpec (or, without --spec, the motivational "
+            "scenarios) with the chosen frequency governor and optional "
+            "power-cap / energy-budget admission control, then report the "
+            "per-cluster busy/idle energy breakdown the incremental "
+            "EnergyMeter integrated online."
+        ),
+    )
+    energy.add_argument(
+        "--spec", default=None, help="BatchSpec JSON file (default: motivational trace)"
+    )
+    energy.add_argument(
+        "--governor",
+        choices=sorted(GOVERNORS),
+        default="performance",
+        help="frequency governor to run under",
+    )
+    energy.add_argument(
+        "--compare",
+        action="store_true",
+        help="also print total energy under every other governor",
+    )
+    energy.add_argument(
+        "--power-cap", type=float, default=None, metavar="WATTS",
+        help="reject requests whose schedule would exceed this platform power",
+    )
+    energy.add_argument(
+        "--energy-budget", type=float, default=None, metavar="JOULES",
+        help="reject requests once the run would exceed this energy budget",
+    )
+    energy.add_argument(
+        "--workers", type=int, default=1, help="worker count for batch replays"
+    )
+    energy.add_argument("--output", default=None, help="write the breakdown JSON")
     return parser
 
 
@@ -137,11 +185,13 @@ def _build_parser() -> argparse.ArgumentParser:
 # ---------------------------------------------------------------------- #
 def _cmd_dse(args: argparse.Namespace) -> int:
     sizes = tuple(args.sizes) if args.sizes else None
-    tables = paper_operating_points(input_sizes=sizes)
+    tables = paper_operating_points(input_sizes=sizes, sweep_opps=args.sweep_opps)
     save_json(tables_to_dict(tables), args.output)
     print(f"wrote {len(tables)} operating-point tables to {args.output}")
     for name, table in sorted(tables.items()):
-        print(f"  {name}: {len(table)} Pareto points")
+        scales = {point.frequency_scale for point in table}
+        note = f", {len(scales)} frequency scales" if len(scales) > 1 else ""
+        print(f"  {name}: {len(table)} Pareto points{note}")
     return 0
 
 
@@ -206,14 +256,7 @@ def _cmd_motivational(args: argparse.Namespace) -> int:
     platform = motivational_platform()
     tables = motivational_tables()
     for scenario in ("S1", "S2"):
-        requests = SCENARIOS[scenario]
-        trace = RequestTrace(
-            [
-                RequestEvent(arrival, application, deadline - arrival, name)
-                for name, (arrival, deadline) in requests.items()
-                for application in [{"sigma1": "lambda1", "sigma2": "lambda2"}[name]]
-            ]
-        )
+        trace = motivational_trace(scenario)
         print(f"Scenario {scenario}")
         variants = [
             ("fixed mapper, remap at start", FixedMinEnergyScheduler(), False),
@@ -272,6 +315,113 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 1 if results.failures else 0
 
 
+def _motivational_energy_run(governor_name: str, power_cap, energy_budget):
+    """Run both motivational scenarios under one governor; return the logs."""
+    platform = motivational_platform()
+    tables = motivational_tables()
+    budget = None
+    if power_cap is not None or energy_budget is not None:
+        budget = EnergyBudget(
+            power_cap_watts=power_cap, energy_budget_joules=energy_budget
+        )
+    logs = []
+    for scenario in ("S1", "S2"):
+        manager = RuntimeManager(
+            platform,
+            tables,
+            MMKPMDFScheduler(),
+            governor=build_governor(governor_name),
+            budget=budget,
+        )
+        logs.append(manager.run(motivational_trace(scenario)))
+    return logs
+
+
+def _cmd_energy(args: argparse.Namespace) -> int:
+    from repro.exceptions import SerializationError, WorkloadError
+    from repro.service import BatchSpec, SimulationService
+
+    governors = sorted(GOVERNORS) if args.compare else [args.governor]
+    report: dict = {"governor": args.governor, "totals": {}}
+    failures = []
+
+    if args.spec:
+        try:
+            base = BatchSpec.load(args.spec)
+        except (SerializationError, WorkloadError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        for governor in governors:
+            # Only the flags the user actually passed override the spec's
+            # per-job policies; the governor is this command's subject and
+            # is always applied.
+            overrides = {"governor": governor}
+            if args.power_cap is not None:
+                overrides["power_cap_watts"] = args.power_cap
+            if args.energy_budget is not None:
+                overrides["energy_budget_joules"] = args.energy_budget
+            spec = base.with_energy_policy(**overrides)
+            service = SimulationService(workers=args.workers)
+            results = service.run_batch(spec)
+            aggregate = results.aggregate()
+            report["totals"][governor] = aggregate["total_energy"]
+            # Failures of *every* governor replay count: a partially failed
+            # replay would make the comparison apples-to-oranges.
+            failures.extend((governor, failure) for failure in results.failures)
+            if governor == args.governor:
+                report["clusters"] = results.cluster_energy()
+                report["aggregate"] = aggregate
+                print(
+                    f"batch {base.name}: {aggregate['traces']} traces, "
+                    f"acceptance {aggregate['acceptance_rate'] * 100:.1f} %, "
+                    f"{aggregate['budget_rejections']} budget rejections"
+                )
+                print(
+                    format_energy_breakdown(
+                        report["clusters"],
+                        title=f"energy breakdown ({governor} governor)",
+                    )
+                )
+    else:
+        for governor in governors:
+            logs = _motivational_energy_run(governor, args.power_cap, args.energy_budget)
+            report["totals"][governor] = sum(log.total_energy for log in logs)
+            if governor == args.governor:
+                clusters: dict = {}
+                for log in logs:
+                    for name, entry in log.cluster_energy.items():
+                        merged = clusters.setdefault(
+                            name, {"busy": 0.0, "idle": 0.0, "total": 0.0}
+                        )
+                        for key in merged:
+                            merged[key] += entry[key]
+                report["clusters"] = clusters
+                misses = sum(len(log.deadline_misses) for log in logs)
+                print(f"motivational scenarios S1+S2, {misses} deadline misses")
+                print(
+                    format_energy_breakdown(
+                        clusters, title=f"energy breakdown ({governor} governor)"
+                    )
+                )
+
+    if args.compare:
+        failed_by_governor = {}
+        for governor, failure in failures:
+            failed_by_governor[governor] = failed_by_governor.get(governor, 0) + 1
+        print("total energy by governor:")
+        for governor in governors:
+            marker = " <- selected" if governor == args.governor else ""
+            failed = failed_by_governor.get(governor, 0)
+            note = f" ({failed} traces FAILED)" if failed else ""
+            print(f"  {governor:16s} {report['totals'][governor]:10.3f} J{note}{marker}")
+    for governor, failure in failures:
+        print(f"  FAILED [{governor}] {failure.job_name}: {failure.error}")
+    if args.output:
+        save_json(report, args.output)
+        print(f"wrote energy report to {args.output}")
+    return 1 if failures else 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point (also installed as the ``repro-rm`` script)."""
     parser = _build_parser()
@@ -283,6 +433,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "evaluate": _cmd_evaluate,
         "motivational": _cmd_motivational,
         "batch": _cmd_batch,
+        "energy": _cmd_energy,
     }
     return handlers[args.command](args)
 

@@ -30,6 +30,12 @@ class OperatingPoint:
         the application with this configuration.
     energy:
         Energy :math:`\\xi` in joules of a full run with this configuration.
+    frequency_scale:
+        Relative platform frequency the point was characterised at (the
+        frequency column of DVFS-swept tables).  1.0 — the default, and the
+        only value the paper's pinned-frequency tables use — means the
+        nominal operating frequencies; a point at 0.8 was simulated with
+        every cluster re-pinned to the slowest OPP sustaining 80 % speed.
 
     Examples
     --------
@@ -41,6 +47,7 @@ class OperatingPoint:
     resources: ResourceVector
     execution_time: float
     energy: float
+    frequency_scale: float = 1.0
 
     def __post_init__(self) -> None:
         if self.execution_time <= 0:
@@ -49,6 +56,10 @@ class OperatingPoint:
             )
         if self.energy < 0:
             raise ConfigurationError(f"energy must be non-negative, got {self.energy}")
+        if self.frequency_scale <= 0:
+            raise ConfigurationError(
+                f"frequency scale must be positive, got {self.frequency_scale}"
+            )
         if self.resources.is_zero():
             raise ConfigurationError("an operating point must use at least one core")
 

@@ -7,6 +7,13 @@ resulting operating point.  The final table is Pareto-filtered over the
 objectives (per-type core usage, execution time, energy), which mirrors the
 paper's statement that operating points handed to the runtime manager are
 Pareto-filtered.
+
+With ``opp_scales`` the walk additionally sweeps the platform's DVFS
+operating points: every allocation is re-simulated on the platform re-pinned
+at each uniform frequency scale (:func:`~repro.energy.opp.scaled_platform`),
+and the surviving operating points carry the scale in their
+``frequency_scale`` column — slower points trade execution time for energy
+and enlarge the Pareto front the runtime manager can pick from.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ from repro.core.config import ConfigTable, OperatingPoint
 from repro.dataflow.graph import KPNGraph
 from repro.dataflow.trace import TraceGenerator
 from repro.dse.pareto import pareto_front
+from repro.energy.opp import SCALE_EPSILON, scaled_platform
 from repro.exceptions import MappingError
 from repro.mapping.allocate import allocation_cores, balance_processes
 from repro.mapping.mapping import ProcessMapping
@@ -81,6 +89,7 @@ class DesignSpaceExplorer:
         max_cores_per_type: Sequence[int] | None = None,
     ):
         self._platform = platform
+        self._scaled_platforms: dict[float, Platform] = {}
         self._simulator = simulator or MappingSimulator(
             trace_generator=TraceGenerator(iterations=20, jitter=0.1, seed=2020)
         )
@@ -99,34 +108,62 @@ class DesignSpaceExplorer:
     # Exploration
     # ------------------------------------------------------------------ #
     def evaluate_allocation(
-        self, graph: KPNGraph, allocation: ResourceVector
+        self,
+        graph: KPNGraph,
+        allocation: ResourceVector,
+        frequency_scale: float = 1.0,
     ) -> ExplorationResult:
-        """Build, simulate and summarise one allocation."""
-        cores = allocation_cores(self._platform, allocation)
-        mapping = balance_processes(graph, self._platform, cores)
+        """Build, simulate and summarise one allocation.
+
+        ``frequency_scale`` re-pins the platform at the given uniform DVFS
+        scale before simulating (1.0, the default, is the nominal platform).
+        """
+        platform = self._platform_at(frequency_scale)
+        cores = allocation_cores(platform, allocation)
+        mapping = balance_processes(graph, platform, cores)
         simulation = self._simulator.simulate(mapping)
         point = OperatingPoint(
             resources=mapping.demand,
             execution_time=simulation.execution_time,
             energy=simulation.energy,
+            frequency_scale=frequency_scale,
         )
         return ExplorationResult(allocation, mapping, simulation, point)
 
-    def explore_all(self, graph: KPNGraph) -> list[ExplorationResult]:
+    def _platform_at(self, frequency_scale: float) -> Platform:
+        """The platform re-pinned at ``frequency_scale`` (cached per scale)."""
+        if abs(frequency_scale - 1.0) <= SCALE_EPSILON:
+            return self._platform
+        key = round(frequency_scale, 12)
+        if key not in self._scaled_platforms:
+            self._scaled_platforms[key] = scaled_platform(self._platform, frequency_scale)
+        return self._scaled_platforms[key]
+
+    def explore_all(
+        self, graph: KPNGraph, opp_scales: Sequence[float] | None = None
+    ) -> list[ExplorationResult]:
         """Evaluate every allocation whose core count does not exceed the processes.
 
         Allocating more cores than the application has processes cannot help
         (extra cores would stay idle but still burn static power), so such
-        allocations are skipped.
+        allocations are skipped.  With ``opp_scales`` every allocation is
+        evaluated once per scale, slowest first.
         """
+        scales = (1.0,) if opp_scales is None else tuple(opp_scales)
         results = []
-        for allocation in self._platform.allocations(self._limit):
-            if allocation.total > graph.num_processes:
-                continue
-            results.append(self.evaluate_allocation(graph, allocation))
+        for scale in scales:
+            for allocation in self._platform.allocations(self._limit):
+                if allocation.total > graph.num_processes:
+                    continue
+                results.append(self.evaluate_allocation(graph, allocation, scale))
         return results
 
-    def explore(self, graph: KPNGraph, application_name: str | None = None) -> ConfigTable:
+    def explore(
+        self,
+        graph: KPNGraph,
+        application_name: str | None = None,
+        opp_scales: Sequence[float] | None = None,
+    ) -> ConfigTable:
         """Return the Pareto-filtered operating-point table of ``graph``.
 
         Parameters
@@ -136,8 +173,13 @@ class DesignSpaceExplorer:
         application_name:
             Name under which the table is registered; defaults to the graph
             name.
+        opp_scales:
+            Uniform DVFS scales to sweep in addition to the allocations
+            (typically :func:`~repro.energy.opp.available_scales` of the
+            platform).  ``None`` keeps the seed's nominal-frequency-only
+            exploration.
         """
-        results = self.explore_all(graph)
+        results = self.explore_all(graph, opp_scales=opp_scales)
         front = pareto_front(
             results,
             objectives=lambda r: tuple(r.operating_point.resources)

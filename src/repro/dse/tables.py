@@ -20,6 +20,7 @@ from repro.platforms.platform import Platform
 def paper_operating_points(
     platform: Platform | None = None,
     input_sizes: tuple[str, ...] | None = None,
+    sweep_opps: bool = False,
 ) -> dict[str, ConfigTable]:
     """Operating-point tables for every application/input-size variant.
 
@@ -31,6 +32,12 @@ def paper_operating_points(
         Restrict the variants to the given size labels (e.g. ``("medium",)``).
         All sizes are used by default, mirroring the paper's benchmarking with
         several input sizes per application.
+    sweep_opps:
+        Additionally sweep the platform's DVFS operating points, so the
+        tables gain a frequency column (``OperatingPoint.frequency_scale``).
+        Platforms without OPP ladders get synthetic default ladders.  The
+        default ``False`` reproduces the paper's pinned-frequency tables
+        bit-identically.
 
     Returns
     -------
@@ -44,6 +51,12 @@ def paper_operating_points(
     ['audio_filter', 'pedestrian_recognition', 'speaker_recognition']
     """
     platform = platform or odroid_xu4()
+    opp_scales = None
+    if sweep_opps:
+        from repro.energy.opp import available_scales, ensure_opps
+
+        platform = ensure_opps(platform)
+        opp_scales = available_scales(platform)
     explorer = DesignSpaceExplorer(platform)
     tables: dict[str, ConfigTable] = {}
     for model in paper_applications().values():
@@ -51,7 +64,9 @@ def paper_operating_points(
             size = variant_name.split("/", 1)[1]
             if input_sizes is not None and size not in input_sizes:
                 continue
-            tables[variant_name] = explorer.explore(graph, application_name=variant_name)
+            tables[variant_name] = explorer.explore(
+                graph, application_name=variant_name, opp_scales=opp_scales
+            )
     return tables
 
 

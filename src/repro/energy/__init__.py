@@ -1,0 +1,84 @@
+"""DVFS, frequency governors and online energy accounting.
+
+The paper pins the Odroid XU4 cluster frequencies; this package makes
+frequency a first-class runtime dimension:
+
+* :mod:`repro.energy.opp` — per-cluster operating-performance-point ladders
+  (Exynos-5422-style tables for the Odroid, synthetic ladders elsewhere),
+  uniform platform scales and re-pinned platform variants for the DSE sweep.
+* :mod:`repro.energy.governor` — pluggable frequency governors
+  (``performance``, ``powersave``, ``ondemand``, ``schedule-aware``) plus
+  the schedule-stretching primitives they rely on.
+* :mod:`repro.energy.accounting` — the incremental :class:`EnergyMeter` the
+  runtime manager feeds every executed interval (per-cluster busy/idle and
+  per-job joules in O(active cores) per interval).
+* :mod:`repro.energy.budget` — power-cap / energy-budget admission control
+  consulted before a feasible request is committed.
+
+Without a governor everything is bit-identical to the pinned-frequency seed
+behaviour.  With one, energy switches to the analytical per-core model so
+governors are comparable; the ``performance`` governor then reproduces the
+seed's schedules and admissions exactly and serves as the fixed-frequency
+energy baseline.
+"""
+
+from repro.energy.accounting import (
+    EnergyMeter,
+    analytical_schedule_energy,
+    segment_analytical_power,
+)
+from repro.energy.budget import BudgetDecision, EnergyBudget
+from repro.energy.governor import (
+    GOVERNORS,
+    FrequencyGovernor,
+    OndemandGovernor,
+    PerformanceGovernor,
+    PowersaveGovernor,
+    ScheduleAwareGovernor,
+    build_governor,
+    required_scale,
+    stretch_schedule,
+)
+from repro.energy.opp import (
+    DEFAULT_SCALES,
+    OPP,
+    OPPDecision,
+    OPPLadder,
+    attach_opps,
+    available_scales,
+    decide,
+    default_ladder,
+    ensure_opps,
+    exynos5422_ladders,
+    ladder_from_frequencies,
+    scaled_platform,
+)
+
+__all__ = [
+    "OPP",
+    "OPPLadder",
+    "OPPDecision",
+    "DEFAULT_SCALES",
+    "ladder_from_frequencies",
+    "default_ladder",
+    "exynos5422_ladders",
+    "attach_opps",
+    "ensure_opps",
+    "available_scales",
+    "decide",
+    "scaled_platform",
+    "FrequencyGovernor",
+    "PerformanceGovernor",
+    "PowersaveGovernor",
+    "OndemandGovernor",
+    "ScheduleAwareGovernor",
+    "GOVERNORS",
+    "build_governor",
+    "required_scale",
+    "stretch_schedule",
+    "EnergyMeter",
+    "analytical_schedule_energy",
+    "segment_analytical_power",
+    "EnergyBudget",
+    "BudgetDecision",
+]

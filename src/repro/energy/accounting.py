@@ -1,0 +1,193 @@
+"""Online energy accounting for the runtime manager.
+
+The seed accumulated one scalar (``ExecutionLog.total_energy``) from the
+operating-point energies; any richer view — per-cluster or per-request
+breakdowns — required a post-hoc scan over the executed timeline with table
+lookups per interval.  The :class:`EnergyMeter` integrates those views
+*online*: the runtime manager feeds it every executed interval and the meter
+updates per-cluster busy/idle joules and per-job joules in O(active mappings
+× resource types) — proportional to the active cores, not to the log length.
+
+Two accounting modes exist:
+
+* **table mode** (default, no governor): interval energy is the seed's
+  operating-point energy, bit-identical to pre-meter behaviour; the meter
+  only *attributes* it — to jobs exactly, and to clusters proportionally to
+  each cluster's share of the point's full-load power.
+* **analytical mode** (a governor is active): interval energy is integrated
+  from the platform power models at the selected OPPs — busy cores at full
+  utilisation, allocated-but-idle cores at static power — so DVFS decisions
+  change the recorded energy consistently.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.config import ConfigTable, OperatingPoint
+from repro.core.segment import MappingSegment, Schedule
+from repro.energy.opp import OPPDecision
+from repro.platforms.platform import Platform
+
+
+class EnergyMeter:
+    """Incremental per-cluster and per-job energy accounting of one run.
+
+    Parameters
+    ----------
+    platform:
+        The platform whose clusters the meter attributes energy to.  ``None``
+        (a bare capacity vector) disables the cluster breakdown; per-job
+        energies are still tracked.
+
+    Examples
+    --------
+    >>> from repro.platforms import odroid_xu4
+    >>> meter = EnergyMeter(odroid_xu4())
+    >>> sorted(meter.cluster_breakdown())
+    ['A15', 'A7']
+    """
+
+    def __init__(self, platform: Platform | None):
+        self._platform = platform
+        self.total_joules = 0.0
+        self.job_joules: dict[str, float] = {}
+        if platform is not None:
+            self._type_names = platform.type_names
+            self._busy_watts = tuple(
+                ptype.power.power(1.0) for ptype in platform.processor_types
+            )
+            self._capacity = platform.core_counts
+            self._busy = {name: 0.0 for name in self._type_names}
+            self._idle = {name: 0.0 for name in self._type_names}
+        else:
+            self._type_names = ()
+            self._busy_watts = ()
+            self._capacity = ()
+            self._busy = {}
+            self._idle = {}
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def record_table(
+        self, contributions: Sequence[tuple[str, OperatingPoint, float]]
+    ) -> None:
+        """Attribute the operating-point energies of one executed interval.
+
+        ``contributions`` holds ``(job name, operating point, joules)`` per
+        active mapping, with joules exactly as charged to the execution log.
+        The cluster attribution weights each cluster by its share of the
+        point's full-load power (demand × busy watts), since the table energy
+        does not expose a busy/idle split.
+        """
+        for job_name, point, joules in contributions:
+            self.total_joules += joules
+            self.job_joules[job_name] = self.job_joules.get(job_name, 0.0) + joules
+            if self._platform is None:
+                continue
+            weights = [
+                count * watts
+                for count, watts in zip(point.resources, self._busy_watts)
+            ]
+            weight_total = sum(weights)
+            if weight_total <= 0.0:
+                continue
+            for name, weight in zip(self._type_names, weights):
+                if weight > 0.0:
+                    self._busy[name] += joules * weight / weight_total
+
+    def record_analytical(
+        self,
+        duration: float,
+        points: Sequence[tuple[str, OperatingPoint]],
+        decision: OPPDecision,
+    ) -> float:
+        """Integrate one executed interval from the platform power models.
+
+        ``duration`` is the wall-clock interval length, ``points`` the active
+        ``(job name, operating point)`` pairs and ``decision`` the per-cluster
+        OPPs in force.  Busy cores are charged at full utilisation, the rest
+        of the platform at static power.  Returns the interval's total joules
+        (what the execution log records in analytical mode).
+        """
+        if self._platform is None:
+            raise ValueError("analytical accounting needs a full Platform")
+        busy_counts = [0] * len(self._capacity)
+        for job_name, point in points:
+            job_joules = 0.0
+            for index, count in enumerate(point.resources):
+                if count:
+                    busy_counts[index] += count
+                    job_joules += (
+                        count * decision.cluster_opps[index].power.power(1.0) * duration
+                    )
+            self.job_joules[job_name] = self.job_joules.get(job_name, 0.0) + job_joules
+        interval_joules = 0.0
+        for index, name in enumerate(self._type_names):
+            opp = decision.cluster_opps[index]
+            busy = busy_counts[index]
+            idle = max(0, self._capacity[index] - busy)
+            busy_joules = busy * opp.power.power(1.0) * duration
+            idle_joules = idle * opp.power.power(0.0) * duration
+            self._busy[name] += busy_joules
+            self._idle[name] += idle_joules
+            interval_joules += busy_joules + idle_joules
+        self.total_joules += interval_joules
+        return interval_joules
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def cluster_breakdown(self) -> dict[str, dict[str, float]]:
+        """Per-cluster ``{"busy": J, "idle": J, "total": J}`` (JSON-ready)."""
+        return {
+            name: {
+                "busy": self._busy[name],
+                "idle": self._idle[name],
+                "total": self._busy[name] + self._idle[name],
+            }
+            for name in self._type_names
+        }
+
+
+# ---------------------------------------------------------------------- #
+# Analytical schedule energy (offline helpers)
+# ---------------------------------------------------------------------- #
+def segment_analytical_power(
+    segment: MappingSegment,
+    tables: Mapping[str, ConfigTable],
+    platform: Platform,
+    decision: OPPDecision,
+) -> float:
+    """Platform power in watts while ``segment`` executes under ``decision``."""
+    busy_counts = [0] * platform.num_resource_types
+    for mapping in segment:
+        for index, count in enumerate(mapping.operating_point(tables).resources):
+            busy_counts[index] += count
+    power = 0.0
+    for index, opp in enumerate(decision.cluster_opps):
+        busy = busy_counts[index]
+        idle = max(0, platform.core_counts[index] - busy)
+        power += busy * opp.power.power(1.0) + idle * opp.power.power(0.0)
+    return power
+
+
+def analytical_schedule_energy(
+    schedule: Schedule,
+    tables: Mapping[str, ConfigTable],
+    platform: Platform,
+    decision: OPPDecision,
+) -> float:
+    """Energy in joules of executing ``schedule`` under ``decision``.
+
+    Segment durations are taken as-is, so a schedule stretched by a governor
+    integrates over its stretched timeline.  Time outside segments is not
+    charged, matching the runtime manager (and the seed, which charged
+    nothing during idle gaps either).
+    """
+    return sum(
+        segment_analytical_power(segment, tables, platform, decision)
+        * segment.duration
+        for segment in schedule
+    )

@@ -1,0 +1,348 @@
+"""Operating-performance-point (OPP) ladders for DVFS-aware platforms.
+
+The paper pins the Odroid XU4 clusters at fixed frequencies (A15 @ 1.8 GHz,
+A7 @ 1.5 GHz).  Real Exynos-5422 firmware instead exposes a *ladder* of
+operating performance points per cluster — discrete (frequency, voltage)
+pairs the cpufreq governor switches between.  This module models those
+ladders: every :class:`OPP` carries the frequency, the *speed* relative to
+the nominal (paper-pinned) frequency, and a :class:`~repro.platforms.power.PowerModel`
+derived from the nominal model via
+:meth:`~repro.platforms.power.PowerModel.scaled_frequency` (dynamic power
+scales cubically with frequency under voltage scaling, static power stays).
+
+Ladders attach to :class:`~repro.platforms.processor.ProcessorType` as
+metadata (``ProcessorType.opps``); nothing at the nominal frequency changes,
+so platforms with ladders behave bit-identically to the seed until a
+governor or an OPP sweep actually uses them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.exceptions import EnergyError
+from repro.platforms.odroid import (
+    A7_DYNAMIC_WATTS,
+    A7_FREQUENCY_HZ,
+    A7_PERFORMANCE_FACTOR,
+    A7_STATIC_WATTS,
+    A15_DYNAMIC_WATTS,
+    A15_FREQUENCY_HZ,
+    A15_PERFORMANCE_FACTOR,
+    A15_STATIC_WATTS,
+)
+from repro.platforms.platform import Platform
+from repro.platforms.power import PowerModel
+from repro.platforms.processor import ProcessorType
+
+#: Numerical slack for comparing frequency ratios.
+SCALE_EPSILON = 1e-9
+
+#: Relative frequency scales used when a platform has no measured ladder
+#: (generic big.LITTLE, homogeneous and heterogeneous builders).
+DEFAULT_SCALES = (0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+#: Exynos-5422-style frequency ladders (Hz).  The LITTLE (A7) cluster steps
+#: from 600 MHz to its 1.5 GHz nominal, the big (A15) cluster from 800 MHz
+#: past its 1.8 GHz nominal up to the 2.0 GHz boost step.
+EXYNOS5422_A7_FREQUENCIES_HZ = (0.6e9, 0.8e9, 1.0e9, 1.1e9, 1.2e9, 1.3e9, 1.4e9, 1.5e9)
+EXYNOS5422_A15_FREQUENCIES_HZ = (0.8e9, 1.0e9, 1.2e9, 1.4e9, 1.6e9, 1.8e9, 2.0e9)
+
+
+@dataclass(frozen=True)
+class OPP:
+    """One operating performance point of a core type.
+
+    Parameters
+    ----------
+    frequency_hz:
+        Core frequency at this point.
+    speed:
+        Execution speed relative to the nominal OPP (``frequency / nominal
+        frequency``); reference work retires proportionally to this factor.
+    power:
+        Power model of one core running at this point.
+    """
+
+    frequency_hz: float
+    speed: float
+    power: PowerModel
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise EnergyError(f"OPP frequency must be positive, got {self.frequency_hz}")
+        if self.speed <= 0:
+            raise EnergyError(f"OPP speed must be positive, got {self.speed}")
+
+
+class OPPLadder:
+    """The ordered DVFS ladder of one core type.
+
+    Points are kept in ascending frequency order; exactly one point must sit
+    at the nominal frequency (speed 1.0), which is the point the seed model
+    pins the cluster to.
+
+    Examples
+    --------
+    >>> base = ProcessorType("A7", 1.5e9, 1.0, PowerModel(0.05, 0.30))
+    >>> ladder = ladder_from_frequencies(base, [0.75e9, 1.5e9])
+    >>> ladder.nominal.speed
+    1.0
+    >>> ladder.slowest.speed
+    0.5
+    """
+
+    def __init__(self, opps: Iterable[OPP]):
+        points = tuple(sorted(opps, key=lambda p: p.frequency_hz))
+        if not points:
+            raise EnergyError("an OPP ladder needs at least one point")
+        for lower, upper in zip(points, points[1:]):
+            if upper.frequency_hz <= lower.frequency_hz * (1 + SCALE_EPSILON):
+                raise EnergyError(
+                    f"OPP frequencies must be strictly increasing, got "
+                    f"{lower.frequency_hz} and {upper.frequency_hz}"
+                )
+        nominal = [p for p in points if abs(p.speed - 1.0) <= SCALE_EPSILON]
+        if len(nominal) != 1:
+            raise EnergyError(
+                "an OPP ladder needs exactly one nominal point (speed 1.0), "
+                f"got speeds {[p.speed for p in points]}"
+            )
+        self._opps = points
+        self._nominal = nominal[0]
+
+    # ------------------------------------------------------------------ #
+    # Container protocol
+    # ------------------------------------------------------------------ #
+    @property
+    def opps(self) -> tuple[OPP, ...]:
+        """All points in ascending frequency order."""
+        return self._opps
+
+    def __len__(self) -> int:
+        return len(self._opps)
+
+    def __iter__(self) -> Iterator[OPP]:
+        return iter(self._opps)
+
+    def __getitem__(self, index: int) -> OPP:
+        return self._opps[index]
+
+    def __repr__(self) -> str:
+        freqs = ", ".join(f"{p.frequency_hz / 1e6:.0f}" for p in self._opps)
+        return f"OPPLadder([{freqs}] MHz, nominal={self._nominal.frequency_hz / 1e6:.0f})"
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def nominal(self) -> OPP:
+        """The point at the nominal (paper-pinned) frequency."""
+        return self._nominal
+
+    @property
+    def slowest(self) -> OPP:
+        """The lowest-frequency point."""
+        return self._opps[0]
+
+    @property
+    def fastest(self) -> OPP:
+        """The highest-frequency point."""
+        return self._opps[-1]
+
+    def scales(self) -> tuple[float, ...]:
+        """The relative speeds of all points, ascending."""
+        return tuple(p.speed for p in self._opps)
+
+    def at_scale(self, scale: float) -> OPP:
+        """The slowest point with speed at least ``scale``.
+
+        Guarantees the returned point retires work no slower than ``scale``
+        times nominal; requests above the fastest point clamp to it.
+        """
+        if scale <= 0:
+            raise EnergyError(f"OPP scale must be positive, got {scale}")
+        for point in self._opps:
+            if point.speed >= scale - SCALE_EPSILON:
+                return point
+        return self._opps[-1]
+
+
+# ---------------------------------------------------------------------- #
+# Ladder construction
+# ---------------------------------------------------------------------- #
+def ladder_from_frequencies(
+    base: ProcessorType, frequencies_hz: Sequence[float]
+) -> OPPLadder:
+    """Derive a ladder for ``base`` from a list of frequencies.
+
+    Each point's power model comes from
+    :meth:`~repro.platforms.power.PowerModel.scaled_frequency` applied to the
+    base model at the frequency ratio; the base (nominal) frequency must be
+    among ``frequencies_hz``.
+    """
+    points = []
+    for frequency in frequencies_hz:
+        if frequency <= 0:
+            raise EnergyError(f"OPP frequency must be positive, got {frequency}")
+        ratio = frequency / base.frequency_hz
+        if abs(ratio - 1.0) <= SCALE_EPSILON:
+            # Keep the nominal point bit-identical to the base model instead
+            # of routing it through the cubic scaling (1.0**3 round-trips
+            # exactly, but being explicit costs nothing).
+            points.append(OPP(base.frequency_hz, 1.0, base.power))
+        else:
+            points.append(OPP(frequency, ratio, base.power.scaled_frequency(ratio)))
+    return OPPLadder(points)
+
+
+def default_ladder(
+    base: ProcessorType, scales: Sequence[float] = DEFAULT_SCALES
+) -> OPPLadder:
+    """A synthetic ladder at the given relative ``scales`` of the base frequency."""
+    frequencies = [base.frequency_hz * scale for scale in scales]
+    if not any(abs(s - 1.0) <= SCALE_EPSILON for s in scales):
+        frequencies.append(base.frequency_hz)
+    return ladder_from_frequencies(base, frequencies)
+
+
+def exynos5422_ladders(
+    little: ProcessorType | None = None, big: ProcessorType | None = None
+) -> dict[str, OPPLadder]:
+    """The Exynos-5422-style ladders of the Odroid XU4 clusters, by type name.
+
+    ``odroid_xu4`` passes its own cluster models so the ladders' nominal
+    points can never drift from the platform; standalone callers get bases
+    rebuilt from the published odroid constants.
+    """
+    if little is None:
+        little = ProcessorType(
+            "A7", A7_FREQUENCY_HZ, A7_PERFORMANCE_FACTOR,
+            PowerModel(A7_STATIC_WATTS, A7_DYNAMIC_WATTS),
+        )
+    if big is None:
+        big = ProcessorType(
+            "A15", A15_FREQUENCY_HZ, A15_PERFORMANCE_FACTOR,
+            PowerModel(A15_STATIC_WATTS, A15_DYNAMIC_WATTS),
+        )
+    return {
+        little.name: ladder_from_frequencies(little, EXYNOS5422_A7_FREQUENCIES_HZ),
+        big.name: ladder_from_frequencies(big, EXYNOS5422_A15_FREQUENCIES_HZ),
+    }
+
+
+# ---------------------------------------------------------------------- #
+# Attaching ladders to platforms
+# ---------------------------------------------------------------------- #
+def attach_opps(platform: Platform, ladders: Mapping[str, OPPLadder]) -> Platform:
+    """Return ``platform`` with the given ladders attached by type name.
+
+    Types not mentioned in ``ladders`` keep their current ladder (or none).
+    """
+    unknown = set(ladders) - set(platform.type_names)
+    if unknown:
+        raise EnergyError(
+            f"ladders for unknown processor types {sorted(unknown)}; "
+            f"platform has {platform.type_names}"
+        )
+    types = [
+        ptype.with_opps(ladders[ptype.name]) if ptype.name in ladders else ptype
+        for ptype in platform.processor_types
+    ]
+    return Platform(platform.name, types, platform.core_counts)
+
+
+def ensure_opps(
+    platform: Platform, scales: Sequence[float] = DEFAULT_SCALES
+) -> Platform:
+    """Return ``platform`` with every core type carrying a ladder.
+
+    Types that already have a ladder are untouched; the rest get a synthetic
+    :func:`default_ladder` at the given relative scales.  Idempotent, and the
+    identity when every type already has a ladder.
+    """
+    if all(ptype.has_opps for ptype in platform.processor_types):
+        return platform
+    ladders = {
+        ptype.name: default_ladder(ptype, scales)
+        for ptype in platform.processor_types
+        if not ptype.has_opps
+    }
+    return attach_opps(platform, ladders)
+
+
+# ---------------------------------------------------------------------- #
+# Uniform platform scales
+# ---------------------------------------------------------------------- #
+def available_scales(platform: Platform) -> tuple[float, ...]:
+    """The uniform relative speeds the platform can run at, ascending.
+
+    The union of every cluster's ladder speeds capped at 1.0 (a uniform
+    slow-down never needs a cluster to exceed its nominal point; per-cluster
+    boost points remain reachable through :meth:`OPPLadder.at_scale`).  The
+    nominal scale 1.0 is always included.
+    """
+    scales = {1.0}
+    for ptype in platform.processor_types:
+        if ptype.opps is None:
+            continue
+        for speed in ptype.opps.scales():
+            if speed <= 1.0 + SCALE_EPSILON:
+                scales.add(min(speed, 1.0))
+    return tuple(sorted(round(scale, 12) for scale in scales))
+
+
+@dataclass(frozen=True)
+class OPPDecision:
+    """A platform-wide frequency decision: one OPP per cluster.
+
+    Attributes
+    ----------
+    scale:
+        The uniform execution speed the decision guarantees (every cluster
+        runs at least this fast relative to nominal).
+    cluster_opps:
+        The selected OPP per processor type, in resource-vector order.
+    """
+
+    scale: float
+    cluster_opps: tuple[OPP, ...]
+
+
+def decide(platform: Platform, scale: float) -> OPPDecision:
+    """Pick, per cluster, the slowest OPP that sustains ``scale``.
+
+    Clusters without a ladder get a synthetic point derived via
+    :meth:`~repro.platforms.power.PowerModel.scaled_frequency`.
+    """
+    if not 0 < scale <= 1.0 + SCALE_EPSILON:
+        raise EnergyError(f"uniform platform scale must be in (0, 1], got {scale}")
+    opps = []
+    for ptype in platform.processor_types:
+        if ptype.opps is not None:
+            opps.append(ptype.opps.at_scale(scale))
+        elif abs(scale - 1.0) <= SCALE_EPSILON:
+            opps.append(OPP(ptype.frequency_hz, 1.0, ptype.power))
+        else:
+            opps.append(
+                OPP(ptype.frequency_hz * scale, scale, ptype.power.scaled_frequency(scale))
+            )
+    return OPPDecision(scale=min(scale, 1.0), cluster_opps=tuple(opps))
+
+
+def scaled_platform(platform: Platform, scale: float) -> Platform:
+    """Return ``platform`` re-pinned at the uniform ``scale``.
+
+    Every core type moves to its :func:`decide`-selected OPP; the identity at
+    scale 1.0.  Used by the DSE OPP sweep to re-simulate mappings at lower
+    frequencies.
+    """
+    if abs(scale - 1.0) <= SCALE_EPSILON:
+        return platform
+    decision = decide(platform, scale)
+    types = [
+        ptype.at_opp(opp)
+        for ptype, opp in zip(platform.processor_types, decision.cluster_opps)
+    ]
+    return Platform(platform.name, types, platform.core_counts)

@@ -49,6 +49,10 @@ class AdmissionError(ReproError):
     """Raised by the runtime manager for invalid request admissions."""
 
 
+class EnergyError(ReproError):
+    """Raised for invalid DVFS ladders, governors or energy budgets."""
+
+
 class WorkloadError(ReproError):
     """Raised for invalid workload or test-case generator parameters."""
 

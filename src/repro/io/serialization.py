@@ -16,7 +16,8 @@ from typing import Any, Mapping
 from repro.core.config import ConfigTable, OperatingPoint
 from repro.core.request import Job
 from repro.core.segment import Schedule
-from repro.exceptions import SerializationError
+from repro.energy.opp import OPP, OPPLadder
+from repro.exceptions import EnergyError, SerializationError
 from repro.platforms.platform import Platform
 from repro.platforms.power import PowerModel
 from repro.platforms.processor import ProcessorType
@@ -35,19 +36,35 @@ def _require(data: Mapping[str, Any], key: str, context: str) -> Any:
 # Platforms
 # ---------------------------------------------------------------------- #
 def platform_to_dict(platform: Platform) -> dict:
-    """Serialise a platform (name, processor types, core counts)."""
+    """Serialise a platform (name, processor types, core counts).
+
+    OPP ladders round-trip too (as ``opps`` lists per processor type, only
+    emitted when present), so a DVFS-aware inline platform behaves the same
+    after crossing a process boundary or a save/load cycle as it did live.
+    """
+    types = []
+    for ptype in platform.processor_types:
+        entry = {
+            "name": ptype.name,
+            "frequency_hz": ptype.frequency_hz,
+            "performance_factor": ptype.performance_factor,
+            "static_watts": ptype.power.static_watts,
+            "dynamic_watts": ptype.power.dynamic_watts,
+        }
+        if ptype.opps is not None:
+            entry["opps"] = [
+                {
+                    "frequency_hz": opp.frequency_hz,
+                    "speed": opp.speed,
+                    "static_watts": opp.power.static_watts,
+                    "dynamic_watts": opp.power.dynamic_watts,
+                }
+                for opp in ptype.opps
+            ]
+        types.append(entry)
     return {
         "name": platform.name,
-        "processor_types": [
-            {
-                "name": ptype.name,
-                "frequency_hz": ptype.frequency_hz,
-                "performance_factor": ptype.performance_factor,
-                "static_watts": ptype.power.static_watts,
-                "dynamic_watts": ptype.power.dynamic_watts,
-            }
-            for ptype in platform.processor_types
-        ],
+        "processor_types": types,
         "core_counts": list(platform.core_counts),
     }
 
@@ -56,6 +73,24 @@ def platform_from_dict(data: Mapping[str, Any]) -> Platform:
     """Reconstruct a platform from :func:`platform_to_dict` output."""
     types = []
     for entry in _require(data, "processor_types", "platform"):
+        ladder = None
+        if entry.get("opps"):
+            try:
+                ladder = OPPLadder(
+                    OPP(
+                        frequency_hz=float(_require(point, "frequency_hz", "OPP")),
+                        speed=float(_require(point, "speed", "OPP")),
+                        power=PowerModel(
+                            static_watts=float(_require(point, "static_watts", "OPP")),
+                            dynamic_watts=float(_require(point, "dynamic_watts", "OPP")),
+                        ),
+                    )
+                    for point in entry["opps"]
+                )
+            except EnergyError as error:
+                raise SerializationError(
+                    f"processor type {entry.get('name')!r}: invalid OPP ladder: {error}"
+                ) from None
         types.append(
             ProcessorType(
                 name=_require(entry, "name", "processor type"),
@@ -69,6 +104,7 @@ def platform_from_dict(data: Mapping[str, Any]) -> Platform:
                         _require(entry, "dynamic_watts", "processor type")
                     ),
                 ),
+                opps=ladder,
             )
         )
     return Platform(
@@ -82,18 +118,22 @@ def platform_from_dict(data: Mapping[str, Any]) -> Platform:
 # Configuration tables
 # ---------------------------------------------------------------------- #
 def config_table_to_dict(table: ConfigTable) -> dict:
-    """Serialise one application's operating points."""
-    return {
-        "application": table.application,
-        "points": [
-            {
-                "resources": list(point.resources),
-                "execution_time": point.execution_time,
-                "energy": point.energy,
-            }
-            for point in table
-        ],
-    }
+    """Serialise one application's operating points.
+
+    The ``frequency_scale`` column is only emitted for non-nominal points,
+    so pinned-frequency tables serialise exactly as the seed did.
+    """
+    points = []
+    for point in table:
+        entry = {
+            "resources": list(point.resources),
+            "execution_time": point.execution_time,
+            "energy": point.energy,
+        }
+        if point.frequency_scale != 1.0:
+            entry["frequency_scale"] = point.frequency_scale
+        points.append(entry)
+    return {"application": table.application, "points": points}
 
 
 def config_table_from_dict(data: Mapping[str, Any]) -> ConfigTable:
@@ -107,6 +147,7 @@ def config_table_from_dict(data: Mapping[str, Any]) -> ConfigTable:
                 ),
                 execution_time=float(_require(entry, "execution_time", "operating point")),
                 energy=float(_require(entry, "energy", "operating point")),
+                frequency_scale=float(entry.get("frequency_scale", 1.0)),
             )
         )
     return ConfigTable(_require(data, "application", "config table"), points)

@@ -31,11 +31,15 @@ A7_FREQUENCY_HZ = 1.5e9
 A15_FREQUENCY_HZ = 1.8e9
 
 
-def odroid_xu4() -> Platform:
+def odroid_xu4(dvfs: bool = True) -> Platform:
     """Return the Odroid XU4 platform model (4×A7 "little" + 4×A15 "big").
 
     The little cluster is resource type 0 and the big cluster resource type 1,
-    matching the ``#L`` / ``#B`` column order of Table II in the paper.
+    matching the ``#L`` / ``#B`` column order of Table II in the paper.  With
+    ``dvfs=True`` (the default) every cluster carries its Exynos-5422-style
+    OPP ladder as metadata; the nominal frequencies stay pinned as in the
+    paper, so this changes nothing unless a frequency governor or an OPP
+    sweep is explicitly enabled.
 
     Examples
     --------
@@ -55,4 +59,12 @@ def odroid_xu4() -> Platform:
         performance_factor=A15_PERFORMANCE_FACTOR,
         power=PowerModel(A15_STATIC_WATTS, A15_DYNAMIC_WATTS),
     )
+    if dvfs:
+        # Imported lazily: repro.energy.opp reads this module's constants at
+        # import time, so a module-level import here would be cyclic.
+        from repro.energy.opp import exynos5422_ladders
+
+        ladders = exynos5422_ladders(little=little, big=big)
+        little = little.with_opps(ladders["A7"])
+        big = big.with_opps(ladders["A15"])
     return Platform(name="odroid-xu4", processor_types=[little, big], core_counts=[4, 4])

@@ -15,6 +15,12 @@ from dataclasses import dataclass
 
 from repro.exceptions import PlatformError
 
+#: Absolute slack accepted on utilisations before they are treated as errors.
+#: Accumulated float arithmetic in the runtime manager legitimately produces
+#: values like ``1.0000000000000002``; anything within this tolerance is
+#: clamped into ``[0, 1]`` instead of raising.
+UTILISATION_TOLERANCE = 1e-9
+
 
 @dataclass(frozen=True)
 class PowerModel:
@@ -43,9 +49,20 @@ class PowerModel:
             raise PlatformError("power components must be non-negative")
 
     def power(self, utilisation: float = 1.0) -> float:
-        """Power in watts of one core at the given utilisation in ``[0, 1]``."""
+        """Power in watts of one core at the given utilisation in ``[0, 1]``.
+
+        Utilisations within :data:`UTILISATION_TOLERANCE` outside the unit
+        interval are clamped rather than rejected.
+        """
         if not 0.0 <= utilisation <= 1.0:
-            raise PlatformError(f"utilisation must be in [0, 1], got {utilisation}")
+            if -UTILISATION_TOLERANCE <= utilisation < 0.0:
+                utilisation = 0.0
+            elif 1.0 < utilisation <= 1.0 + UTILISATION_TOLERANCE:
+                utilisation = 1.0
+            else:
+                raise PlatformError(
+                    f"utilisation must be in [0, 1], got {utilisation}"
+                )
         return self.static_watts + self.dynamic_watts * utilisation
 
     def energy(self, duration: float, utilisation: float = 1.0) -> float:

@@ -2,10 +2,14 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 from repro.exceptions import PlatformError
 from repro.platforms.power import PowerModel
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard, typing only
+    from repro.energy.opp import OPP, OPPLadder
 
 
 @dataclass(frozen=True)
@@ -23,11 +27,18 @@ class ProcessorType:
     name:
         Unique human-readable name, e.g. ``"A15"``.
     frequency_hz:
-        Operating frequency in hertz (fixed; the paper pins the frequencies).
+        Operating frequency in hertz (the *nominal* frequency; the paper pins
+        the clusters there, DVFS-aware runs re-pin cores via :meth:`at_opp`).
     performance_factor:
-        Relative single-thread performance w.r.t. the reference core.
+        Relative single-thread performance w.r.t. the reference core at the
+        same frequency (an IPC-like factor, frequency-independent).
     power:
-        Static/dynamic power model of one core.
+        Static/dynamic power model of one core at the nominal frequency.
+    opps:
+        Optional :class:`~repro.energy.opp.OPPLadder` with the DVFS operating
+        performance points of this core type.  Metadata only — it does not
+        participate in equality, and all accounting at the nominal frequency
+        is unaffected by its presence.
 
     Examples
     --------
@@ -40,6 +51,7 @@ class ProcessorType:
     frequency_hz: float
     performance_factor: float
     power: PowerModel
+    opps: "OPPLadder | None" = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -67,3 +79,25 @@ class ProcessorType:
     def idle_energy(self, duration: float) -> float:
         """Energy of one powered but idle core of this type over ``duration`` seconds."""
         return self.power.energy(duration, utilisation=0.0)
+
+    # ------------------------------------------------------------------ #
+    # DVFS
+    # ------------------------------------------------------------------ #
+    @property
+    def has_opps(self) -> bool:
+        """``True`` iff an OPP ladder is attached to this core type."""
+        return self.opps is not None
+
+    def with_opps(self, ladder: "OPPLadder") -> "ProcessorType":
+        """Return a copy of this core type with ``ladder`` attached."""
+        return replace(self, opps=ladder)
+
+    def at_opp(self, opp: "OPP") -> "ProcessorType":
+        """Return this core type re-pinned at ``opp``.
+
+        The frequency and power model change; the performance factor (an
+        IPC-like, frequency-independent quantity) and the attached ladder are
+        preserved, so :meth:`cycles_to_seconds` scales linearly with the OPP
+        frequency.
+        """
+        return replace(self, frequency_hz=opp.frequency_hz, power=opp.power)

@@ -28,6 +28,9 @@ class RequestOutcome:
     scheduler_time:
         Wall-clock seconds the scheduler spent on the activation triggered by
         this request.
+    energy:
+        Joules the runtime manager attributed to this request's execution
+        (0.0 for rejected requests).
     """
 
     name: str
@@ -37,6 +40,7 @@ class RequestOutcome:
     accepted: bool
     completion_time: float | None = None
     scheduler_time: float = 0.0
+    energy: float = 0.0
 
     @property
     def met_deadline(self) -> bool:
@@ -65,12 +69,24 @@ class ExecutedInterval:
 
 @dataclass
 class ExecutionLog:
-    """Everything the runtime manager recorded during one simulation run."""
+    """Everything the runtime manager recorded during one simulation run.
+
+    ``cluster_energy`` and ``job_energy`` are filled by the manager's
+    incremental :class:`~repro.energy.accounting.EnergyMeter`:
+    per-processor-type ``{"busy": J, "idle": J, "total": J}`` breakdowns
+    (empty when the manager only knows a bare capacity vector) and joules
+    per request.  ``budget_rejections`` counts requests that had a feasible
+    schedule but were turned away by the
+    :class:`~repro.energy.budget.EnergyBudget` admission control.
+    """
 
     outcomes: list[RequestOutcome] = field(default_factory=list)
     timeline: list[ExecutedInterval] = field(default_factory=list)
     total_energy: float = 0.0
     activations: int = 0
+    cluster_energy: dict[str, dict[str, float]] = field(default_factory=dict)
+    job_energy: dict[str, float] = field(default_factory=dict)
+    budget_rejections: int = 0
 
     # ------------------------------------------------------------------ #
     # Summary queries

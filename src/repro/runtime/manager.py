@@ -41,13 +41,17 @@ admission decisions, the executed timeline and the total consumed energy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Mapping
 
 from repro.core.config import ConfigTable
 from repro.core.problem import SchedulingProblem
 from repro.core.request import Job
 from repro.core.segment import MappingSegment, Schedule
+from repro.energy.accounting import EnergyMeter
+from repro.energy.budget import EnergyBudget
+from repro.energy.governor import FrequencyGovernor, stretch_schedule
+from repro.energy.opp import OPPDecision, decide, ensure_opps
 from repro.exceptions import AdmissionError, SchedulingError
 from repro.platforms.platform import Platform
 from repro.platforms.resources import ResourceVector
@@ -62,6 +66,17 @@ _TIME_EPSILON = 1e-9
 
 #: The supported time-advance engines.
 ENGINES = ("events", "linear")
+#: Speeds within this tolerance of 1.0 leave the schedule unstretched.
+_SCALE_EPSILON = 1e-9
+
+
+@dataclass(frozen=True)
+class _Plan:
+    """A schedule ready to commit plus the DVFS state it executes under."""
+
+    schedule: Schedule
+    speed: float = 1.0
+    decision: OPPDecision | None = None
 
 
 @dataclass
@@ -89,6 +104,13 @@ class _RunContext:
     completions: dict[str, float] = field(default_factory=dict)
     request_info: dict[str, RequestEvent] = field(default_factory=dict)
     admissions: dict[str, tuple[bool, float]] = field(default_factory=dict)
+    #: Incremental energy accounting (None when disabled).
+    meter: EnergyMeter | None = None
+    #: Uniform execution speed of the committed schedule (1.0 = nominal).
+    speed: float = 1.0
+    #: Per-cluster OPPs in force; ``None`` selects the seed's table-energy
+    #: accounting, an :class:`OPPDecision` selects analytical accounting.
+    decision: OPPDecision | None = None
 
 
 class RuntimeManager:
@@ -110,6 +132,25 @@ class RuntimeManager:
         Default time-advance engine: ``"events"`` (heap-based event queue) or
         ``"linear"`` (the seed's arrival-by-arrival loop).  Both produce the
         same execution log; ``run()`` may override the choice per call.
+    governor:
+        Optional :class:`~repro.energy.governor.FrequencyGovernor`.  When
+        set, every schedule commit picks a uniform platform speed from the
+        platform's OPP ladders (synthetic default ladders are attached if
+        the platform has none), stretches the committed schedule
+        accordingly, and energy is integrated analytically from the
+        per-core power models at the selected OPPs.  Requires a full
+        :class:`Platform`.  ``None`` (the default) keeps the seed's
+        pinned-frequency behaviour bit-identical.
+    budget:
+        Optional :class:`~repro.energy.budget.EnergyBudget`.  A request
+        whose feasible schedule would violate the power cap or energy
+        budget is rejected exactly like an infeasible one.
+    account_energy:
+        Feed every executed interval into an incremental
+        :class:`~repro.energy.accounting.EnergyMeter`, filling
+        ``ExecutionLog.cluster_energy`` / ``job_energy``.  Accounting never
+        changes the logged totals in the default mode; disable it only to
+        shave the last few percent off simulation hot loops.
 
     Examples
     --------
@@ -132,6 +173,9 @@ class RuntimeManager:
         scheduler: Scheduler,
         remap_on_finish: bool = False,
         engine: str = "events",
+        governor: FrequencyGovernor | None = None,
+        budget: EnergyBudget | None = None,
+        account_energy: bool = True,
     ):
         if engine not in ENGINES:
             raise SchedulingError(
@@ -140,10 +184,34 @@ class RuntimeManager:
         self._capacity = (
             platform.capacity if isinstance(platform, Platform) else platform
         )
+        self._platform = platform if isinstance(platform, Platform) else None
+        if governor is not None:
+            if self._platform is None:
+                raise SchedulingError(
+                    "a frequency governor needs a full Platform, "
+                    "not a bare capacity vector"
+                )
+            self._platform = ensure_opps(self._platform)
         self._tables = dict(tables)
+        if governor is not None:
+            # DVFS-swept tables already embody a frequency choice per point;
+            # stretching them again with a runtime governor would double-apply
+            # the slow-down and misprice energy.  Swept tables are for offline
+            # analysis and governor-free managers (where picking a slow point
+            # *is* the DVFS decision).
+            for name, table in self._tables.items():
+                if any(point.frequency_scale != 1.0 for point in table):
+                    raise SchedulingError(
+                        f"table {name!r} contains DVFS-swept operating points "
+                        f"(frequency_scale != 1); a frequency governor needs "
+                        f"nominal-frequency tables"
+                    )
         self._scheduler = scheduler
         self._remap_on_finish = remap_on_finish
         self._engine = engine
+        self._governor = governor
+        self._budget = None if budget is not None and budget.unconstrained else budget
+        self._account_energy = account_energy
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -164,6 +232,12 @@ class RuntimeManager:
                 f"unknown time-advance engine {engine!r}; choose from {ENGINES}"
             )
         ctx = _RunContext()
+        if self._account_energy or self._governor is not None:
+            ctx.meter = EnergyMeter(self._platform)
+        if self._governor is not None:
+            # Even before the first commit the platform idles at nominal
+            # frequency; analytical accounting starts from that decision.
+            ctx.decision = decide(self._platform, 1.0)
         if engine == "events":
             self._run_events(trace, ctx)
         else:
@@ -221,7 +295,7 @@ class RuntimeManager:
             deadline=event.absolute_deadline,
         )
         ctx.request_info[event.name] = event
-        candidate_jobs = list(ctx.active.values()) + [job]
+        candidate_jobs = self._active_for_problem(ctx, event.time) + [job]
         problem = SchedulingProblem(
             self._capacity, self._tables, candidate_jobs, now=event.time
         )
@@ -229,8 +303,26 @@ class RuntimeManager:
         ctx.log.activations += 1
 
         if result.feasible:
+            candidates = dict(ctx.active)
+            candidates[job.name] = job
+            plan = self._plan(ctx, result.schedule, candidates)
+            if self._budget is not None:
+                verdict = self._budget.admits(
+                    plan.schedule,
+                    self._tables,
+                    now=event.time,
+                    consumed_joules=ctx.log.total_energy,
+                    platform=self._platform,
+                    decision=plan.decision,
+                )
+                if not verdict:
+                    # Deadline-feasible but over the power/energy envelope:
+                    # rejected like an infeasible request.
+                    ctx.log.budget_rejections += 1
+                    ctx.admissions[event.name] = (False, result.search_time)
+                    return
             ctx.active[job.name] = job
-            self._commit(ctx, result.schedule)
+            self._commit(ctx, plan=plan)
             ctx.admissions[event.name] = (True, result.search_time)
         else:
             # The new request is rejected; the previously committed schedule
@@ -240,17 +332,54 @@ class RuntimeManager:
     # ------------------------------------------------------------------ #
     # Schedule commits
     # ------------------------------------------------------------------ #
-    def _commit(self, ctx: _RunContext, schedule: Schedule) -> None:
-        """Install ``schedule`` as the in-force schedule.
+    def _plan(
+        self, ctx: _RunContext, schedule: Schedule, active: Mapping[str, Job]
+    ) -> _Plan:
+        """Prepare ``schedule`` for commit: prune ghosts, apply the governor.
 
-        Mappings of jobs that are no longer active are dropped and segments
-        that become empty disappear, so the executed timeline never carries
-        ghost entries for finished jobs.  The segment cursor resets and, in
-        event-engine runs, the schedule's boundary events are queued under a
-        fresh epoch (stale events of the superseded schedule are skipped on
-        pop).
+        Without a governor this is just the ghost-mapping prune of the seed.
+        With one, the governor picks a uniform speed for the committed
+        schedule, every cluster moves to the slowest OPP sustaining it and
+        the schedule stretches by the inverse speed.
         """
-        ctx.schedule = self._without_finished(ctx, schedule)
+        schedule = self._without_finished(schedule, active, ctx.now)
+        if self._governor is None:
+            return _Plan(schedule)
+        scale = self._governor.select_scale(
+            schedule, active, ctx.now, self._platform, self._tables
+        )
+        if not 0.0 < scale <= 1.0 + _SCALE_EPSILON:
+            raise SchedulingError(
+                f"governor {self._governor.name!r} selected invalid speed {scale}"
+            )
+        scale = min(scale, 1.0)
+        if scale < 1.0 - _SCALE_EPSILON:
+            schedule = stretch_schedule(schedule, ctx.now, scale)
+        return _Plan(schedule, scale, decide(self._platform, scale))
+
+    def _commit(
+        self,
+        ctx: _RunContext,
+        schedule: Schedule | None = None,
+        plan: _Plan | None = None,
+    ) -> None:
+        """Install a schedule as the in-force schedule.
+
+        Callers either pass a raw ``schedule`` (planned here) or a ``plan``
+        prepared by :meth:`_plan` (the arrival path, which plans early for
+        the budget admission check).  Mappings of jobs that are no longer
+        active are dropped and segments that become empty disappear, so the
+        executed timeline never carries ghost entries for finished jobs.
+        The segment cursor resets and, in event-engine runs, the schedule's
+        boundary events are queued under a fresh epoch (stale events of the
+        superseded schedule are skipped on pop).
+        """
+        if plan is None:
+            plan = self._plan(ctx, schedule, ctx.active)
+        ctx.schedule = plan.schedule
+        if self._governor is not None:
+            ctx.speed = plan.speed
+            ctx.decision = plan.decision
         ctx.cursor = 0
         ctx.epoch += 1
         if ctx.queue is not None:
@@ -263,15 +392,17 @@ class RuntimeManager:
                         Event(segment.end, EventKind.SEGMENT_END, epoch=ctx.epoch)
                     )
 
-    def _without_finished(self, ctx: _RunContext, schedule: Schedule) -> Schedule:
+    def _without_finished(
+        self, schedule: Schedule, active: Mapping[str, Job], now: float
+    ) -> Schedule:
         """Strip not-yet-executed mappings whose job already finished."""
         changed = False
         kept: list[MappingSegment] = []
         for segment in schedule:
-            if segment.end <= ctx.now + _TIME_EPSILON:
+            if segment.end <= now + _TIME_EPSILON:
                 kept.append(segment)
                 continue
-            live = [m for m in segment if m.job_name in ctx.active]
+            live = [m for m in segment if m.job_name in active]
             if len(live) == len(segment.mappings):
                 kept.append(segment)
             else:
@@ -334,24 +465,51 @@ class RuntimeManager:
     ) -> None:
         """Account progress and energy of one executed interval."""
         duration = end - start
-        energy = 0.0
         job_configs = []
-        for mapping in segment:
-            job = ctx.active.get(mapping.job_name)
-            if job is None:
-                continue
-            point = mapping.operating_point(self._tables)
-            progress = duration / point.execution_time
-            energy += point.energy * progress
-            ctx.active[job.name] = job.with_progress(
-                min(progress, job.remaining_ratio)
-            )
-            job_configs.append((mapping.job_name, mapping.config_index))
-        if not job_configs:
-            # Every mapped job already finished (possible only for schedules
-            # kept in force past a failed re-activation): nothing ran, so
-            # nothing is logged.
-            return
+        if ctx.decision is not None:
+            # DVFS mode: work retires at the uniform speed the governor
+            # selected and energy is integrated from the per-core power
+            # models at the in-force OPPs.
+            active_points = []
+            for mapping in segment:
+                job = ctx.active.get(mapping.job_name)
+                if job is None:
+                    continue
+                point = mapping.operating_point(self._tables)
+                progress = duration * ctx.speed / point.execution_time
+                ctx.active[job.name] = job.with_progress(
+                    min(progress, job.remaining_ratio)
+                )
+                active_points.append((mapping.job_name, point))
+                job_configs.append((mapping.job_name, mapping.config_index))
+            if not job_configs:
+                return
+            energy = ctx.meter.record_analytical(duration, active_points, ctx.decision)
+        else:
+            # Seed mode: operating-point energies, bit-identical to pre-DVFS
+            # behaviour; the meter only attributes the charged joules.
+            energy = 0.0
+            contributions = []
+            for mapping in segment:
+                job = ctx.active.get(mapping.job_name)
+                if job is None:
+                    continue
+                point = mapping.operating_point(self._tables)
+                progress = duration / point.execution_time
+                share = point.energy * progress
+                energy += share
+                ctx.active[job.name] = job.with_progress(
+                    min(progress, job.remaining_ratio)
+                )
+                job_configs.append((mapping.job_name, mapping.config_index))
+                contributions.append((mapping.job_name, point, share))
+            if not job_configs:
+                # Every mapped job already finished (possible only for
+                # schedules kept in force past a failed re-activation):
+                # nothing ran, so nothing is logged.
+                return
+            if ctx.meter is not None:
+                ctx.meter.record_table(contributions)
         ctx.log.timeline.append(
             ExecutedInterval(start, end, tuple(job_configs), energy)
         )
@@ -366,15 +524,40 @@ class RuntimeManager:
                 del ctx.active[name]
                 finished.append(name)
         if finished and ctx.active:
-            pruned = self._without_finished(ctx, ctx.schedule)
+            pruned = self._without_finished(ctx.schedule, ctx.active, ctx.now)
             if pruned is not ctx.schedule:
-                self._commit(ctx, pruned)
+                # Prune-only commit: the in-force schedule is already planned
+                # (and, with a governor, already stretched), so the current
+                # speed and OPP decision are reused as-is.
+                self._commit(ctx, plan=_Plan(pruned, ctx.speed, ctx.decision))
         return finished
+
+    def _active_for_problem(self, ctx: _RunContext, now: float) -> list[Job]:
+        """The active jobs as scheduler candidates.
+
+        Under deadline-violating governors (powersave, ondemand) an admitted
+        job can still be running past its deadline when the next activation
+        fires.  Its deadline is relaxed to its committed completion time —
+        the in-force schedule is a feasibility witness for that bound — so
+        the overdue job stays schedulable and new arrivals are judged on
+        capacity, not doomed by an already-lost deadline.  The true deadline
+        is kept for the outcome report.  Without a governor committed
+        schedules always meet their deadlines and this is the identity.
+        """
+        candidates = []
+        for job in ctx.active.values():
+            if job.deadline < now:
+                committed = ctx.schedule.completion_time(job.name)
+                relaxed = max(now, committed if committed is not None else now)
+                candidates.append(replace(job, deadline=relaxed))
+            else:
+                candidates.append(job)
+        return candidates
 
     def _reschedule_at(self, ctx: _RunContext, time: float) -> None:
         """Re-activate the scheduler for the remaining jobs (remap on finish)."""
         problem = SchedulingProblem(
-            self._capacity, self._tables, list(ctx.active.values()), now=time
+            self._capacity, self._tables, self._active_for_problem(ctx, time), now=time
         )
         result = self._scheduler.schedule(problem)
         ctx.log.activations += 1
@@ -387,6 +570,9 @@ class RuntimeManager:
     # Final bookkeeping
     # ------------------------------------------------------------------ #
     def _finalise_outcomes(self, ctx: _RunContext) -> None:
+        if ctx.meter is not None:
+            ctx.log.job_energy = dict(ctx.meter.job_joules)
+            ctx.log.cluster_energy = ctx.meter.cluster_breakdown()
         for name, event in ctx.request_info.items():
             accepted, search_time = ctx.admissions[name]
             ctx.log.outcomes.append(
@@ -398,5 +584,6 @@ class RuntimeManager:
                     accepted=accepted,
                     completion_time=ctx.completions.get(name),
                     scheduler_time=search_time,
+                    energy=ctx.log.job_energy.get(name, 0.0),
                 )
             )

@@ -55,6 +55,9 @@ SCHEDULERS: dict[str, Callable[[], Scheduler]] = {
     "fixed": FixedMinEnergyScheduler,
 }
 
+#: Sentinel distinguishing "argument not passed" from an explicit ``None``.
+_UNSET = object()
+
 #: Platform registry: name → factory.
 PLATFORMS: dict[str, Callable[[], Platform]] = {
     "motivational": motivational_platform,
@@ -140,7 +143,12 @@ class SimulationJob:
 
     Exactly one of ``trace`` (explicit events) and ``trace_spec`` (generator
     recipe) must be given.  ``platform`` and ``tables`` accept either a
-    registry name or a live object (which serialises inline).
+    registry name or a live object (which serialises inline).  The optional
+    energy fields select a frequency governor by name (see
+    :data:`~repro.energy.governor.GOVERNORS`) and/or an admission-control
+    envelope; all three default to the seed's pinned-frequency,
+    unconstrained behaviour and are omitted from the serialised form when
+    unset.
 
     Examples
     --------
@@ -159,6 +167,9 @@ class SimulationJob:
     engine: str = "events"
     trace: RequestTrace | None = None
     trace_spec: TraceSpec | None = None
+    governor: str | None = None
+    power_cap_watts: float | None = None
+    energy_budget_joules: float | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -167,6 +178,14 @@ class SimulationJob:
             raise WorkloadError(
                 f"job {self.name!r}: exactly one of trace and trace_spec is required"
             )
+        if self.governor is not None:
+            from repro.energy.governor import GOVERNORS
+
+            if self.governor not in GOVERNORS:
+                raise WorkloadError(
+                    f"job {self.name!r}: unknown governor {self.governor!r}; "
+                    f"choose from {sorted(GOVERNORS)}"
+                )
 
     # ------------------------------------------------------------------ #
     # Materialisation
@@ -222,6 +241,12 @@ class SimulationJob:
             data["trace"] = request_trace_to_dict(self.trace)
         if self.trace_spec is not None:
             data["trace_spec"] = self.trace_spec.to_dict()
+        if self.governor is not None:
+            data["governor"] = self.governor
+        if self.power_cap_watts is not None:
+            data["power_cap_watts"] = self.power_cap_watts
+        if self.energy_budget_joules is not None:
+            data["energy_budget_joules"] = self.energy_budget_joules
         return data
 
     @classmethod
@@ -246,6 +271,17 @@ class SimulationJob:
             engine=data.get("engine", "events"),
             trace=request_trace_from_dict(trace) if trace is not None else None,
             trace_spec=TraceSpec.from_dict(trace_spec) if trace_spec is not None else None,
+            governor=data.get("governor"),
+            power_cap_watts=(
+                float(data["power_cap_watts"])
+                if data.get("power_cap_watts") is not None
+                else None
+            ),
+            energy_budget_joules=(
+                float(data["energy_budget_joules"])
+                if data.get("energy_budget_joules") is not None
+                else None
+            ),
         )
 
     def __eq__(self, other: object) -> bool:
@@ -345,6 +381,38 @@ class BatchSpec:
             self,
             name=f"{self.name}-shard{index}of{count}",
             jobs=self.jobs[index::count],
+        )
+
+    def with_energy_policy(
+        self,
+        governor: str | None = _UNSET,
+        power_cap_watts: float | None = _UNSET,
+        energy_budget_joules: float | None = _UNSET,
+    ) -> "BatchSpec":
+        """Copy of the batch with the energy policy applied to every job.
+
+        Only the fields actually passed are overridden — per-job policies in
+        the spec survive unless explicitly replaced (pass ``None`` to clear
+        one).  Used by ``repro-rm energy`` to replay an existing batch under
+        a different governor or power/energy envelope.
+        """
+
+        def pick(value, current):
+            return current if value is _UNSET else value
+
+        return replace(
+            self,
+            jobs=tuple(
+                replace(
+                    job,
+                    governor=pick(governor, job.governor),
+                    power_cap_watts=pick(power_cap_watts, job.power_cap_watts),
+                    energy_budget_joules=pick(
+                        energy_budget_joules, job.energy_budget_joules
+                    ),
+                )
+                for job in self.jobs
+            ),
         )
 
     # ------------------------------------------------------------------ #

@@ -131,10 +131,16 @@ class ServiceMetrics:
     ``cache_hits`` / ``cache_misses``
         Activation-cache statistics (zero when caching is disabled).
 
+    ``budget_rejections``
+        Requests turned away by the power-cap / energy-budget admission
+        control (a subset of ``requests_rejected``).
+
     Histograms
     ----------
     ``trace_energy``
         Total consumed energy per trace (J).
+    ``request_energy``
+        Energy attributed to each admitted request (J).
     ``trace_search_time``
         Cumulative scheduler search time per trace (s).
     ``trace_wall_time``
@@ -150,7 +156,13 @@ class ServiceMetrics:
         self.activations = Counter("activations", "scheduler activations")
         self.cache_hits = Counter("cache_hits", "activation cache hits")
         self.cache_misses = Counter("cache_misses", "activation cache misses")
+        self.budget_rejections = Counter(
+            "budget_rejections", "requests rejected by the energy budget"
+        )
         self.trace_energy = Histogram("trace_energy", "energy per trace (J)")
+        self.request_energy = Histogram(
+            "request_energy", "energy per admitted request (J)"
+        )
         self.trace_search_time = Histogram(
             "trace_search_time", "scheduler time per trace (s)"
         )
@@ -171,7 +183,11 @@ class ServiceMetrics:
         self.requests_accepted.increment(result.accepted)
         self.requests_rejected.increment(result.rejected)
         self.activations.increment(result.activations)
+        self.budget_rejections.increment(result.budget_rejections)
         self.trace_energy.observe(result.total_energy)
+        for outcome in result.outcomes:
+            if outcome.accepted:
+                self.request_energy.observe(outcome.energy)
         self.trace_search_time.observe(result.search_time_total)
         self.trace_wall_time.observe(result.wall_time)
 
@@ -209,6 +225,7 @@ class ServiceMetrics:
                     self.activations,
                     self.cache_hits,
                     self.cache_misses,
+                    self.budget_rejections,
                 )
             },
             "derived": {
@@ -219,6 +236,7 @@ class ServiceMetrics:
                 histogram.name: histogram.summary()
                 for histogram in (
                     self.trace_energy,
+                    self.request_energy,
                     self.trace_search_time,
                     self.trace_wall_time,
                 )

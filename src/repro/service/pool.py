@@ -37,6 +37,8 @@ from typing import Callable, Iterator, Mapping, Sequence
 
 from repro.analysis.experiments import SchedulerRun, SuiteResults
 from repro.analysis.stats import BoxplotStats
+from repro.energy.budget import EnergyBudget
+from repro.energy.governor import build_governor
 from repro.exceptions import WorkloadError
 from repro.runtime.log import ExecutionLog, RequestOutcome
 from repro.runtime.manager import RuntimeManager
@@ -70,6 +72,11 @@ class SimulationResult:
     search_time_total: float = 0.0
     wall_time: float = 0.0
     outcomes: tuple[RequestOutcome, ...] = ()
+    #: Per-cluster ``(name, busy J, idle J)`` triples, sorted by name (empty
+    #: when the job ran on a bare capacity vector or with accounting off).
+    cluster_energy: tuple[tuple[str, float, float], ...] = ()
+    #: Requests rejected by the power-cap / energy-budget admission control.
+    budget_rejections: int = 0
     error: str | None = None
 
     @property
@@ -100,6 +107,11 @@ class SimulationResult:
             search_time_total=sum(o.scheduler_time for o in log.outcomes),
             wall_time=wall_time,
             outcomes=tuple(log.outcomes),
+            cluster_energy=tuple(
+                (name, entry["busy"], entry["idle"])
+                for name, entry in sorted(log.cluster_energy.items())
+            ),
+            budget_rejections=log.budget_rejections,
         )
 
     @classmethod
@@ -194,7 +206,21 @@ class BatchResults:
             "total_energy": sum(r.total_energy for r in ok),
             "activations": sum(r.activations for r in ok),
             "search_time_total": sum(r.search_time_total for r in ok),
+            "budget_rejections": sum(r.budget_rejections for r in ok),
         }
+
+    def cluster_energy(self) -> dict[str, dict[str, float]]:
+        """Per-cluster busy/idle/total joules summed over all completed traces."""
+        merged: dict[str, dict[str, float]] = {}
+        for result in self.ok:
+            for name, busy, idle in result.cluster_energy:
+                entry = merged.setdefault(
+                    name, {"busy": 0.0, "idle": 0.0, "total": 0.0}
+                )
+                entry["busy"] += busy
+                entry["idle"] += idle
+                entry["total"] += busy + idle
+        return merged
 
     def fingerprint(self) -> str:
         """A SHA-256 digest of every deterministic result field.
@@ -257,6 +283,11 @@ class BatchResults:
                     "activations": r.activations,
                     "search_time_total": r.search_time_total,
                     "wall_time": r.wall_time,
+                    "cluster_energy": {
+                        name: {"busy": busy, "idle": idle, "total": busy + idle}
+                        for name, busy, idle in r.cluster_energy
+                    },
+                    "budget_rejections": r.budget_rejections,
                     "error": r.error,
                 }
                 for r in self._results
@@ -274,12 +305,21 @@ def _simulate(job: SimulationJob, cache: ActivationCache | None) -> SimulationRe
         if cache is not None:
             scheduler = CachingScheduler(scheduler, cache)
         trace = job.resolve_trace(tables)
+        governor = build_governor(job.governor) if job.governor is not None else None
+        budget = None
+        if job.power_cap_watts is not None or job.energy_budget_joules is not None:
+            budget = EnergyBudget(
+                power_cap_watts=job.power_cap_watts,
+                energy_budget_joules=job.energy_budget_joules,
+            )
         manager = RuntimeManager(
             platform,
             tables,
             scheduler,
             remap_on_finish=job.remap_on_finish,
             engine=job.engine,
+            governor=governor,
+            budget=budget,
         )
         log = manager.run(trace)
     except Exception as error:  # noqa: BLE001 — failure isolation by design

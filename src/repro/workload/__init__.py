@@ -15,6 +15,7 @@ from repro.workload.motivational import (
     motivational_platform,
     motivational_tables,
     motivational_problem,
+    motivational_trace,
     scenario_s1,
     scenario_s2,
 )
@@ -61,6 +62,7 @@ __all__ = [
     "motivational_platform",
     "motivational_tables",
     "motivational_problem",
+    "motivational_trace",
     "scenario_s1",
     "scenario_s2",
 ]

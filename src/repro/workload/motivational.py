@@ -58,6 +58,9 @@ SCENARIOS = {
     "S2": {"sigma1": (0.0, 9.0), "sigma2": (1.0, 4.0)},
 }
 
+#: Application requested by each scenario job.
+REQUEST_APPLICATIONS = {"sigma1": "lambda1", "sigma2": "lambda2"}
+
 #: Index of the 2L1B configuration in both tables (used by examples/tests).
 CONFIG_2L1B = 6
 #: Index of the 1L1B configuration in both tables.
@@ -103,6 +106,28 @@ def _jobs_at_t1(scenario: str) -> list[Job]:
         ),
         Job("sigma2", "lambda2", arrival=sigma2_arrival, deadline=sigma2_deadline),
     ]
+
+
+def motivational_trace(scenario: str = "S1"):
+    """The request trace of one scenario, for the online runtime manager.
+
+    Examples
+    --------
+    >>> trace = motivational_trace("S1")
+    >>> [event.name for event in trace]
+    ['sigma1', 'sigma2']
+    """
+    # Local import: repro.runtime depends on this module's tables.
+    from repro.runtime.trace import RequestEvent, RequestTrace
+
+    if scenario not in SCENARIOS:
+        raise WorkloadError(f"unknown scenario {scenario!r}; choose from {sorted(SCENARIOS)}")
+    return RequestTrace(
+        [
+            RequestEvent(arrival, REQUEST_APPLICATIONS[name], deadline - arrival, name)
+            for name, (arrival, deadline) in SCENARIOS[scenario].items()
+        ]
+    )
 
 
 def scenario_s1() -> list[Job]:

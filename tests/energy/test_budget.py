@@ -1,0 +1,93 @@
+"""Tests for power-cap / energy-budget admission control."""
+
+import pytest
+
+from repro.energy import EnergyBudget, PerformanceGovernor
+from repro.exceptions import EnergyError
+from repro.runtime import RuntimeManager
+from repro.schedulers import MMKPMDFScheduler
+from repro.workload.motivational import (
+    motivational_platform,
+    motivational_tables,
+    motivational_trace,
+)
+
+
+def _trace():
+    return motivational_trace("S1")
+
+
+def _run(budget=None, governor=None):
+    manager = RuntimeManager(
+        motivational_platform(),
+        motivational_tables(),
+        MMKPMDFScheduler(),
+        governor=governor,
+        budget=budget,
+    )
+    return manager.run(_trace())
+
+
+class TestValidation:
+    def test_non_positive_limits_rejected(self):
+        with pytest.raises(EnergyError):
+            EnergyBudget(power_cap_watts=0.0)
+        with pytest.raises(EnergyError):
+            EnergyBudget(energy_budget_joules=-1.0)
+
+    def test_unconstrained_budget_is_a_no_op(self):
+        unconstrained = _run(budget=EnergyBudget())
+        baseline = _run()
+        assert unconstrained.total_energy == baseline.total_energy
+        assert unconstrained.budget_rejections == 0
+
+
+class TestPowerCap:
+    def test_generous_cap_changes_nothing(self):
+        baseline = _run()
+        capped = _run(budget=EnergyBudget(power_cap_watts=1000.0))
+        assert capped.total_energy == baseline.total_energy
+        assert capped.acceptance_rate == 1.0
+        assert capped.budget_rejections == 0
+
+    def test_tight_cap_rejects_the_second_request(self):
+        # sigma1 runs 2L1B at 8.9 J / 5.3 s ~ 1.68 W; admitting sigma2 needs
+        # a segment at ~1.91 W (2L1B of lambda2), so a 1.85 W cap admits the
+        # first request and rejects the second.
+        baseline = _run()
+        capped = _run(budget=EnergyBudget(power_cap_watts=1.85))
+        assert capped.budget_rejections == 1
+        assert capped.acceptance_rate < baseline.acceptance_rate
+        # The first schedule stays in force: sigma1 still completes.
+        assert capped.completion_of("sigma1") is not None
+        assert not capped.deadline_misses
+
+    def test_impossible_cap_rejects_everything(self):
+        capped = _run(budget=EnergyBudget(power_cap_watts=0.1))
+        assert capped.acceptance_rate == 0.0
+        assert capped.budget_rejections == 2
+        assert capped.total_energy == 0.0
+
+
+class TestEnergyBudgetJoules:
+    def test_budget_admits_until_exhausted(self):
+        baseline = _run()
+        assert baseline.total_energy == pytest.approx(14.63, abs=0.01)
+        # Enough for sigma1's cheapest full run but not for both jobs.
+        budgeted = _run(budget=EnergyBudget(energy_budget_joules=10.0))
+        assert budgeted.budget_rejections >= 1
+        assert budgeted.total_energy <= 10.0 + 1e-9
+        generous = _run(budget=EnergyBudget(energy_budget_joules=100.0))
+        assert generous.total_energy == baseline.total_energy
+        assert generous.budget_rejections == 0
+
+    def test_budget_checked_against_analytical_plan_in_governor_mode(self):
+        fixed = _run(governor=PerformanceGovernor())
+        # Analytical accounting charges the whole platform during segments,
+        # so the same 10 J budget is even tighter under a governor.
+        budgeted = _run(
+            governor=PerformanceGovernor(),
+            budget=EnergyBudget(energy_budget_joules=10.0),
+        )
+        assert budgeted.budget_rejections >= 1
+        assert budgeted.total_energy < fixed.total_energy

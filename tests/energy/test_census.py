@@ -1,0 +1,66 @@
+"""Acceptance check: the schedule-aware governor on the census workload.
+
+For every MMKP-MDF schedule of a down-scaled Table III/IV census, applying
+the schedule-aware governor (slowest deadline-feasible OPPs, energy-checked)
+must never cost energy relative to the fixed-frequency plan under the same
+analytical accounting, and must introduce zero new deadline misses.
+"""
+
+import pytest
+
+from repro.energy import (
+    ScheduleAwareGovernor,
+    analytical_schedule_energy,
+    decide,
+    stretch_schedule,
+)
+from repro.schedulers import MMKPMDFScheduler
+
+
+@pytest.fixture(scope="module")
+def census_schedules(tiny_suite, odroid, small_tables):
+    """(problem, schedule) for every census case MMKP-MDF can schedule."""
+    scheduler = MMKPMDFScheduler()
+    scheduled = []
+    for case in tiny_suite:
+        problem = case.problem(odroid, small_tables)
+        result = scheduler.schedule(problem)
+        if result.feasible:
+            scheduled.append((problem, result.schedule))
+    assert scheduled, "census produced no feasible schedules"
+    return scheduled
+
+
+def test_schedule_aware_never_costs_energy_and_never_misses(
+    census_schedules, odroid, small_tables
+):
+    governor = ScheduleAwareGovernor()
+    fixed_decision = decide(odroid, 1.0)
+    total_fixed = total_scaled = 0.0
+    slowed_cases = 0
+    for problem, schedule in census_schedules:
+        jobs = {job.name: job for job in problem.jobs}
+        scale = governor.select_scale(
+            schedule, jobs, problem.now, odroid, small_tables
+        )
+        stretched = stretch_schedule(schedule, problem.now, scale)
+        fixed = analytical_schedule_energy(
+            schedule, small_tables, odroid, fixed_decision
+        )
+        scaled = analytical_schedule_energy(
+            stretched, small_tables, odroid, decide(odroid, scale)
+        )
+        # Nominal speed is always a candidate, so the governor never loses.
+        assert scaled <= fixed + 1e-9
+        # Zero new deadline misses: every stretched completion holds.
+        for name, job in jobs.items():
+            completion = stretched.completion_time(name)
+            if completion is not None:
+                assert completion <= job.deadline + 1e-6
+        total_fixed += fixed
+        total_scaled += scaled
+        if scale < 1.0:
+            slowed_cases += 1
+    # The census has slack somewhere: the governor actually reduces energy.
+    assert slowed_cases > 0
+    assert total_scaled < total_fixed

@@ -1,0 +1,132 @@
+"""Tests for OPP ladders, platform attachment and uniform scales."""
+
+import pytest
+
+from repro.energy.opp import (
+    DEFAULT_SCALES,
+    OPP,
+    OPPLadder,
+    attach_opps,
+    available_scales,
+    decide,
+    default_ladder,
+    ensure_opps,
+    exynos5422_ladders,
+    ladder_from_frequencies,
+    scaled_platform,
+)
+from repro.exceptions import EnergyError
+from repro.platforms import PowerModel, ProcessorType, big_little, odroid_xu4
+
+
+def _core(frequency=2.0e9, performance=2.0):
+    return ProcessorType("big", frequency, performance, PowerModel(0.2, 1.0))
+
+
+class TestOPPLadder:
+    def test_points_sorted_and_nominal_found(self):
+        base = _core()
+        ladder = ladder_from_frequencies(base, [2.0e9, 1.0e9, 1.5e9])
+        assert [p.frequency_hz for p in ladder] == [1.0e9, 1.5e9, 2.0e9]
+        assert ladder.nominal.frequency_hz == 2.0e9
+        assert ladder.slowest.speed == pytest.approx(0.5)
+        assert ladder.fastest is ladder.nominal
+
+    def test_scaled_frequency_wired_into_ladder_power(self):
+        base = _core()
+        ladder = ladder_from_frequencies(base, [1.0e9, 2.0e9])
+        half = ladder.slowest
+        # Dynamic power scales cubically (PowerModel.scaled_frequency).
+        assert half.power.dynamic_watts == pytest.approx(1.0 * 0.5**3)
+        assert half.power.static_watts == pytest.approx(0.2)
+        # The nominal point keeps the exact base model.
+        assert ladder.nominal.power is base.power
+
+    def test_nominal_frequency_required(self):
+        with pytest.raises(EnergyError):
+            ladder_from_frequencies(_core(), [1.0e9, 1.5e9])
+
+    def test_duplicate_frequencies_rejected(self):
+        with pytest.raises(EnergyError):
+            OPPLadder([OPP(1e9, 0.5, PowerModel(0.1, 0.1)),
+                       OPP(1e9, 0.5, PowerModel(0.1, 0.1)),
+                       OPP(2e9, 1.0, PowerModel(0.1, 0.1))])
+
+    def test_empty_ladder_rejected(self):
+        with pytest.raises(EnergyError):
+            OPPLadder([])
+
+    def test_at_scale_picks_slowest_sufficient_point(self):
+        ladder = ladder_from_frequencies(_core(), [1.0e9, 1.5e9, 2.0e9])
+        assert ladder.at_scale(0.4).speed == pytest.approx(0.5)
+        assert ladder.at_scale(0.5).speed == pytest.approx(0.5)
+        assert ladder.at_scale(0.6).speed == pytest.approx(0.75)
+        assert ladder.at_scale(1.0).speed == pytest.approx(1.0)
+        # Above the fastest point: clamp.
+        assert ladder.at_scale(2.0) is ladder.fastest
+        with pytest.raises(EnergyError):
+            ladder.at_scale(0.0)
+
+
+class TestExynosLadders:
+    def test_ladders_match_odroid_nominal_frequencies(self):
+        ladders = exynos5422_ladders()
+        assert ladders["A7"].nominal.frequency_hz == pytest.approx(1.5e9)
+        assert ladders["A15"].nominal.frequency_hz == pytest.approx(1.8e9)
+        # The A15 ladder has a boost point above nominal.
+        assert ladders["A15"].fastest.frequency_hz == pytest.approx(2.0e9)
+
+    def test_odroid_platform_carries_ladders(self):
+        platform = odroid_xu4()
+        assert all(ptype.has_opps for ptype in platform.processor_types)
+        # ... without perturbing the nominal model the seed relies on.
+        bare = odroid_xu4(dvfs=False)
+        assert bare.processor_types == platform.processor_types  # opps: compare=False
+        assert not any(ptype.has_opps for ptype in bare.processor_types)
+
+
+class TestPlatformScales:
+    def test_attach_and_ensure(self):
+        platform = big_little(2, 2)
+        assert not any(t.has_opps for t in platform.processor_types)
+        ready = ensure_opps(platform)
+        assert all(t.has_opps for t in ready.processor_types)
+        assert ensure_opps(ready) is ready  # idempotent / identity
+        assert available_scales(ready) == DEFAULT_SCALES
+
+    def test_attach_unknown_type_rejected(self):
+        platform = big_little(2, 2)
+        ladder = default_ladder(platform.processor_types[0])
+        with pytest.raises(EnergyError):
+            attach_opps(platform, {"no-such-cluster": ladder})
+
+    def test_available_scales_sorted_capped_at_nominal(self):
+        scales = available_scales(odroid_xu4())
+        assert scales == tuple(sorted(scales))
+        assert scales[-1] == 1.0
+        assert scales[0] == pytest.approx(0.4)  # 600 MHz / 1.5 GHz
+
+    def test_decide_guarantees_speed_per_cluster(self):
+        platform = odroid_xu4()
+        decision = decide(platform, 0.6)
+        assert decision.scale == pytest.approx(0.6)
+        for opp in decision.cluster_opps:
+            assert opp.speed >= 0.6 - 1e-9
+
+    def test_scaled_platform_slows_execution_and_power(self):
+        platform = odroid_xu4()
+        slowed = scaled_platform(platform, 0.5)
+        for base, scaled in zip(platform.processor_types, slowed.processor_types):
+            assert scaled.frequency_hz < base.frequency_hz
+            assert scaled.performance_factor == base.performance_factor
+            assert scaled.cycles_to_seconds(1e9) > base.cycles_to_seconds(1e9)
+            assert scaled.power.dynamic_watts < base.power.dynamic_watts
+            assert scaled.power.static_watts == base.power.static_watts
+        assert scaled_platform(platform, 1.0) is platform
+
+    def test_at_opp_preserves_ladder(self):
+        platform = odroid_xu4()
+        big = platform.processor_type("A15")
+        repinned = big.at_opp(big.opps.slowest)
+        assert repinned.opps is big.opps
+        assert repinned.frequency_hz == big.opps.slowest.frequency_hz

@@ -34,6 +34,15 @@ class TestPowerModel:
         model = PowerModel(0.1, 0.5)
         with pytest.raises(PlatformError):
             model.power(1.5)
+        with pytest.raises(PlatformError):
+            model.power(-1e-6)
+
+    def test_float_noise_utilisation_clamped(self):
+        # Accumulated float arithmetic produces values a few ULP outside
+        # [0, 1]; those are clamped instead of raising.
+        model = PowerModel(0.1, 0.5)
+        assert model.power(1.0000000000000002) == pytest.approx(0.6)
+        assert model.power(-1e-12) == pytest.approx(0.1)
 
     def test_negative_duration_rejected(self):
         with pytest.raises(PlatformError):
