@@ -42,8 +42,8 @@ def test_online_meter_overhead(benchmark):
     trace = poisson_trace(
         tables, arrival_rate=ARRIVAL_RATE, num_requests=NUM_REQUESTS, seed=2020
     )
-    metered = RuntimeManager(platform, tables, MMKPMDFScheduler())
-    unmetered = RuntimeManager(
+    metered = RuntimeManager.from_components(platform, tables, MMKPMDFScheduler())
+    unmetered = RuntimeManager.from_components(
         platform, tables, MMKPMDFScheduler(), account_energy=False
     )
     # Warm up both paths, then take the best of several runs each.
@@ -71,7 +71,7 @@ def test_governor_savings_on_poisson_workload():
     )
 
     def run(governor):
-        manager = RuntimeManager(
+        manager = RuntimeManager.from_components(
             platform, tables, MMKPMDFScheduler(), governor=governor
         )
         return manager.run(trace)

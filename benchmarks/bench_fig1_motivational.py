@@ -32,7 +32,7 @@ def _trace(scenario: str) -> RequestTrace:
 
 
 def _run(scheduler, remap_on_finish: bool, scenario: str):
-    manager = RuntimeManager(
+    manager = RuntimeManager.from_components(
         motivational_platform(),
         motivational_tables(),
         scheduler,

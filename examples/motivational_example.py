@@ -40,7 +40,7 @@ def build_trace(scenario: str) -> RequestTrace:
 
 
 def run_variant(label: str, scheduler, remap_on_finish: bool, scenario: str):
-    manager = RuntimeManager(
+    manager = RuntimeManager.from_components(
         motivational_platform(),
         motivational_tables(),
         scheduler,

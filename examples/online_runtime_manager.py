@@ -69,7 +69,7 @@ def main() -> None:
         ("adaptive MMKP-MDF runtime manager", MMKPMDFScheduler()),
         ("MMKP-LR baseline runtime manager", MMKPLRScheduler()),
     ]:
-        manager = RuntimeManager(platform, tables, scheduler)
+        manager = RuntimeManager.from_components(platform, tables, scheduler)
         log = manager.run(trace)
         summarise(label, log)
         # Sanity: the manager never lets an admitted job miss its deadline.

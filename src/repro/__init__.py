@@ -15,15 +15,18 @@ library contains the full stack the paper relies on:
   time (:mod:`repro.runtime`),
 * the evaluation workload generator and the experiment harness that
   regenerates every table and figure of the paper (:mod:`repro.workload`,
-  :mod:`repro.analysis`).
+  :mod:`repro.analysis`),
+* the composable public front door (:mod:`repro.api`): the typed
+  :class:`~repro.api.spec.ExperimentSpec` config tree, the plugin
+  registries, and the streaming :class:`~repro.api.session.Session` facade.
 
 Quickstart
 ----------
 
->>> from repro import MMKPMDFScheduler
->>> from repro.workload.motivational import motivational_problem
->>> result = MMKPMDFScheduler().schedule(motivational_problem("S1"))
->>> round(result.energy, 2)
+>>> from repro import ExperimentSpec, Session, WorkloadSpec
+>>> spec = ExperimentSpec(name="demo", workload=WorkloadSpec.scenario("S1"))
+>>> log = Session.from_spec(spec).run()
+>>> round(log.total_energy, 2)
 12.95
 """
 
@@ -63,4 +66,45 @@ __all__ = [
     "MMKPMDFScheduler",
     "ExMemScheduler",
     "MMKPLRScheduler",
+    # Lazily loaded from repro.api (the composable public front door):
+    "ExperimentSpec",
+    "PlatformSpec",
+    "WorkloadSpec",
+    "SchedulerSpec",
+    "EnergySpec",
+    "DSESpec",
+    "Session",
+    "RunEvent",
+    "RunEventKind",
+    "register_scheduler",
+    "register_platform",
+    "register_governor",
+    "register_trace_source",
 ]
+
+#: Lazy attribute → defining module (PEP 562).  ``repro.api`` composes the
+#: runtime/service/dse layers, which themselves import :mod:`repro`'s
+#: subpackages, so eager re-export here would both slow ``import repro``
+#: down and risk cycles.
+_LAZY = {
+    name: "repro.api"
+    for name in (
+        "ExperimentSpec",
+        "PlatformSpec",
+        "WorkloadSpec",
+        "SchedulerSpec",
+        "EnergySpec",
+        "DSESpec",
+        "Session",
+        "RunEvent",
+        "RunEventKind",
+        "register_scheduler",
+        "register_platform",
+        "register_governor",
+        "register_trace_source",
+    )
+}
+
+from repro._lazy import lazy_attributes  # noqa: E402
+
+__getattr__, __dir__ = lazy_attributes(globals(), _LAZY)

@@ -1,0 +1,39 @@
+"""Shared PEP 562 lazy-attribute machinery for package ``__init__`` modules.
+
+Several package inits (:mod:`repro`, :mod:`repro.api`, :mod:`repro.service`)
+re-export symbols whose defining modules are expensive to import or would
+create import cycles if loaded eagerly.  Instead of three hand-rolled
+``__getattr__``/``__dir__`` pairs, each declares a name → module table and
+calls::
+
+    __getattr__, __dir__ = lazy_attributes(globals(), _LAZY)
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable, Mapping
+
+
+def lazy_attributes(
+    module_globals: dict, mapping: Mapping[str, str]
+) -> tuple[Callable[[str], object], Callable[[], list]]:
+    """Build the ``(__getattr__, __dir__)`` pair for a lazily-exporting package.
+
+    ``mapping`` maps each public attribute name to the module that defines
+    it.  Resolved attributes are cached in the package namespace, so every
+    name is imported at most once.
+    """
+    module_name = module_globals["__name__"]
+
+    def __getattr__(name: str):
+        if name in mapping:
+            value = getattr(importlib.import_module(mapping[name]), name)
+            module_globals[name] = value
+            return value
+        raise AttributeError(f"module {module_name!r} has no attribute {name!r}")
+
+    def __dir__() -> list:
+        return sorted(set(module_globals) | set(mapping))
+
+    return __getattr__, __dir__

@@ -48,7 +48,13 @@ def percentile(sorted_values: Sequence[float], fraction: float) -> float:
     lower = int(math.floor(position))
     upper = int(math.ceil(position))
     weight = position - lower
-    return sorted_values[lower] * (1.0 - weight) + sorted_values[upper] * weight
+    low, high = sorted_values[lower], sorted_values[upper]
+    if weight == 0.0 or low == high:
+        # Short-circuit keeps the result exact (and monotone) even for
+        # values whose scaled sum underflows, e.g. denormal floats where
+        # ``x * 0.5 + x * 0.5`` rounds to 0 < x.
+        return low
+    return low + (high - low) * weight
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,75 @@
+"""Streaming run events emitted by the runtime manager.
+
+Long simulations are opaque when the only output is the final
+:class:`~repro.runtime.log.ExecutionLog`.  A :class:`RunEvent` is one
+incremental observation — a request arriving, an admission decision, a
+schedule commit, an executed interval with its energy, a job finishing —
+delivered while the run is still in flight, either through a callback
+(``Session.run(on_event=...)``) or a generator (``Session.stream()``).
+
+Observation never changes simulation behaviour: the manager emits events
+*about* state transitions it performs anyway, so a run with and without an
+observer produces bit-identical logs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+
+class RunEventKind(enum.Enum):
+    """What happened, in runtime-manager vocabulary."""
+
+    #: A request arrived and the scheduler is about to be activated.
+    ARRIVAL = "arrival"
+    #: The arrival was admitted (``data``: scheduler search time).
+    ADMIT = "admit"
+    #: The arrival was rejected (``data["reason"]``: ``"infeasible"`` or
+    #: ``"budget"``).
+    REJECT = "reject"
+    #: A new schedule was committed (``data``: segment count, DVFS speed).
+    COMMIT = "commit"
+    #: One interval of the committed schedule executed (``data``: start, end,
+    #: joules) — the energy tick of a streaming consumer.
+    INTERVAL = "interval"
+    #: A job completed (``request`` names it).
+    FINISH = "finish"
+    #: The run is over (``data["log"]`` carries the final
+    #: :class:`~repro.runtime.log.ExecutionLog`).
+    END = "end"
+
+
+@dataclass(frozen=True)
+class RunEvent:
+    """One streamed observation of a running simulation.
+
+    Attributes
+    ----------
+    kind:
+        The event kind (see :class:`RunEventKind`).
+    time:
+        Simulated time of the event in seconds.
+    request:
+        Name of the request/job concerned, when the event is about one.
+    data:
+        Kind-specific payload (see the per-kind notes on
+        :class:`RunEventKind`).
+    """
+
+    kind: RunEventKind
+    time: float
+    request: str | None = None
+    data: Mapping[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # compact, log-friendly rendering
+        request = f" {self.request}" if self.request else ""
+        extras = ", ".join(
+            f"{key}={value}" for key, value in self.data.items() if key != "log"
+        )
+        extras = f" ({extras})" if extras else ""
+        return f"[{self.time:10.4f}] {self.kind.value}{request}{extras}"
+
+
+__all__ = ["RunEvent", "RunEventKind"]

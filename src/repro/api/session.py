@@ -1,0 +1,291 @@
+"""The :class:`Session` facade: one object from spec to results.
+
+A session materialises an :class:`~repro.api.spec.ExperimentSpec` exactly
+once (platform, tables — lazily, cached) and exposes every way of running it:
+
+* :meth:`Session.run` — one simulation, optionally observed through an
+  ``on_event`` callback receiving :class:`~repro.api.events.RunEvent`\\ s.
+* :meth:`Session.stream` — the same simulation as a generator of run events,
+  so callers can consume arrivals, commits, finishes and energy ticks while
+  the run is still in flight.
+* :meth:`Session.run_batch` — fan the spec out into seeded trials through
+  the concurrent :class:`~repro.service.pool.SimulationService`.
+* :meth:`Session.explore` — (re)generate operating-point tables with the
+  :class:`~repro.dse.DesignSpaceExplorer` per the spec's DSE section.
+
+The facade composes the existing subsystems; it adds no behaviour of its
+own, so ``Session.from_spec(spec).run()`` is bit-identical to wiring the
+runtime manager by hand.
+
+Examples
+--------
+>>> from repro.api import ExperimentSpec, Session, WorkloadSpec
+>>> spec = ExperimentSpec(name="quick", workload=WorkloadSpec.scenario("S1"))
+>>> log = Session.from_spec(spec).run()
+>>> log.acceptance_rate
+1.0
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Callable, Iterator, Mapping, Sequence
+
+from repro.api.events import RunEvent, RunEventKind
+from repro.api.spec import ExperimentSpec
+from repro.exceptions import WorkloadError
+
+
+class Session:
+    """A materialised experiment: the single front door to the pipeline.
+
+    Parameters
+    ----------
+    spec:
+        The declarative experiment description.  The session never mutates
+        it; derived live objects (platform, tables) are cached per session.
+    """
+
+    def __init__(self, spec: ExperimentSpec):
+        if not isinstance(spec, ExperimentSpec):
+            raise WorkloadError(
+                f"Session expects an ExperimentSpec, got {type(spec).__name__}"
+            )
+        self._spec = spec
+        self._platform = None
+        self._tables = None
+
+    @classmethod
+    def from_spec(cls, spec: ExperimentSpec) -> "Session":
+        """The canonical constructor: ``Session.from_spec(spec).run()``."""
+        return cls(spec)
+
+    @classmethod
+    def from_file(cls, path) -> "Session":
+        """Open a session over a saved ``ExperimentSpec`` JSON file."""
+        return cls(ExperimentSpec.load(path))
+
+    # ------------------------------------------------------------------ #
+    # Materialised components (lazy, cached per session)
+    # ------------------------------------------------------------------ #
+    @property
+    def spec(self) -> ExperimentSpec:
+        """The immutable experiment description."""
+        return self._spec
+
+    @property
+    def platform(self):
+        """The live platform (built once per session)."""
+        if self._platform is None:
+            self._platform = self._spec.platform.build()
+        return self._platform
+
+    @property
+    def tables(self) -> Mapping:
+        """The application → configuration-table mapping (resolved once)."""
+        if self._tables is None:
+            self._tables = self._spec.resolve_tables(self.platform)
+        return self._tables
+
+    def scheduler(self):
+        """A fresh scheduler instance per call (schedulers may keep state)."""
+        return self._spec.scheduler.build()
+
+    def trace(self):
+        """The live request trace of the spec's workload."""
+        return self._spec.workload.build(self.tables)
+
+    def manager(self, *, scheduler=None):
+        """A runtime manager wired from the spec (fresh scheduler by default)."""
+        from repro.runtime.manager import RuntimeManager
+
+        return RuntimeManager.from_spec(
+            self._spec,
+            platform=self.platform,
+            tables=self.tables,
+            scheduler=scheduler,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Running
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        *,
+        on_event: Callable[[RunEvent], None] | None = None,
+        engine: str | None = None,
+    ):
+        """Simulate the experiment once and return the execution log.
+
+        ``on_event`` observes the run incrementally; observation never
+        changes the simulated behaviour.
+        """
+        return self.manager().run(self.trace(), engine=engine, observer=on_event)
+
+    def stream(self, *, engine: str | None = None) -> Iterator[RunEvent]:
+        """Run the experiment, yielding :class:`RunEvent`\\ s as they happen.
+
+        The simulation executes on a worker thread feeding a bounded queue;
+        the final event has kind :attr:`~RunEventKind.END` and carries the
+        completed :class:`~repro.runtime.log.ExecutionLog` in
+        ``event.data["log"]``.  A failure inside the simulation is re-raised
+        from the generator.  Abandoning the generator early (``break``,
+        ``close()``) cancels the worker: its next event raises instead of
+        blocking on the full queue, so the thread always exits promptly.
+        """
+        events: queue.Queue = queue.Queue(maxsize=1024)
+        cancelled = threading.Event()
+
+        class _StreamClosed(BaseException):
+            """Raised inside the worker to abort an abandoned simulation."""
+
+        def _put(item) -> None:
+            while not cancelled.is_set():
+                try:
+                    events.put(item, timeout=0.05)
+                    return
+                except queue.Full:
+                    continue
+            raise _StreamClosed
+
+        def _worker() -> None:
+            try:
+                self.run(on_event=_put, engine=engine)
+            except _StreamClosed:
+                pass
+            except BaseException as error:  # noqa: BLE001 — re-raised in consumer
+                try:
+                    _put(error)
+                except _StreamClosed:
+                    pass
+
+        worker = threading.Thread(
+            target=_worker, name=f"repro-session-{self._spec.name}", daemon=True
+        )
+        worker.start()
+        try:
+            while True:
+                item = events.get()
+                if isinstance(item, BaseException):
+                    raise item
+                yield item
+                if item.kind is RunEventKind.END:
+                    return
+        finally:
+            cancelled.set()
+            # Unblock a producer stuck between the cancel check and a full
+            # queue, then reap the thread.
+            while True:
+                try:
+                    events.get_nowait()
+                except queue.Empty:
+                    break
+            worker.join(timeout=10.0)
+
+    # ------------------------------------------------------------------ #
+    # Batch fan-out
+    # ------------------------------------------------------------------ #
+    def to_batch(
+        self,
+        trials: int = 1,
+        seeds: Sequence[int] | None = None,
+        name: str | None = None,
+    ):
+        """Expand the spec into a :class:`~repro.service.jobs.BatchSpec`.
+
+        With ``seeds`` (or ``trials > 1`` on a seeded workload) one job is
+        created per seed; per-job seeding is what keeps batch results
+        bit-identical for any worker count.
+        """
+        from repro.service.jobs import BatchSpec
+
+        if trials < 1:
+            raise WorkloadError(f"trials must be positive, got {trials}")
+        if seeds is None:
+            if trials == 1:
+                resolved: list[int | None] = [None]
+            else:
+                base = int(self._spec.workload.options.get("seed", 0))
+                resolved = [base + index for index in range(trials)]
+        else:
+            resolved = list(seeds)
+        # Named table sets travel by name (small, process-executor friendly);
+        # inline/DSE tables are materialised once via the session cache so a
+        # batch never re-runs the exploration per job.
+        tables = None if self._spec.tables is not None else self.tables
+        jobs = []
+        for index, seed in enumerate(resolved):
+            job_name = (
+                self._spec.name
+                if len(resolved) == 1
+                else f"{self._spec.name}-t{index:03d}"
+            )
+            jobs.append(self._spec.to_job(name=job_name, seed=seed, tables=tables))
+        return BatchSpec(name=name or self._spec.name, jobs=tuple(jobs))
+
+    def run_batch(
+        self,
+        trials: int = 1,
+        seeds: Sequence[int] | None = None,
+        *,
+        workers: int = 1,
+        executor: str = "auto",
+        use_cache: bool = True,
+        cache_size: int = 4096,
+        service=None,
+        progress=None,
+    ):
+        """Run the spec as a seeded batch and return the ordered results.
+
+        A pre-configured :class:`~repro.service.pool.SimulationService` may
+        be passed to share its activation cache and metrics across sessions.
+        """
+        if service is None:
+            from repro.service.pool import SimulationService
+
+            service = SimulationService(
+                workers=workers,
+                executor=executor,
+                use_cache=use_cache,
+                cache_size=cache_size,
+            )
+        return service.run_batch(
+            self.to_batch(trials=trials, seeds=seeds), progress=progress
+        )
+
+    # ------------------------------------------------------------------ #
+    # Design-space exploration
+    # ------------------------------------------------------------------ #
+    def explore(self, graph=None):
+        """Run the DSE flow of the spec's ``dse`` section.
+
+        Without arguments, regenerates the full per-application table set on
+        the session's platform and caches it as the session tables (so a
+        subsequent :meth:`run` schedules against the freshly explored
+        points).  With ``graph``, explores that one KPN graph and returns
+        its :class:`~repro.core.config.ConfigTable` without touching the
+        session state.
+        """
+        from repro.dse.explorer import DesignSpaceExplorer
+
+        if graph is not None:
+            explorer = DesignSpaceExplorer.from_spec(self._spec, platform=self.platform)
+            scales = None
+            if self._spec.dse is not None and self._spec.dse.sweep_opps:
+                from repro.energy.opp import available_scales, ensure_opps
+
+                scales = available_scales(ensure_opps(self.platform))
+            return explorer.explore(graph, opp_scales=scales)
+        if self._spec.dse is None:
+            raise WorkloadError(
+                "experiment spec has no dse section; nothing to explore"
+            )
+        self._tables = self._spec.dse.build_tables(self.platform)
+        return self._tables
+
+    def __repr__(self) -> str:
+        return f"Session({self._spec.name!r}, scheduler={self._spec.scheduler.name!r})"
+
+
+__all__ = ["Session"]

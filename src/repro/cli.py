@@ -2,6 +2,10 @@
 
 The CLI mirrors the typical usage of the library:
 
+* ``repro-rm run`` — run one experiment described by an
+  :class:`~repro.api.spec.ExperimentSpec` JSON file through the
+  :class:`~repro.api.session.Session` facade (optionally streaming the run
+  events, or fanning out into seeded trials).
 * ``repro-rm dse`` — run the design-space exploration and export the
   operating-point tables as JSON.
 * ``repro-rm workload`` — generate the evaluation test suite (Table III
@@ -18,11 +22,17 @@ The CLI mirrors the typical usage of the library:
 * ``repro-rm energy`` — replay a batch (or the motivational trace) under a
   frequency governor and report the per-cluster energy breakdown; see
   :mod:`repro.energy`.
+
+All name-based choices (``--scheduler``, ``--governor``, platform names in
+spec files) resolve through the plugin registries of
+:mod:`repro.api.registry`, so registered third-party plugins are accepted
+everywhere without CLI edits.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import Sequence
 
@@ -35,8 +45,15 @@ from repro.analysis import (
     format_table_iii,
     format_table_iv,
 )
-from repro.dse import paper_operating_points, reduced_tables
-from repro.energy import GOVERNORS, EnergyBudget, build_governor
+from repro.api.registry import governors as GOVERNORS
+from repro.api.registry import schedulers as SCHEDULERS
+from repro.api.spec import (
+    DSESpec,
+    EnergySpec,
+    ExperimentSpec,
+    SchedulerSpec,
+    WorkloadSpec,
+)
 from repro.io import (
     load_json,
     save_json,
@@ -46,24 +63,62 @@ from repro.io import (
     test_case_to_dict,
 )
 from repro.platforms import odroid_xu4
-from repro.runtime import RuntimeManager
-from repro.schedulers import (
-    ExMemScheduler,
-    FixedMinEnergyScheduler,
-    MMKPLRScheduler,
-    MMKPMDFScheduler,
-)
-from repro.service.jobs import SCHEDULERS
 from repro.workload import EvaluationSuite
-from repro.workload.motivational import (
-    motivational_platform,
-    motivational_tables,
-    motivational_trace,
-)
 from repro.workload.suite import scaled_census, table_iii_census
 
-# Scheduler registry shared with the batch service, so the names accepted by
-# ``--scheduler`` and by BatchSpec JSON files can never drift apart.
+
+def _add_service_options(parser: argparse.ArgumentParser) -> None:
+    """The shared SimulationService flags (one definition for every command)."""
+    parser.add_argument(
+        "--workers", type=int, default=1, help="worker count for the fan-out"
+    )
+    parser.add_argument(
+        "--executor",
+        choices=["auto", "serial", "thread", "process"],
+        default="auto",
+        help="fan-out backend (auto: serial for one worker, threads otherwise)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the activation cache"
+    )
+    parser.add_argument(
+        "--cache-size", type=int, default=4096, help="activation cache capacity"
+    )
+
+
+def _make_service(args: argparse.Namespace):
+    """Build the SimulationService described by the shared flags."""
+    from repro.service import SimulationService
+
+    return SimulationService(
+        workers=args.workers,
+        executor=getattr(args, "executor", "auto"),
+        use_cache=not getattr(args, "no_cache", False),
+        cache_size=getattr(args, "cache_size", 4096),
+    )
+
+
+def _load_batch(path: str):
+    """Load a BatchSpec file, returning ``None`` after printing the error."""
+    from repro.exceptions import ReproError
+    from repro.service import BatchSpec
+
+    try:
+        return BatchSpec.load(path)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return None
+
+
+def _print_aggregate(name: str, aggregate: dict) -> None:
+    print(
+        f"batch {name}: {aggregate['traces']} traces "
+        f"({aggregate['failed']} failed), "
+        f"{aggregate['requests']} requests, "
+        f"acceptance {aggregate['acceptance_rate'] * 100:.1f} %, "
+        f"energy {aggregate['total_energy']:.2f} J, "
+        f"{aggregate['activations']} activations"
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -72,6 +127,36 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Energy-efficient runtime resource management (DATE 2020 reproduction)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser(
+        "run",
+        help="run one experiment from an ExperimentSpec JSON file",
+        description=(
+            "Load a typed ExperimentSpec (see repro.api.spec), open a Session "
+            "over it and run it: a single observed simulation by default, or "
+            "a seeded multi-trial batch with --trials."
+        ),
+    )
+    run.add_argument("spec", help="ExperimentSpec JSON file (see repro.api.spec)")
+    run.add_argument(
+        "--trials",
+        type=int,
+        default=1,
+        help="fan the spec out into N seeded trials (seeded workloads only)",
+    )
+    run.add_argument(
+        "--stream",
+        action="store_true",
+        help="print every run event (arrivals, commits, finishes, energy ticks)",
+    )
+    run.add_argument(
+        "--engine",
+        choices=["events", "linear"],
+        default=None,
+        help="override the spec's time-advance engine",
+    )
+    run.add_argument("--output", default=None, help="write the run summary JSON")
+    _add_service_options(run)
 
     dse = subparsers.add_parser("dse", help="generate operating-point tables")
     dse.add_argument("--output", default="operating_points.json", help="output JSON file")
@@ -82,6 +167,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--sweep-opps",
         action="store_true",
         help="also sweep the DVFS operating points (adds a frequency column)",
+    )
+    dse.add_argument(
+        "--max-points",
+        type=int,
+        default=None,
+        help="cap every table at N points (the EX-MEM-sized reduction)",
     )
 
     workload = subparsers.add_parser("workload", help="generate the evaluation suite")
@@ -117,21 +208,7 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     batch.add_argument("spec", help="BatchSpec JSON file (see repro.service.jobs)")
-    batch.add_argument(
-        "--workers", type=int, default=1, help="worker count for the fan-out"
-    )
-    batch.add_argument(
-        "--executor",
-        choices=["auto", "serial", "thread", "process"],
-        default="auto",
-        help="fan-out backend (auto: serial for one worker, threads otherwise)",
-    )
-    batch.add_argument(
-        "--no-cache", action="store_true", help="disable the activation cache"
-    )
-    batch.add_argument(
-        "--cache-size", type=int, default=4096, help="activation cache capacity"
-    )
+    _add_service_options(batch)
     batch.add_argument(
         "--shard", default=None, metavar="I/N", help="run only shard I of N"
     )
@@ -173,9 +250,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--energy-budget", type=float, default=None, metavar="JOULES",
         help="reject requests once the run would exceed this energy budget",
     )
-    energy.add_argument(
-        "--workers", type=int, default=1, help="worker count for batch replays"
-    )
+    _add_service_options(energy)
     energy.add_argument("--output", default=None, help="write the breakdown JSON")
     return parser
 
@@ -183,9 +258,93 @@ def _build_parser() -> argparse.ArgumentParser:
 # ---------------------------------------------------------------------- #
 # Sub-command implementations
 # ---------------------------------------------------------------------- #
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.api.events import RunEventKind
+    from repro.api.session import Session
+    from repro.exceptions import ReproError
+
+    try:
+        spec = ExperimentSpec.load(args.spec)
+        if args.engine:
+            # Override on the spec itself so both the single-run and the
+            # batch path honour it (batch jobs carry the spec's engine).
+            spec = dataclasses.replace(spec, engine=args.engine)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    session = Session.from_spec(spec)
+
+    if args.trials > 1:
+        if args.stream:
+            print("error: --stream applies to single runs, not --trials batches",
+                  file=sys.stderr)
+            return 2
+        try:
+            results = session.run_batch(trials=args.trials, service=_make_service(args))
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        _print_aggregate(spec.name, results.aggregate())
+        for failure in results.failures:
+            print(f"  FAILED {failure.job_name}: {failure.error}")
+        if args.output:
+            save_json(results.to_dict(), args.output)
+            print(f"wrote {len(results)} trial summaries to {args.output}")
+        return 1 if results.failures else 0
+
+    try:
+        if args.stream:
+            log = None
+            for event in session.stream():
+                if event.kind is RunEventKind.END:
+                    log = event.data["log"]
+                else:
+                    print(event)
+        else:
+            log = session.run()
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    misses = len(log.deadline_misses)
+    print(
+        f"experiment {spec.name} ({spec.scheduler.name} on "
+        f"{spec.platform.name or 'inline platform'}): "
+        f"{len(log.outcomes)} requests, "
+        f"acceptance {log.acceptance_rate * 100:.1f} %, "
+        f"energy {log.total_energy:.2f} J, makespan {log.makespan:.2f} s, "
+        f"{misses} deadline misses, {log.budget_rejections} budget rejections"
+    )
+    if args.output:
+        save_json(
+            {
+                "name": spec.name,
+                "scheduler": spec.scheduler.name,
+                "engine": spec.engine,
+                "requests": len(log.outcomes),
+                "accepted": len(log.accepted),
+                "rejected": len(log.rejected),
+                "acceptance_rate": log.acceptance_rate,
+                "total_energy": log.total_energy,
+                "makespan": log.makespan,
+                "activations": log.activations,
+                "deadline_misses": misses,
+                "budget_rejections": log.budget_rejections,
+                "cluster_energy": log.cluster_energy,
+            },
+            args.output,
+        )
+        print(f"wrote run summary to {args.output}")
+    return 0
+
+
 def _cmd_dse(args: argparse.Namespace) -> int:
-    sizes = tuple(args.sizes) if args.sizes else None
-    tables = paper_operating_points(input_sizes=sizes, sweep_opps=args.sweep_opps)
+    spec = DSESpec(
+        input_sizes=tuple(args.sizes) if args.sizes else None,
+        sweep_opps=args.sweep_opps,
+        max_points=args.max_points,
+    )
+    tables = spec.build_tables()
     save_json(tables_to_dict(tables), args.output)
     print(f"wrote {len(tables)} operating-point tables to {args.output}")
     for name, table in sorted(tables.items()):
@@ -199,7 +358,7 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     if args.tables:
         tables = tables_from_dict(load_json(args.tables))
     else:
-        tables = paper_operating_points()
+        tables = DSESpec().build_tables()
     census = table_iii_census() if args.fraction >= 1.0 else scaled_census(args.fraction)
     suite = EvaluationSuite.generate(tables, census, seed=args.seed)
     save_json(
@@ -215,7 +374,7 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     tables = tables_from_dict(load_json(args.tables))
     case = test_case_from_dict(load_json(args.testcase))
     problem = case.problem(odroid_xu4(), tables)
-    scheduler = SCHEDULERS[args.scheduler]()
+    scheduler = SCHEDULERS.build(args.scheduler)
     result = scheduler.schedule(problem)
     if not result.feasible:
         print(f"{scheduler.name}: test case {case.name} rejected")
@@ -232,13 +391,13 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     platform = odroid_xu4()
-    tables = reduced_tables(paper_operating_points(), max_points=args.max_points)
+    tables = DSESpec(max_points=args.max_points).build_tables()
     suite = EvaluationSuite.generate(tables, scaled_census(args.fraction), seed=args.seed)
-    schedulers = [MMKPLRScheduler(), MMKPMDFScheduler()]
+    names = ["mmkp-lr", "mmkp-mdf"]
     if not args.skip_exmem:
-        schedulers.insert(0, ExMemScheduler())
+        names.insert(0, "ex-mem")
+    schedulers = [SCHEDULERS.build(name) for name in names]
     results = evaluate_suite(suite, platform, tables, schedulers)
-    names = [s.name for s in schedulers]
     print(format_table_iii(suite))
     print()
     print(format_fig2_scheduling_rate(results, names))
@@ -253,19 +412,22 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def _cmd_motivational(args: argparse.Namespace) -> int:
-    platform = motivational_platform()
-    tables = motivational_tables()
+    from repro.api.session import Session
+
     for scenario in ("S1", "S2"):
-        trace = motivational_trace(scenario)
         print(f"Scenario {scenario}")
         variants = [
-            ("fixed mapper, remap at start", FixedMinEnergyScheduler(), False),
-            ("fixed mapper, remap at start+finish", FixedMinEnergyScheduler(), True),
-            ("adaptive mapper (MMKP-MDF)", MMKPMDFScheduler(), False),
+            ("fixed mapper, remap at start", "fixed", False),
+            ("fixed mapper, remap at start+finish", "fixed", True),
+            ("adaptive mapper (MMKP-MDF)", "mmkp-mdf", False),
         ]
         for label, scheduler, remap in variants:
-            manager = RuntimeManager(platform, tables, scheduler, remap_on_finish=remap)
-            log = manager.run(trace)
+            spec = ExperimentSpec(
+                name=f"motivational-{scenario.lower()}",
+                workload=WorkloadSpec.scenario(scenario),
+                scheduler=SchedulerSpec(name=scheduler, remap_on_finish=remap),
+            )
+            log = Session.from_spec(spec).run()
             print(
                 f"  {label:38s} energy = {log.total_energy:6.2f} J, "
                 f"acceptance = {log.acceptance_rate * 100:5.1f} %"
@@ -274,37 +436,30 @@ def _cmd_motivational(args: argparse.Namespace) -> int:
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
-    from repro.exceptions import SerializationError, WorkloadError
-    from repro.service import BatchSpec, SimulationService
+    from repro.exceptions import WorkloadError
 
-    try:
-        spec = BatchSpec.load(args.spec)
-        if args.shard:
-            try:
-                index, count = (int(part) for part in args.shard.split("/"))
-            except ValueError:
-                print(f"invalid --shard {args.shard!r}; expected I/N", file=sys.stderr)
-                return 2
+    spec = _load_batch(args.spec)
+    if spec is None:
+        return 2
+    if args.shard:
+        try:
+            index, count = (int(part) for part in args.shard.split("/"))
+        except ValueError:
+            print(f"invalid --shard {args.shard!r}; expected I/N", file=sys.stderr)
+            return 2
+        try:
             spec = spec.shard(index, count)
-        service = SimulationService(
-            workers=args.workers,
-            executor=args.executor,
-            use_cache=not args.no_cache,
-            cache_size=args.cache_size,
-        )
-    except (SerializationError, WorkloadError) as error:
+        except WorkloadError as error:
+            # Well-formed but out of range — report the real reason.
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    try:
+        service = _make_service(args)
+    except WorkloadError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     results = service.run_batch(spec)
-    aggregate = results.aggregate()
-    print(
-        f"batch {spec.name}: {aggregate['traces']} traces "
-        f"({aggregate['failed']} failed), "
-        f"{aggregate['requests']} requests, "
-        f"acceptance {aggregate['acceptance_rate'] * 100:.1f} %, "
-        f"energy {aggregate['total_energy']:.2f} J, "
-        f"{aggregate['activations']} activations"
-    )
+    _print_aggregate(spec.name, results.aggregate())
     for failure in results.failures:
         print(f"  FAILED {failure.job_name}: {failure.error}")
     if not args.quiet:
@@ -317,40 +472,39 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 def _motivational_energy_run(governor_name: str, power_cap, energy_budget):
     """Run both motivational scenarios under one governor; return the logs."""
-    platform = motivational_platform()
-    tables = motivational_tables()
-    budget = None
-    if power_cap is not None or energy_budget is not None:
-        budget = EnergyBudget(
-            power_cap_watts=power_cap, energy_budget_joules=energy_budget
-        )
+    from repro.api.session import Session
+
     logs = []
     for scenario in ("S1", "S2"):
-        manager = RuntimeManager(
-            platform,
-            tables,
-            MMKPMDFScheduler(),
-            governor=build_governor(governor_name),
-            budget=budget,
+        spec = ExperimentSpec(
+            name=f"motivational-{scenario.lower()}",
+            workload=WorkloadSpec.scenario(scenario),
+            energy=EnergySpec(
+                governor=governor_name,
+                power_cap_watts=power_cap,
+                energy_budget_joules=energy_budget,
+            ),
         )
-        logs.append(manager.run(motivational_trace(scenario)))
+        logs.append(Session.from_spec(spec).run())
     return logs
 
 
 def _cmd_energy(args: argparse.Namespace) -> int:
-    from repro.exceptions import SerializationError, WorkloadError
-    from repro.service import BatchSpec, SimulationService
-
     governors = sorted(GOVERNORS) if args.compare else [args.governor]
     report: dict = {"governor": args.governor, "totals": {}}
     failures = []
 
     if args.spec:
-        try:
-            base = BatchSpec.load(args.spec)
-        except (SerializationError, WorkloadError) as error:
-            print(f"error: {error}", file=sys.stderr)
+        base = _load_batch(args.spec)
+        if base is None:
             return 2
+        # One service for every governor replay, so --compare reuses the
+        # activation cache across replays.  Cache keys are per-problem
+        # signatures (job residuals included), so a hit returns a valid
+        # schedule for the same problem; per the documented cache semantics
+        # it may differ from the uncached run in heuristic tie-breaks —
+        # pass --no-cache to force plain scheduler runs.
+        service = _make_service(args)
         for governor in governors:
             # Only the flags the user actually passed override the spec's
             # per-job policies; the governor is this command's subject and
@@ -361,7 +515,6 @@ def _cmd_energy(args: argparse.Namespace) -> int:
             if args.energy_budget is not None:
                 overrides["energy_budget_joules"] = args.energy_budget
             spec = base.with_energy_policy(**overrides)
-            service = SimulationService(workers=args.workers)
             results = service.run_batch(spec)
             aggregate = results.aggregate()
             report["totals"][governor] = aggregate["total_energy"]
@@ -427,6 +580,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
     handlers = {
+        "run": _cmd_run,
         "dse": _cmd_dse,
         "workload": _cmd_workload,
         "schedule": _cmd_schedule,

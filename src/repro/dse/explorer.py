@@ -104,6 +104,37 @@ class DesignSpaceExplorer:
                 )
             self._limit = limit
 
+    @classmethod
+    def from_spec(
+        cls,
+        spec,
+        *,
+        platform: Platform | None = None,
+        simulator: MappingSimulator | None = None,
+    ) -> "DesignSpaceExplorer":
+        """Build an explorer from a declarative spec.
+
+        ``spec`` is an :class:`~repro.api.spec.ExperimentSpec` (the platform
+        comes from its ``platform`` section) or a bare
+        :class:`~repro.api.spec.DSESpec` (then ``platform`` is required).
+        This is the DSE half of the ``repro.api`` front door; the
+        :class:`~repro.api.session.Session` facade calls it for per-graph
+        exploration.
+        """
+        from repro.api.spec import DSESpec, ExperimentSpec
+
+        if isinstance(spec, ExperimentSpec):
+            if platform is None:
+                platform = spec.platform.build()
+        elif not isinstance(spec, DSESpec):
+            raise MappingError(
+                f"from_spec expects an ExperimentSpec or DSESpec, "
+                f"got {type(spec).__name__}"
+            )
+        if platform is None:
+            raise MappingError("a DSESpec alone needs an explicit platform")
+        return cls(platform, simulator=simulator)
+
     # ------------------------------------------------------------------ #
     # Exploration
     # ------------------------------------------------------------------ #

@@ -29,7 +29,6 @@ from repro.energy.accounting import (
 )
 from repro.energy.budget import BudgetDecision, EnergyBudget
 from repro.energy.governor import (
-    GOVERNORS,
     FrequencyGovernor,
     OndemandGovernor,
     PerformanceGovernor,
@@ -82,3 +81,14 @@ __all__ = [
     "EnergyBudget",
     "BudgetDecision",
 ]
+
+#: ``GOVERNORS`` is the governor plugin registry (repro.api.registry), which
+#: imports the scheduler/platform/workload stack to register the built-ins —
+#: far too heavy for this package's import time.  Resolve it lazily so
+#: ``import repro.energy`` (and everything that pulls it in, e.g. repro.io)
+#: stays light.
+_LAZY = {"GOVERNORS": "repro.energy.governor"}
+
+from repro._lazy import lazy_attributes
+
+__getattr__, __dir__ = lazy_attributes(globals(), _LAZY)

@@ -26,7 +26,7 @@ Four governors mirror the classic cpufreq line-up:
 from __future__ import annotations
 
 import abc
-from typing import Callable, Mapping
+from typing import Mapping
 
 from repro.core.config import ConfigTable
 from repro.core.request import Job
@@ -227,22 +227,27 @@ class ScheduleAwareGovernor(FrequencyGovernor):
         return best_scale
 
 
-#: Governor registry: name → factory, mirroring the scheduler registry of
-#: :mod:`repro.service.jobs` so batch specs and the CLI share a vocabulary.
-GOVERNORS: dict[str, Callable[[], FrequencyGovernor]] = {
-    PerformanceGovernor.name: PerformanceGovernor,
-    PowersaveGovernor.name: PowersaveGovernor,
-    OndemandGovernor.name: OndemandGovernor,
-    ScheduleAwareGovernor.name: ScheduleAwareGovernor,
-}
-
-
 def build_governor(name: str) -> FrequencyGovernor:
-    """Instantiate the named governor (fresh instance per call)."""
-    try:
-        factory = GOVERNORS[name]
-    except KeyError:
-        raise EnergyError(
-            f"unknown governor {name!r}; choose from {sorted(GOVERNORS)}"
-        ) from None
-    return factory()
+    """Instantiate the named governor (fresh instance per call).
+
+    Lookup goes through the plugin registry of :mod:`repro.api.registry`, so
+    governors registered with :func:`repro.api.register_governor` are built
+    here too.  Unknown names raise :class:`~repro.exceptions.EnergyError`
+    listing every registered governor, as they always did.
+    """
+    from repro.api.registry import governors
+
+    return governors.build(name)
+
+
+def __getattr__(name: str):
+    # ``GOVERNORS`` migrated to the plugin registry (repro.api.registry).
+    # The lazy alias avoids an import cycle (the registry imports the
+    # governor classes defined above) while keeping the historical
+    # ``from repro.energy.governor import GOVERNORS`` working — the registry
+    # is a read-only Mapping, exactly like the dict it replaced.
+    if name == "GOVERNORS":
+        from repro.api.registry import governors
+
+        return governors
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -57,5 +57,16 @@ class WorkloadError(ReproError):
     """Raised for invalid workload or test-case generator parameters."""
 
 
+class RegistryError(ReproError):
+    """Raised for invalid plugin registrations (see :mod:`repro.api.registry`).
+
+    Lookup of an *unknown* name raises the registry's domain error
+    (:class:`WorkloadError` for schedulers/platforms/trace sources,
+    :class:`EnergyError` for governors) so existing callers keep catching
+    what they always caught; this error covers registration mistakes such as
+    duplicate names or non-callable factories.
+    """
+
+
 class SerializationError(ReproError):
     """Raised when (de)serialising library objects fails."""

@@ -41,9 +41,11 @@ admission decisions, the executed timeline and the total consumed energy.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
-from typing import Mapping
+from typing import TYPE_CHECKING, Callable, Mapping
 
+from repro.api.events import RunEvent, RunEventKind
 from repro.core.config import ConfigTable
 from repro.core.problem import SchedulingProblem
 from repro.core.request import Job
@@ -59,6 +61,9 @@ from repro.runtime.log import ExecutedInterval, ExecutionLog, RequestOutcome
 from repro.runtime.trace import RequestEvent, RequestTrace
 from repro.schedulers.base import Scheduler
 from repro.service.events import Event, EventKind, EventQueue
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard, typing only
+    from repro.api.spec import ExperimentSpec
 
 #: Remaining-ratio threshold below which a job counts as completed.
 _FINISH_TOLERANCE = 1e-6
@@ -111,6 +116,10 @@ class _RunContext:
     #: Per-cluster OPPs in force; ``None`` selects the seed's table-energy
     #: accounting, an :class:`OPPDecision` selects analytical accounting.
     decision: OPPDecision | None = None
+    #: Streaming observer for this run (``None`` = no observation).  Events
+    #: describe transitions the manager performs anyway, so observed and
+    #: unobserved runs produce bit-identical logs.
+    observer: Callable[[RunEvent], None] | None = None
 
 
 class RuntimeManager:
@@ -152,12 +161,21 @@ class RuntimeManager:
         changes the logged totals in the default mode; disable it only to
         shave the last few percent off simulation hot loops.
 
+    Construction
+    ------------
+    :meth:`from_components` is the canonical programmatic constructor and
+    :meth:`from_spec` builds a manager straight from a declarative
+    :class:`~repro.api.spec.ExperimentSpec` (most callers should go through
+    :class:`repro.api.Session` instead).  The historical keyword form
+    ``RuntimeManager(platform, tables, scheduler, ...)`` still works and
+    produces bit-identical logs, but emits a :class:`DeprecationWarning`.
+
     Examples
     --------
     >>> from repro.schedulers import MMKPMDFScheduler
     >>> from repro.workload.motivational import motivational_platform, motivational_tables
     >>> from repro.runtime import RequestEvent, RequestTrace
-    >>> manager = RuntimeManager(
+    >>> manager = RuntimeManager.from_components(
     ...     motivational_platform(), motivational_tables(), MMKPMDFScheduler())
     >>> trace = RequestTrace([RequestEvent(0.0, "lambda1", 9.0, "sigma1"),
     ...                       RequestEvent(1.0, "lambda2", 4.0, "sigma2")])
@@ -177,6 +195,96 @@ class RuntimeManager:
         budget: EnergyBudget | None = None,
         account_energy: bool = True,
     ):
+        warnings.warn(
+            "direct RuntimeManager(...) construction is deprecated; use "
+            "RuntimeManager.from_components(...), RuntimeManager.from_spec(spec) "
+            "or repro.api.Session",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._configure(
+            platform,
+            tables,
+            scheduler,
+            remap_on_finish=remap_on_finish,
+            engine=engine,
+            governor=governor,
+            budget=budget,
+            account_energy=account_energy,
+        )
+
+    @classmethod
+    def from_components(
+        cls,
+        platform: Platform | ResourceVector,
+        tables: Mapping[str, ConfigTable],
+        scheduler: Scheduler,
+        *,
+        remap_on_finish: bool = False,
+        engine: str = "events",
+        governor: FrequencyGovernor | None = None,
+        budget: EnergyBudget | None = None,
+        account_energy: bool = True,
+    ) -> "RuntimeManager":
+        """Build a manager from live components (the canonical constructor)."""
+        manager = cls.__new__(cls)
+        manager._configure(
+            platform,
+            tables,
+            scheduler,
+            remap_on_finish=remap_on_finish,
+            engine=engine,
+            governor=governor,
+            budget=budget,
+            account_energy=account_energy,
+        )
+        return manager
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: "ExperimentSpec",
+        *,
+        platform: Platform | ResourceVector | None = None,
+        tables: Mapping[str, ConfigTable] | None = None,
+        scheduler: Scheduler | None = None,
+    ) -> "RuntimeManager":
+        """Build a manager from a declarative :class:`ExperimentSpec`.
+
+        ``platform``/``tables``/``scheduler`` short-circuit the spec's
+        registry lookups when the caller already materialised them (the
+        :class:`~repro.api.session.Session` cache, or a
+        :class:`~repro.service.cache.CachingScheduler` wrapper).
+        """
+        if platform is None:
+            platform = spec.platform.build()
+        if tables is None:
+            tables = spec.resolve_tables(platform)
+        if scheduler is None:
+            scheduler = spec.scheduler.build()
+        return cls.from_components(
+            platform,
+            tables,
+            scheduler,
+            remap_on_finish=spec.scheduler.remap_on_finish,
+            engine=spec.engine,
+            governor=spec.energy.build_governor(),
+            budget=spec.energy.build_budget(),
+            account_energy=spec.energy.account_energy,
+        )
+
+    def _configure(
+        self,
+        platform: Platform | ResourceVector,
+        tables: Mapping[str, ConfigTable],
+        scheduler: Scheduler,
+        *,
+        remap_on_finish: bool,
+        engine: str,
+        governor: FrequencyGovernor | None,
+        budget: EnergyBudget | None,
+        account_energy: bool,
+    ) -> None:
         if engine not in ENGINES:
             raise SchedulingError(
                 f"unknown time-advance engine {engine!r}; choose from {ENGINES}"
@@ -216,7 +324,12 @@ class RuntimeManager:
     # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #
-    def run(self, trace: RequestTrace, engine: str | None = None) -> ExecutionLog:
+    def run(
+        self,
+        trace: RequestTrace,
+        engine: str | None = None,
+        observer: Callable[[RunEvent], None] | None = None,
+    ) -> ExecutionLog:
         """Simulate the runtime manager over a full request trace.
 
         Parameters
@@ -225,13 +338,18 @@ class RuntimeManager:
             The request arrivals to simulate.
         engine:
             Override the manager's default time-advance engine for this run.
+        observer:
+            Optional callback receiving a :class:`~repro.api.events.RunEvent`
+            for every arrival, admission decision, schedule commit, executed
+            interval and job finish, plus a final ``END`` event carrying the
+            completed log.  Observation never changes the simulation.
         """
         engine = self._engine if engine is None else engine
         if engine not in ENGINES:
             raise SchedulingError(
                 f"unknown time-advance engine {engine!r}; choose from {ENGINES}"
             )
-        ctx = _RunContext()
+        ctx = _RunContext(observer=observer)
         if self._account_energy or self._governor is not None:
             ctx.meter = EnergyMeter(self._platform)
         if self._governor is not None:
@@ -243,6 +361,8 @@ class RuntimeManager:
         else:
             self._run_linear(trace, ctx)
         self._finalise_outcomes(ctx)
+        if observer is not None:
+            observer(RunEvent(RunEventKind.END, ctx.now, data={"log": ctx.log}))
         return ctx.log
 
     # ------------------------------------------------------------------ #
@@ -295,6 +415,18 @@ class RuntimeManager:
             deadline=event.absolute_deadline,
         )
         ctx.request_info[event.name] = event
+        if ctx.observer is not None:
+            ctx.observer(
+                RunEvent(
+                    RunEventKind.ARRIVAL,
+                    event.time,
+                    event.name,
+                    {
+                        "application": event.application,
+                        "deadline": event.absolute_deadline,
+                    },
+                )
+            )
         candidate_jobs = self._active_for_problem(ctx, event.time) + [job]
         problem = SchedulingProblem(
             self._capacity, self._tables, candidate_jobs, now=event.time
@@ -320,14 +452,34 @@ class RuntimeManager:
                     # rejected like an infeasible request.
                     ctx.log.budget_rejections += 1
                     ctx.admissions[event.name] = (False, result.search_time)
+                    self._emit_decision(ctx, event, False, result, reason="budget")
                     return
             ctx.active[job.name] = job
             self._commit(ctx, plan=plan)
             ctx.admissions[event.name] = (True, result.search_time)
+            self._emit_decision(ctx, event, True, result)
         else:
             # The new request is rejected; the previously committed schedule
             # keeps serving the already admitted jobs.
             ctx.admissions[event.name] = (False, result.search_time)
+            self._emit_decision(ctx, event, False, result, reason="infeasible")
+
+    def _emit_decision(
+        self,
+        ctx: _RunContext,
+        event: RequestEvent,
+        accepted: bool,
+        result,
+        reason: str | None = None,
+    ) -> None:
+        """Stream one admission decision to the run observer (if any)."""
+        if ctx.observer is None:
+            return
+        data: dict = {"search_time": result.search_time}
+        if reason is not None:
+            data["reason"] = reason
+        kind = RunEventKind.ADMIT if accepted else RunEventKind.REJECT
+        ctx.observer(RunEvent(kind, event.time, event.name, data))
 
     # ------------------------------------------------------------------ #
     # Schedule commits
@@ -382,6 +534,18 @@ class RuntimeManager:
             ctx.decision = plan.decision
         ctx.cursor = 0
         ctx.epoch += 1
+        if ctx.observer is not None:
+            ctx.observer(
+                RunEvent(
+                    RunEventKind.COMMIT,
+                    ctx.now,
+                    data={
+                        "segments": len(ctx.schedule.segments),
+                        "speed": ctx.speed,
+                        "jobs": sorted(ctx.active),
+                    },
+                )
+            )
         if ctx.queue is not None:
             # One boundary event per future segment end.  Job finishes need no
             # separate events: a job completes exactly at the end of its last
@@ -514,6 +678,22 @@ class RuntimeManager:
             ExecutedInterval(start, end, tuple(job_configs), energy)
         )
         ctx.log.total_energy += energy
+        if ctx.observer is not None:
+            # The energy tick of a streaming consumer: what ran, for how
+            # long, and the joules charged for it.
+            ctx.observer(
+                RunEvent(
+                    RunEventKind.INTERVAL,
+                    end,
+                    data={
+                        "start": start,
+                        "end": end,
+                        "energy": energy,
+                        "jobs": [name for name, _ in job_configs],
+                        "total_energy": ctx.log.total_energy,
+                    },
+                )
+            )
 
     def _collect_finished(self, ctx: _RunContext, time: float) -> list[str]:
         """Remove completed jobs from the active set and record their completion."""
@@ -523,6 +703,8 @@ class RuntimeManager:
                 ctx.completions[name] = time
                 del ctx.active[name]
                 finished.append(name)
+                if ctx.observer is not None:
+                    ctx.observer(RunEvent(RunEventKind.FINISH, time, name))
         if finished and ctx.active:
             pruned = self._without_finished(ctx.schedule, ctx.active, ctx.now)
             if pruned is not ctx.schedule:

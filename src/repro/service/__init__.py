@@ -99,17 +99,6 @@ _LAZY = {
     "BatchResults": "repro.service.pool",
 }
 
+from repro._lazy import lazy_attributes
 
-def __getattr__(name: str):
-    if name in _LAZY:
-        import importlib
-
-        module = importlib.import_module(_LAZY[name])
-        value = getattr(module, name)
-        globals()[name] = value
-        return value
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-
-
-def __dir__():
-    return sorted(set(globals()) | set(_LAZY))
+__getattr__, __dir__ = lazy_attributes(globals(), _LAZY)

@@ -18,10 +18,13 @@ regardless of worker count.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Any, Callable, Mapping, Sequence
+from typing import Any, Mapping, Sequence
 
+from repro.api.registry import platforms as _platforms
+from repro.api.registry import schedulers as _schedulers
 from repro.core.config import ConfigTable
 from repro.exceptions import SerializationError, WorkloadError
 from repro.io import (
@@ -34,59 +37,49 @@ from repro.io import (
     tables_from_dict,
     tables_to_dict,
 )
-from repro.platforms import Platform, big_little, odroid_xu4
+from repro.platforms import Platform
 from repro.runtime.trace import RequestTrace, poisson_trace
-from repro.schedulers import (
-    ExMemScheduler,
-    FixedMinEnergyScheduler,
-    MMKPLRScheduler,
-    MMKPMDFScheduler,
-    Scheduler,
-)
+from repro.schedulers import Scheduler
 from repro.workload import named_tables
-from repro.workload.motivational import motivational_platform
 
-#: Scheduler registry: name → factory.  A *fresh* instance is built per
-#: simulation because some schedulers (EX-MEM) keep per-solve state.
-SCHEDULERS: dict[str, Callable[[], Scheduler]] = {
-    "mmkp-mdf": MMKPMDFScheduler,
-    "mmkp-lr": MMKPLRScheduler,
-    "ex-mem": ExMemScheduler,
-    "fixed": FixedMinEnergyScheduler,
-}
+#: The scheduler plugin registry (see :mod:`repro.api.registry`).  Kept under
+#: its historical name: the registry is a read-only Mapping, so legacy code
+#: iterating or indexing the old hard-coded dict keeps working, and plugins
+#: registered through :func:`repro.api.register_scheduler` appear here too.
+SCHEDULERS = _schedulers
+
+#: The platform plugin registry (see :data:`SCHEDULERS` for the aliasing).
+PLATFORMS = _platforms
 
 #: Sentinel distinguishing "argument not passed" from an explicit ``None``.
 _UNSET = object()
 
-#: Platform registry: name → factory.
-PLATFORMS: dict[str, Callable[[], Platform]] = {
-    "motivational": motivational_platform,
-    "odroid-xu4": odroid_xu4,
-    "big-little-2x2": lambda: big_little(2, 2),
-    "big-little-4x4": lambda: big_little(4, 4),
-}
-
 
 def build_scheduler(name: str) -> Scheduler:
-    """Instantiate the named scheduler (fresh instance per call)."""
-    try:
-        factory = SCHEDULERS[name]
-    except KeyError:
-        raise WorkloadError(
-            f"unknown scheduler {name!r}; choose from {sorted(SCHEDULERS)}"
-        ) from None
-    return factory()
+    """Deprecated: use ``repro.api.schedulers.build(name)``.
+
+    Kept as a shim for pre-registry call sites; behaviour (fresh instance
+    per call, :class:`WorkloadError` listing the known names on a miss) is
+    unchanged.
+    """
+    warnings.warn(
+        "repro.service.jobs.build_scheduler is deprecated; use "
+        "repro.api.schedulers.build(name)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _schedulers.build(name)
 
 
 def build_platform(name: str) -> Platform:
-    """Instantiate the named platform."""
-    try:
-        factory = PLATFORMS[name]
-    except KeyError:
-        raise WorkloadError(
-            f"unknown platform {name!r}; choose from {sorted(PLATFORMS)}"
-        ) from None
-    return factory()
+    """Deprecated: use ``repro.api.platforms.build(name)``."""
+    warnings.warn(
+        "repro.service.jobs.build_platform is deprecated; use "
+        "repro.api.platforms.build(name)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _platforms.build(name)
 
 
 @dataclass(frozen=True)
@@ -102,6 +95,13 @@ class TraceSpec:
     num_requests: int
     deadline_factor_range: tuple[float, float] = (1.5, 4.0)
     seed: int = 0
+
+    def __post_init__(self) -> None:
+        # Callers may pass a list (JSON, sweeps); canonicalise so the spec —
+        # and every SimulationJob hash built on it — stays hashable.
+        object.__setattr__(
+            self, "deadline_factor_range", tuple(self.deadline_factor_range)
+        )
 
     def materialise(self, tables: Mapping[str, ConfigTable]) -> RequestTrace:
         """Generate the trace against the given configuration tables."""
@@ -179,12 +179,12 @@ class SimulationJob:
                 f"job {self.name!r}: exactly one of trace and trace_spec is required"
             )
         if self.governor is not None:
-            from repro.energy.governor import GOVERNORS
+            from repro.api.registry import governors
 
-            if self.governor not in GOVERNORS:
+            if self.governor not in governors:
                 raise WorkloadError(
                     f"job {self.name!r}: unknown governor {self.governor!r}; "
-                    f"choose from {sorted(GOVERNORS)}"
+                    f"choose from {sorted(governors)}"
                 )
 
     # ------------------------------------------------------------------ #
@@ -194,7 +194,7 @@ class SimulationJob:
         """The live platform object."""
         if isinstance(self.platform, Platform):
             return self.platform
-        return build_platform(self.platform)
+        return _platforms.build(self.platform)
 
     def resolve_tables(self) -> dict[str, ConfigTable]:
         """The live application → configuration-table mapping."""
@@ -290,7 +290,23 @@ class SimulationJob:
         return self.to_dict() == other.to_dict()
 
     def __hash__(self) -> int:
-        return hash(self.name)
+        # Equality is full-spec (the serialised dict above), so the hash must
+        # cover every hashable identity field too — in particular the energy
+        # policy: two sweep jobs that differ only in governor or power/energy
+        # envelope must not collapse onto one set/dict slot.  Platform/tables
+        # may be inline mappings (unhashable) and are left to __eq__.
+        return hash(
+            (
+                self.name,
+                self.scheduler,
+                self.remap_on_finish,
+                self.engine,
+                self.trace_spec,
+                self.governor,
+                self.power_cap_watts,
+                self.energy_budget_joules,
+            )
+        )
 
 
 @dataclass(frozen=True)

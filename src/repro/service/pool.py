@@ -37,13 +37,14 @@ from typing import Callable, Iterator, Mapping, Sequence
 
 from repro.analysis.experiments import SchedulerRun, SuiteResults
 from repro.analysis.stats import BoxplotStats
+from repro.api.registry import governors as _governors
+from repro.api.registry import schedulers as _schedulers
 from repro.energy.budget import EnergyBudget
-from repro.energy.governor import build_governor
 from repro.exceptions import WorkloadError
 from repro.runtime.log import ExecutionLog, RequestOutcome
 from repro.runtime.manager import RuntimeManager
 from repro.service.cache import ActivationCache, CachingScheduler
-from repro.service.jobs import BatchSpec, SimulationJob, build_scheduler
+from repro.service.jobs import BatchSpec, SimulationJob
 from repro.service.metrics import ServiceMetrics
 
 #: Executor names accepted by :class:`SimulationService`.
@@ -301,18 +302,20 @@ def _simulate(job: SimulationJob, cache: ActivationCache | None) -> SimulationRe
     try:
         tables = job.resolve_tables()
         platform = job.resolve_platform()
-        scheduler = build_scheduler(job.scheduler)
+        scheduler = _schedulers.build(job.scheduler)
         if cache is not None:
             scheduler = CachingScheduler(scheduler, cache)
         trace = job.resolve_trace(tables)
-        governor = build_governor(job.governor) if job.governor is not None else None
+        governor = (
+            _governors.build(job.governor) if job.governor is not None else None
+        )
         budget = None
         if job.power_cap_watts is not None or job.energy_budget_joules is not None:
             budget = EnergyBudget(
                 power_cap_watts=job.power_cap_watts,
                 energy_budget_joules=job.energy_budget_joules,
             )
-        manager = RuntimeManager(
+        manager = RuntimeManager.from_components(
             platform,
             tables,
             scheduler,

@@ -1,0 +1,119 @@
+"""The deprecated pre-``repro.api`` entry points: still working, now warning.
+
+Every shim must (a) emit a :class:`DeprecationWarning` and (b) behave
+bit-identically to the canonical path — old call sites keep producing the
+exact same execution logs until they migrate.
+"""
+
+import warnings
+
+import pytest
+
+from repro.api.registry import platforms, schedulers
+from repro.runtime.manager import RuntimeManager
+from repro.schedulers import MMKPMDFScheduler
+from repro.service.jobs import build_platform, build_scheduler
+from repro.workload.motivational import (
+    motivational_platform,
+    motivational_tables,
+    motivational_trace,
+)
+
+
+def _log_key(log):
+    return (
+        [(o.name, o.accepted, repr(o.completion_time), repr(o.energy))
+         for o in log.outcomes],
+        [(repr(i.start), repr(i.end), i.job_configs, repr(i.energy))
+         for i in log.timeline],
+        repr(log.total_energy),
+        log.activations,
+    )
+
+
+class TestRuntimeManagerShim:
+    def test_direct_construction_warns(self):
+        with pytest.warns(DeprecationWarning, match="RuntimeManager"):
+            RuntimeManager(
+                motivational_platform(), motivational_tables(), MMKPMDFScheduler()
+            )
+
+    def test_from_components_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            RuntimeManager.from_components(
+                motivational_platform(), motivational_tables(), MMKPMDFScheduler()
+            )
+
+    def test_old_kwarg_path_produces_bit_identical_logs(self):
+        trace = motivational_trace("S2")
+        with pytest.warns(DeprecationWarning):
+            legacy = RuntimeManager(
+                motivational_platform(),
+                motivational_tables(),
+                MMKPMDFScheduler(),
+                remap_on_finish=True,
+                engine="linear",
+            )
+        modern = RuntimeManager.from_components(
+            motivational_platform(),
+            motivational_tables(),
+            MMKPMDFScheduler(),
+            remap_on_finish=True,
+            engine="linear",
+        )
+        assert _log_key(legacy.run(trace)) == _log_key(modern.run(trace))
+
+    def test_from_spec_matches_the_legacy_kwargs(self):
+        from repro.api import EnergySpec, ExperimentSpec, SchedulerSpec, WorkloadSpec
+
+        spec = ExperimentSpec(
+            name="shim",
+            workload=WorkloadSpec.scenario("S1"),
+            scheduler=SchedulerSpec(name="mmkp-mdf"),
+            energy=EnergySpec(governor="performance"),
+        )
+        modern = RuntimeManager.from_spec(spec)
+        with pytest.warns(DeprecationWarning):
+            legacy = RuntimeManager(
+                motivational_platform(),
+                motivational_tables(),
+                MMKPMDFScheduler(),
+                governor=spec.energy.build_governor(),
+            )
+        trace = motivational_trace("S1")
+        assert _log_key(modern.run(trace)) == _log_key(legacy.run(trace))
+
+
+class TestBuilderShims:
+    def test_build_scheduler_warns_and_delegates(self):
+        with pytest.warns(DeprecationWarning, match="build_scheduler"):
+            built = build_scheduler("mmkp-mdf")
+        assert type(built) is type(schedulers.build("mmkp-mdf"))
+        # Fresh instance per call, exactly like the old dict-based builder.
+        with pytest.warns(DeprecationWarning):
+            assert build_scheduler("mmkp-mdf") is not built
+
+    def test_build_platform_warns_and_delegates(self):
+        with pytest.warns(DeprecationWarning, match="build_platform"):
+            built = build_platform("odroid-xu4")
+        assert built.name == platforms.build("odroid-xu4").name
+
+    def test_shims_keep_the_historical_error_type(self):
+        from repro.exceptions import WorkloadError
+
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(WorkloadError, match="choose from"):
+                build_scheduler("nope")
+
+    def test_batch_service_path_does_not_warn(self):
+        """The internal service plumbing migrated off the shims entirely."""
+        from repro.service import BatchSpec, SimulationService
+
+        spec = BatchSpec.sweep(
+            arrival_rates=[0.2], traces_per_point=2, num_requests=3
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            results = SimulationService(workers=1).run_batch(spec)
+        assert results.failures == []

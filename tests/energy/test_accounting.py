@@ -30,7 +30,7 @@ class TestMeterMatchesPostHocScan:
 
     @pytest.mark.parametrize("engine", ["events", "linear"])
     def test_totals_and_job_energy(self, engine):
-        manager = RuntimeManager(
+        manager = RuntimeManager.from_components(
             motivational_platform(), motivational_tables(), MMKPMDFScheduler()
         )
         log = manager.run(_motivational_trace(), engine=engine)
@@ -49,7 +49,7 @@ class TestMeterMatchesPostHocScan:
                 )
 
     def test_accounting_can_be_disabled(self):
-        manager = RuntimeManager(
+        manager = RuntimeManager.from_components(
             motivational_platform(),
             motivational_tables(),
             MMKPMDFScheduler(),
@@ -79,7 +79,7 @@ class TestMeterMatchesMappingSimulator:
         trace = RequestTrace(
             [RequestEvent(0.0, "audio", best.execution_time * 10, "job")]
         )
-        manager = RuntimeManager(
+        manager = RuntimeManager.from_components(
             platform, {"audio": table}, FixedMinEnergyScheduler()
         )
         log = manager.run(trace)
@@ -94,7 +94,7 @@ class TestEnginesAgreeOnEnergy:
     )
     def test_linear_and_events_identical(self, governor_factory):
         def run(engine):
-            manager = RuntimeManager(
+            manager = RuntimeManager.from_components(
                 motivational_platform(),
                 motivational_tables(),
                 MMKPMDFScheduler(),

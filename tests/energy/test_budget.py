@@ -18,7 +18,7 @@ def _trace():
 
 
 def _run(budget=None, governor=None):
-    manager = RuntimeManager(
+    manager = RuntimeManager.from_components(
         motivational_platform(),
         motivational_tables(),
         MMKPMDFScheduler(),

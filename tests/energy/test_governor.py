@@ -145,7 +145,7 @@ class TestGovernorRuns:
     """End-to-end governor behaviour through the runtime manager."""
 
     def _run(self, governor, engine="events"):
-        manager = RuntimeManager(
+        manager = RuntimeManager.from_components(
             motivational_platform(),
             motivational_tables(),
             MMKPMDFScheduler(),
@@ -178,7 +178,7 @@ class TestGovernorRuns:
                 RequestEvent(4.0, "lambda2", 16.0, "sigma2"),
             ]
         )
-        manager = RuntimeManager(
+        manager = RuntimeManager.from_components(
             motivational_platform(),
             motivational_tables(),
             MMKPMDFScheduler(),
@@ -193,7 +193,7 @@ class TestGovernorRuns:
 
     def test_governor_requires_full_platform(self):
         with pytest.raises(Exception):
-            RuntimeManager(
+            RuntimeManager.from_components(
                 motivational_platform().capacity,
                 motivational_tables(),
                 MMKPMDFScheduler(),

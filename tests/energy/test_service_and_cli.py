@@ -177,7 +177,7 @@ class TestGovernorRejectsSweptTables:
         from repro.exceptions import SchedulingError
 
         with pytest.raises(SchedulingError):
-            RuntimeManager(
+            RuntimeManager.from_components(
                 platform,
                 {"audio": table},
                 MMKPMDFScheduler(),
@@ -185,7 +185,7 @@ class TestGovernorRejectsSweptTables:
             )
         # Without a governor the swept table is fine (picking a slow point
         # is the DVFS decision).
-        RuntimeManager(platform, {"audio": table}, MMKPMDFScheduler())
+        RuntimeManager.from_components(platform, {"audio": table}, MMKPMDFScheduler())
 
 
 class TestEnergyCLI:

@@ -28,7 +28,7 @@ def assert_logs_equivalent(first, second):
 
 @pytest.fixture()
 def manager():
-    return RuntimeManager(
+    return RuntimeManager.from_components(
         motivational_platform(), motivational_tables(), MMKPMDFScheduler()
     )
 
@@ -87,10 +87,10 @@ class TestAccounting:
             assert outcome.met_deadline
 
     def test_remap_on_finish_reduces_fixed_mapper_energy(self):
-        fixed = RuntimeManager(
+        fixed = RuntimeManager.from_components(
             motivational_platform(), motivational_tables(), FixedMinEnergyScheduler()
         )
-        refined = RuntimeManager(
+        refined = RuntimeManager.from_components(
             motivational_platform(),
             motivational_tables(),
             FixedMinEnergyScheduler(),
@@ -137,7 +137,7 @@ class TestRejectionPath:
                 RequestEvent(1.0, "lambda2", 1.0, "sigma2"),
             ]
         )
-        manager = RuntimeManager(
+        manager = RuntimeManager.from_components(
             motivational_platform(), tables, MMKPMDFScheduler()
         )
         alone = manager.run(base)
@@ -148,7 +148,7 @@ class TestRejectionPath:
 
     def test_rejection_path_with_remap_on_finish(self):
         """remap_on_finish must coexist with rejections (Fig. 1(b) mapper)."""
-        manager = RuntimeManager(
+        manager = RuntimeManager.from_components(
             motivational_platform(),
             motivational_tables(),
             FixedMinEnergyScheduler(),
@@ -186,7 +186,7 @@ class _OvercoveringScheduler(Scheduler):
 class TestGhostEntryPruning:
     @pytest.mark.parametrize("engine", ["events", "linear"])
     def test_ghost_segments_never_reach_the_timeline(self, engine):
-        manager = RuntimeManager(
+        manager = RuntimeManager.from_components(
             motivational_platform(),
             motivational_tables(),
             _OvercoveringScheduler(),
@@ -212,14 +212,14 @@ class TestEngineEquivalence:
         ]:
             for second_deadline in (4.0, 1.0):
                 trace = two_request_trace(second_deadline)
-                linear = RuntimeManager(
+                linear = RuntimeManager.from_components(
                     motivational_platform(),
                     motivational_tables(),
                     scheduler_factory(),
                     remap_on_finish=remap,
                     engine="linear",
                 ).run(trace)
-                events = RuntimeManager(
+                events = RuntimeManager.from_components(
                     motivational_platform(),
                     motivational_tables(),
                     scheduler_factory(),
@@ -232,7 +232,7 @@ class TestEngineEquivalence:
         tables = motivational_tables()
         for seed in range(4):
             trace = poisson_trace(tables, 0.3, 12, seed=seed)
-            manager = RuntimeManager(
+            manager = RuntimeManager.from_components(
                 motivational_platform(), tables, MMKPMDFScheduler()
             )
             assert_logs_equivalent(
@@ -244,7 +244,7 @@ class TestEngineEquivalence:
         with pytest.raises(SchedulingError):
             manager.run(two_request_trace(), engine="spiral")
         with pytest.raises(SchedulingError):
-            RuntimeManager(
+            RuntimeManager.from_components(
                 motivational_platform(),
                 motivational_tables(),
                 MMKPMDFScheduler(),
@@ -256,7 +256,7 @@ class TestReentrancy:
     def test_shared_manager_across_threads(self):
         """Run state lives in a per-run context, so one instance is shareable."""
         tables = motivational_tables()
-        manager = RuntimeManager(
+        manager = RuntimeManager.from_components(
             motivational_platform(), tables, MMKPMDFScheduler()
         )
         trace = poisson_trace(tables, 0.25, 10, seed=7)
@@ -283,7 +283,7 @@ class TestReentrancy:
 class TestRandomOnlineWorkload:
     def test_long_trace_executes_without_violations(self):
         tables = motivational_tables()
-        manager = RuntimeManager(motivational_platform(), tables, MMKPMDFScheduler())
+        manager = RuntimeManager.from_components(motivational_platform(), tables, MMKPMDFScheduler())
         trace = poisson_trace(
             tables, arrival_rate=0.1, num_requests=15, deadline_factor_range=(2.0, 4.0), seed=5
         )

@@ -153,3 +153,66 @@ class TestBatchSpec:
     def test_from_dict_requires_jobs(self):
         with pytest.raises(SerializationError):
             BatchSpec.from_dict({"name": "empty"})
+
+
+class TestJobIdentity:
+    """Equality/hash must cover the energy-policy fields added with DVFS."""
+
+    def _job(self, **overrides):
+        fields = dict(name="j", trace_spec=TraceSpec(0.2, 5, seed=1))
+        fields.update(overrides)
+        return SimulationJob(**fields)
+
+    def test_energy_fields_break_equality(self):
+        base = self._job()
+        assert base == self._job()
+        assert base != self._job(governor="powersave")
+        assert base != self._job(power_cap_watts=5.0)
+        assert base != self._job(energy_budget_joules=100.0)
+
+    def test_energy_fields_break_the_hash(self):
+        base = self._job()
+        assert hash(base) == hash(self._job())
+        assert hash(base) != hash(self._job(governor="powersave"))
+        assert hash(base) != hash(self._job(power_cap_watts=5.0))
+        assert hash(base) != hash(self._job(energy_budget_joules=100.0))
+        assert hash(self._job(governor="powersave")) != hash(
+            self._job(governor="ondemand")
+        )
+
+    def test_sweep_dedup_keeps_distinct_energy_configs(self):
+        jobs = {
+            self._job(),
+            self._job(),  # true duplicate — must collapse
+            self._job(governor="powersave"),
+            self._job(governor="powersave", power_cap_watts=4.0),
+            self._job(energy_budget_joules=50.0),
+        }
+        assert len(jobs) == 4
+
+    def test_cache_keys_cannot_collide_across_energy_configs(self):
+        cache = {self._job(): "pinned", self._job(governor="powersave"): "dvfs"}
+        assert cache[self._job()] == "pinned"
+        assert cache[self._job(governor="powersave")] == "dvfs"
+
+    def test_inline_table_jobs_stay_usable_in_sets(self):
+        # Inline (unhashable) platforms/tables stay out of the hash but
+        # participate in equality.
+        job = self._job(tables={"lambda1": motivational_tables()["lambda1"]})
+        assert len({job, self._job()}) == 2
+
+    def test_list_deadline_factor_range_stays_hashable(self):
+        # Sweeps and hand-built specs may pass lists; the spec canonicalises
+        # so job hashing (sweep dedup, cache keys) never raises.
+        job = self._job(
+            trace_spec=TraceSpec(0.2, 5, deadline_factor_range=[1.5, 4.0], seed=1)
+        )
+        assert hash(job) == hash(self._job())
+        assert job == self._job()
+        spec = BatchSpec.sweep(
+            arrival_rates=[0.2],
+            traces_per_point=1,
+            num_requests=2,
+            deadline_factor_range=[1.5, 4.0],
+        )
+        assert len({*spec.jobs}) == 1

@@ -138,3 +138,111 @@ class TestArgumentParsing:
     def test_unknown_scheduler_rejected(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["schedule", "case.json", "--tables", "t.json", "--scheduler", "magic"])
+
+
+class TestRunCommand:
+    @pytest.fixture()
+    def spec_path(self, tmp_path):
+        from repro.api import ExperimentSpec, WorkloadSpec
+
+        spec = ExperimentSpec(
+            name="cli-run",
+            workload=WorkloadSpec.poisson(arrival_rate=0.25, num_requests=4, seed=2),
+        )
+        path = tmp_path / "experiment.json"
+        spec.save(path)
+        return path
+
+    def test_runs_a_single_experiment(self, spec_path, capsys):
+        assert main(["run", str(spec_path)]) == 0
+        output = capsys.readouterr().out
+        assert "experiment cli-run" in output
+        assert "acceptance" in output
+
+    def test_stream_prints_run_events(self, spec_path, capsys):
+        assert main(["run", str(spec_path), "--stream"]) == 0
+        output = capsys.readouterr().out
+        assert "arrival" in output
+        assert "commit" in output
+
+    def test_writes_the_summary_json(self, spec_path, tmp_path, capsys):
+        output_path = tmp_path / "summary.json"
+        assert main(["run", str(spec_path), "--output", str(output_path)]) == 0
+        data = json.loads(output_path.read_text())
+        assert data["name"] == "cli-run"
+        assert data["requests"] == 4
+        assert data["accepted"] + data["rejected"] == 4
+
+    def test_trials_fan_out_through_the_service(self, spec_path, tmp_path, capsys):
+        output_path = tmp_path / "trials.json"
+        code = main(
+            [
+                "run",
+                str(spec_path),
+                "--trials",
+                "3",
+                "--workers",
+                "2",
+                "--output",
+                str(output_path),
+            ]
+        )
+        assert code == 0
+        assert "batch cli-run: 3 traces" in capsys.readouterr().out
+        data = json.loads(output_path.read_text())
+        assert data["aggregate"]["traces"] == 3
+        assert {entry["job_name"] for entry in data["results"]} == {
+            "cli-run-t000",
+            "cli-run-t001",
+            "cli-run-t002",
+        }
+
+    def test_engine_override(self, spec_path, capsys):
+        assert main(["run", str(spec_path), "--engine", "linear"]) == 0
+        assert "experiment cli-run" in capsys.readouterr().out
+
+    def test_invalid_spec_file_reports_an_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{\"engine\": \"quantum\"}")
+        assert main(["run", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_spec_file_reports_an_error(self, tmp_path, capsys):
+        assert main(["run", str(tmp_path / "missing.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_streamed_run_matches_plain_run(self, spec_path, tmp_path):
+        plain = tmp_path / "plain.json"
+        streamed = tmp_path / "streamed.json"
+        assert main(["run", str(spec_path), "--output", str(plain)]) == 0
+        assert main(["run", str(spec_path), "--stream", "--output", str(streamed)]) == 0
+        assert json.loads(plain.read_text()) == json.loads(streamed.read_text())
+
+    def test_stream_with_trials_is_rejected(self, spec_path, capsys):
+        assert main(["run", str(spec_path), "--trials", "2", "--stream"]) == 2
+        assert "--stream" in capsys.readouterr().err
+
+    def test_engine_override_applies_to_trials(self, spec_path, tmp_path):
+        output_path = tmp_path / "linear.json"
+        code = main(
+            ["run", str(spec_path), "--trials", "2", "--engine", "linear",
+             "--output", str(output_path)]
+        )
+        assert code == 0
+        data = json.loads(output_path.read_text())
+        assert all(entry["engine"] == "linear" for entry in data["results"])
+
+
+class TestBatchShardErrors:
+    def test_out_of_range_shard_reports_the_real_error(self, tmp_path, capsys):
+        from repro.service import BatchSpec
+
+        spec = BatchSpec.sweep(
+            arrival_rates=[0.2], traces_per_point=2, num_requests=2, name="s"
+        )
+        path = tmp_path / "batch.json"
+        spec.save(path)
+        assert main(["batch", str(path), "--shard", "3/2"]) == 2
+        err = capsys.readouterr().err
+        assert "invalid shard 3/2" in err
+        assert "expected I/N" not in err

@@ -56,7 +56,7 @@ class TestOnlineRuntimeManagerPipeline:
             deadline_factor_range=(2.0, 5.0),
             seed=13,
         )
-        manager = RuntimeManager(odroid, small_tables, MMKPMDFScheduler())
+        manager = RuntimeManager.from_components(odroid, small_tables, MMKPMDFScheduler())
         log = manager.run(trace)
         assert len(log.outcomes) == 10
         assert log.total_energy > 0
@@ -75,7 +75,7 @@ class TestOnlineRuntimeManagerPipeline:
             small_tables, arrival_rate=5.0, num_requests=8,
             deadline_factor_range=(1.0, 1.5), seed=3,
         )
-        manager = RuntimeManager(odroid, small_tables, MMKPMDFScheduler())
+        manager = RuntimeManager.from_components(odroid, small_tables, MMKPMDFScheduler())
         relaxed_rate = manager.run(relaxed).acceptance_rate
         overloaded_rate = manager.run(overloaded).acceptance_rate
         assert overloaded_rate <= relaxed_rate

@@ -90,7 +90,7 @@ class TestFigure1Reproduction:
         )
 
     def _run(self, scheduler, remap_on_finish: bool, scenario: str = "S1"):
-        manager = RuntimeManager(
+        manager = RuntimeManager.from_components(
             motivational_platform(),
             motivational_tables(),
             scheduler,
