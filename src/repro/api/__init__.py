@@ -54,6 +54,9 @@ __all__ = [
     "Session",
     "RunEvent",
     "RunEventKind",
+    # columnar operating-point kernel
+    "OpTable",
+    "as_optable",
 ]
 
 #: Lazy attribute → defining submodule (PEP 562).
@@ -77,6 +80,8 @@ _LAZY = {
     "Session": "repro.api.session",
     "RunEvent": "repro.api.events",
     "RunEventKind": "repro.api.events",
+    "OpTable": "repro.optable",
+    "as_optable": "repro.optable",
 }
 
 from repro._lazy import lazy_attributes  # noqa: E402

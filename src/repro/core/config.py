@@ -11,10 +11,13 @@ benchmarking) and is assumed to be Pareto-filtered.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 from repro.exceptions import ConfigurationError
 from repro.platforms.resources import ResourceVector
+
+if TYPE_CHECKING:  # pragma: no cover — typing only
+    from repro.optable.table import OpTable
 
 
 @dataclass(frozen=True)
@@ -161,6 +164,7 @@ class ConfigTable:
             point_list = pareto_filter_points(point_list)
         self._application = application
         self._points = tuple(point_list)
+        self._optable = None
 
     # ------------------------------------------------------------------ #
     # Container protocol
@@ -174,6 +178,21 @@ class ConfigTable:
     def points(self) -> tuple[OperatingPoint, ...]:
         """All operating points in configuration-index order."""
         return self._points
+
+    @property
+    def optable(self) -> "OpTable":
+        """The interned columnar twin of this table (:mod:`repro.optable`).
+
+        Built lazily on first access and shared — via content fingerprinting
+        — with every other table holding the same points, so per-table
+        aggregates (sort orders, minima, Pareto index) are computed once per
+        process rather than once per job per scheduler activation.
+        """
+        if self._optable is None:
+            from repro.optable.table import as_optable
+
+            self._optable = as_optable(self._points)
+        return self._optable
 
     def __len__(self) -> int:
         return len(self._points)
@@ -211,18 +230,24 @@ class ConfigTable:
 
     def most_efficient(self) -> OperatingPoint:
         """The point with the lowest energy."""
-        return min(self._points, key=lambda p: p.energy)
+        return self._points[self.optable.argmin_energy]
 
     def fastest(self) -> OperatingPoint:
         """The point with the lowest execution time."""
-        return min(self._points, key=lambda p: p.execution_time)
+        return self._points[self.optable.argmin_time]
 
     def fastest_fitting(self, capacity: ResourceVector) -> OperatingPoint | None:
         """The fastest point whose demand fits ``capacity``, or ``None``."""
-        fitting = [p for p in self._points if p.resources.fits_into(capacity)]
-        if not fitting:
-            return None
-        return min(fitting, key=lambda p: p.execution_time)
+        table = self.optable
+        if len(capacity) != table.dimension:
+            # Raise the platform's dimension error, exactly as the seed did.
+            self._points[0].resources.fits_into(capacity)
+        times = table.times
+        best_index = -1
+        for index in table.fitting_indices(capacity):
+            if best_index < 0 or times[index] < times[best_index]:
+                best_index = index
+        return self._points[best_index] if best_index >= 0 else None
 
     def feasible_indices(
         self,
@@ -231,11 +256,17 @@ class ConfigTable:
         time_budget: float,
     ) -> list[int]:
         """Indices of points that fit ``capacity`` and can finish within ``time_budget``."""
+        _check_ratio(remaining_ratio)
+        table = self.optable
+        if len(capacity) != table.dimension:
+            self._points[0].resources.fits_into(capacity)
+        capacity_counts = tuple(capacity)
+        times = table.times
         result = []
-        for index, point in enumerate(self._points):
-            if not point.resources.fits_into(capacity):
+        for index, row in enumerate(table.resources):
+            if any(r > c for r, c in zip(row, capacity_counts)):
                 continue
-            if point.remaining_time(remaining_ratio) > time_budget + 1e-12:
+            if times[index] * remaining_ratio > time_budget + 1e-12:
                 continue
             result.append(index)
         return result
@@ -253,25 +284,22 @@ def pareto_filter_points(points: Sequence[OperatingPoint]) -> list[OperatingPoin
     """Return the non-dominated subset of ``points``, preserving order.
 
     When two points are exactly identical in all dimensions only the first one
-    is kept.
+    is kept.  Dominance matches :meth:`OperatingPoint.dominates` — exact
+    comparison on the integer resource demands, a small slack on time and
+    energy — evaluated through the incremental Pareto engine of
+    :mod:`repro.optable` instead of the seed's O(n²) pairwise scan.
     """
-    survivors: list[OperatingPoint] = []
-    for candidate in points:
-        dominated = False
-        for other in points:
-            if other is candidate:
-                continue
-            if other.dominates(candidate):
-                dominated = True
-                break
-        if dominated:
-            continue
-        duplicate = any(
-            existing.resources == candidate.resources
-            and existing.execution_time == candidate.execution_time
-            and existing.energy == candidate.energy
-            for existing in survivors
-        )
-        if not duplicate:
-            survivors.append(candidate)
-    return survivors
+    from repro.optable.frontier import pareto_select
+    from repro.optable.table import POINT_TOLERANCE
+
+    point_list = list(points)
+    if not point_list:
+        return []
+    dimension = len(point_list[0].resources)
+    if any(len(p.resources) != dimension for p in point_list):
+        raise ConfigurationError("operating points of different platform dimension")
+    vectors = [
+        tuple(p.resources) + (p.execution_time, p.energy) for p in point_list
+    ]
+    tolerances = (0.0,) * dimension + (POINT_TOLERANCE, POINT_TOLERANCE)
+    return [point_list[index] for index in pareto_select(vectors, tolerances)]

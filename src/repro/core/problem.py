@@ -13,9 +13,13 @@ feasibility.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 from repro.core.config import ConfigTable
+
+if TYPE_CHECKING:  # pragma: no cover — typing only
+    from repro.optable.table import OpTable
+    from repro.optable.view import ProblemView
 from repro.core.request import Job
 from repro.core.segment import Schedule, TIME_EPSILON
 from repro.exceptions import SchedulingError
@@ -84,6 +88,7 @@ class SchedulingProblem:
         self._jobs = tuple(jobs)
         self._now = float(now)
         self._jobs_by_name = {}
+        self._view = None
         self._check_consistency()
 
     def _check_consistency(self) -> None:
@@ -151,6 +156,22 @@ class SchedulingProblem:
             return self._tables[application]
         except KeyError:
             raise SchedulingError(f"no table for application {application!r}") from None
+
+    def optable_for(self, job: Job | str) -> "OpTable":
+        """The interned columnar table of a job (or application name)."""
+        return self.table_for(job).optable
+
+    def view(self) -> "ProblemView":
+        """The cached columnar :class:`~repro.optable.view.ProblemView`.
+
+        Built on first access; schedulers use it instead of re-deriving
+        capacity-feasible slices and MMKP weight rows per activation.
+        """
+        if self._view is None:
+            from repro.optable.view import ProblemView
+
+            self._view = ProblemView(self)
+        return self._view
 
     def processing_capacity(self) -> list[float]:
         """The knapsack capacities :math:`\\vec{J}` of Algorithm 1, line 1.

@@ -18,6 +18,7 @@ from typing import Iterable, Iterator, Mapping, Sequence
 from repro.core.config import ConfigTable, OperatingPoint
 from repro.core.request import Job
 from repro.exceptions import SchedulingError
+from repro.optable.runtime import columnar_enabled
 from repro.platforms.resources import ResourceVector
 
 #: Numerical slack for time comparisons (seconds).
@@ -81,6 +82,23 @@ class MappingSegment:
         self._start = float(start)
         self._end = float(end)
         self._mappings = mapping_list
+
+    @classmethod
+    def _trusted(
+        cls, start: float, end: float, mappings: tuple[JobMapping, ...]
+    ) -> "MappingSegment":
+        """Construct without validation (internal fast paths only).
+
+        The caller guarantees the constructor invariants: ``end > start +
+        TIME_EPSILON``, at most one mapping per job, float boundaries.  The
+        columnar EDF packer maintains them structurally and materialises its
+        final segments through here.
+        """
+        segment = cls.__new__(cls)
+        segment._start = start
+        segment._end = end
+        segment._mappings = mappings
+        return segment
 
     # ------------------------------------------------------------------ #
     # Interval accessors
@@ -149,6 +167,24 @@ class MappingSegment:
 
     def energy(self, tables: Mapping[str, ConfigTable]) -> float:
         """Energy consumed during the segment (one summand of objective (2a))."""
+        if columnar_enabled():
+            duration = self._end - self._start
+            total = 0.0
+            for mapping in self._mappings:
+                try:
+                    table = tables[mapping.application].optable
+                except KeyError:
+                    raise SchedulingError(
+                        f"no configuration table for application "
+                        f"{mapping.application!r}"
+                    ) from None
+                config_index = mapping.config_index
+                total += (
+                    table.energies[config_index]
+                    * duration
+                    / table.times[config_index]
+                )
+            return total
         total = 0.0
         for mapping in self._mappings:
             point = mapping.operating_point(tables)
@@ -207,6 +243,18 @@ class Schedule:
                     f"[{later.start}, {later.end})"
                 )
         self._segments = tuple(ordered)
+
+    @classmethod
+    def _trusted(cls, segments: tuple[MappingSegment, ...]) -> "Schedule":
+        """Construct from segments already sorted and disjoint (fast paths).
+
+        The columnar EDF packer keeps its working list in start-time order
+        with pairwise-disjoint intervals at all times, so the sort and the
+        overlap scan of the public constructor are redundant there.
+        """
+        schedule = cls.__new__(cls)
+        schedule._segments = segments
+        return schedule
 
     # ------------------------------------------------------------------ #
     # Container protocol

@@ -211,10 +211,22 @@ class DesignSpaceExplorer:
             exploration.
         """
         results = self.explore_all(graph, opp_scales=opp_scales)
+        # ``pareto_front`` runs on the incremental frontier engine of
+        # :mod:`repro.optable` (the seed's O(n²) pairwise scan is gone).
+        # ``tie_key`` is deliberately NOT passed: the enumeration order of
+        # ``explore_all`` is deterministic, and keeping the seed's
+        # first-occurrence representative for equal-cost points preserves
+        # bit-identical tables (an OPP sweep can produce equal (resources,
+        # time, energy) vectors that differ in frequency_scale; re-picking
+        # the representative would change the stored scale column).
         front = pareto_front(
             results,
             objectives=lambda r: tuple(r.operating_point.resources)
             + (r.operating_point.execution_time, r.operating_point.energy),
         )
         points = [r.operating_point for r in front]
-        return ConfigTable(application_name or graph.name, points, pareto_filter=True)
+        table = ConfigTable(application_name or graph.name, points, pareto_filter=True)
+        # Pre-intern the columnar twin: identical tables produced anywhere in
+        # a sweep (same platform, same variant) resolve to one shared OpTable.
+        table.optable
+        return table

@@ -4,13 +4,27 @@ The DSE minimises several objectives at once (per-type core usage, execution
 time, energy).  :func:`pareto_front` works on arbitrary objective vectors so
 it can also be reused for other multi-objective sweeps (e.g. the ablation
 benchmarks).
+
+Since the ``repro.optable`` refactor the filtering runs on the incremental
+:class:`~repro.optable.frontier.ParetoFrontier` engine (numpy-vectorised for
+large inputs) instead of the seed's O(n²) pairwise scan; the *semantics* are
+unchanged — an item survives iff no other input item dominates it — and
+:func:`pareto_front_reference` keeps the seed implementation around as the
+oracle for the equivalence tests and the ablation benchmark.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from repro.optable.frontier import pareto_select
+
 T = TypeVar("T")
+
+#: Default numerical slack of the dominance comparison.  Exposed (instead of
+#: the old buried literal) so callers that need a different tolerance — or
+#: want to report the one in force — reference one named constant.
+DEFAULT_TOLERANCE = 1e-12
 
 
 def _dominates(a: Sequence[float], b: Sequence[float], tolerance: float) -> bool:
@@ -23,12 +37,13 @@ def _dominates(a: Sequence[float], b: Sequence[float], tolerance: float) -> bool
 def pareto_front(
     items: Iterable[T],
     objectives: Callable[[T], Sequence[float]],
-    tolerance: float = 1e-12,
+    tolerance: float = DEFAULT_TOLERANCE,
+    tie_key: Callable[[T], object] | None = None,
 ) -> list[T]:
     """Return the non-dominated subset of ``items`` (all objectives minimised).
 
-    Exact duplicates (identical objective vectors) are collapsed to the first
-    occurrence, preserving the input order of the survivors.
+    Exact duplicates (identical objective vectors) are collapsed to a single
+    representative, preserving the input order of the survivors.
 
     Parameters
     ----------
@@ -37,13 +52,48 @@ def pareto_front(
     objectives:
         Function mapping an item to its objective vector.
     tolerance:
-        Numerical slack used in the dominance comparison.
+        Numerical slack used in the dominance comparison
+        (:data:`DEFAULT_TOLERANCE` unless overridden).
+    tie_key:
+        Deterministic tie-breaker for equal-cost points.  Without one, the
+        *first* of several items with identical objective vectors survives —
+        which depends on the input order.  With a ``tie_key``, the item with
+        the smallest key among each equal-cost group survives (occupying the
+        group's first position), so shuffling the input can no longer change
+        the selected representative.
 
     Examples
     --------
     >>> pareto_front([(1, 5), (2, 2), (3, 3)], objectives=lambda p: p)
     [(1, 5), (2, 2)]
     """
+    candidates = list(items)
+    vectors = [tuple(objectives(item)) for item in candidates]
+    lengths = {len(v) for v in vectors}
+    if len(lengths) > 1:
+        raise ValueError(f"objective vectors have mixed lengths: {lengths}")
+
+    selected = pareto_select(vectors, tolerance)
+    if tie_key is None:
+        return [candidates[index] for index in selected]
+
+    # Deterministic tie-breaking: swap each surviving representative for the
+    # smallest-keyed member of its equal-cost group (survival of the *group*
+    # is order-independent already; only the representative was not).
+    result: list[T] = []
+    for index in selected:
+        vector = vectors[index]
+        group = [item for item, v in zip(candidates, vectors) if v == vector]
+        result.append(min(group, key=tie_key))
+    return result
+
+
+def pareto_front_reference(
+    items: Iterable[T],
+    objectives: Callable[[T], Sequence[float]],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> list[T]:
+    """The seed's O(n²) pairwise implementation, kept as the test oracle."""
     candidates = list(items)
     vectors = [tuple(objectives(item)) for item in candidates]
     lengths = {len(v) for v in vectors}

@@ -89,7 +89,10 @@ def reduced_tables(
         if len(table) <= max_points:
             reduced[name] = table
             continue
-        by_time = sorted(table.points, key=lambda p: (p.execution_time, p.energy))
+        # The makespan order is a precomputed OpTable aggregate (stable
+        # ``(execution_time, energy)`` sort, identical to the seed's).
+        columnar = table.optable
+        by_time = [table.points[i] for i in columnar.order_by_makespan]
         if max_points == 1:
             selected = [min(by_time, key=lambda p: p.energy)]
         else:
@@ -100,7 +103,7 @@ def reduced_tables(
                 for i in range(max_points)
             ]
             selected = [by_time[i] for i in sorted(set(positions))]
-            most_efficient = min(table.points, key=lambda p: p.energy)
+            most_efficient = table.points[columnar.argmin_energy]
             if most_efficient not in selected:
                 if len(selected) >= max_points and len(selected) > 1:
                     # Sacrifice an interior point, never the fastest one.

@@ -161,10 +161,9 @@ def segment_analytical_power(
     decision: OPPDecision,
 ) -> float:
     """Platform power in watts while ``segment`` executes under ``decision``."""
-    busy_counts = [0] * platform.num_resource_types
-    for mapping in segment:
-        for index, count in enumerate(mapping.operating_point(tables).resources):
-            busy_counts[index] += count
+    from repro.optable.adapters import segment_busy_counts
+
+    busy_counts = segment_busy_counts(segment, tables, platform.num_resource_types)
     power = 0.0
     for index, opp in enumerate(decision.cluster_opps):
         busy = busy_counts[index]

@@ -192,21 +192,19 @@ class ScheduleAwareGovernor(FrequencyGovernor):
         ]
         if not candidates:
             return 1.0
-        # Per-segment busy-core counts are scale-invariant; resolve the
-        # operating points once and re-price per candidate scale.  Stretching
-        # anchors at ``now``, so every future duration scales by exactly
-        # 1 / scale and no stretched Schedule needs to be materialised.
+        # Per-segment busy-core counts are scale-invariant; resolve them once
+        # from the interned OpTable demand columns and re-price per candidate
+        # scale.  Stretching anchors at ``now``, so every future duration
+        # scales by exactly 1 / scale and no stretched Schedule needs to be
+        # materialised.
+        from repro.optable.adapters import segment_busy_counts
+
         future: list[tuple[float, list[int]]] = []
         for segment in schedule:
             if segment.end <= now + TIME_EPSILON:
                 continue
             duration = segment.end - max(segment.start, now)
-            busy = [0] * platform.num_resource_types
-            for mapping in segment:
-                for index, count in enumerate(
-                    mapping.operating_point(tables).resources
-                ):
-                    busy[index] += count
+            busy = segment_busy_counts(segment, tables, platform.num_resource_types)
             future.append((duration, busy))
         best_scale, best_energy = 1.0, None
         for scale in candidates:

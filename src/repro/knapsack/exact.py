@@ -34,13 +34,24 @@ def solve_exact(problem: MMKPProblem, max_nodes: int = 1_000_000) -> MMKPSolutio
     """
     num_dimensions = problem.num_dimensions
     capacities = problem.capacities
-    groups = problem.groups
+    # Columnar views: the recursion reads flat value/weight tuples instead of
+    # MMKPItem attributes, and the per-group exploration order is computed
+    # once instead of being re-sorted on every node visit.
+    values = problem.dense_values
+    rows = problem.dense_rows
+    num_groups = problem.num_groups
 
     # Optimistic per-group maxima for the bound.
-    best_values = [max(item.value for item in group) for group in groups]
-    suffix_best = [0.0] * (len(groups) + 1)
-    for index in range(len(groups) - 1, -1, -1):
+    best_values = [max(group_values) for group_values in values]
+    suffix_best = [0.0] * (num_groups + 1)
+    for index in range(num_groups - 1, -1, -1):
         suffix_best[index] = suffix_best[index + 1] + best_values[index]
+
+    # Explore higher-value items first so the bound prunes aggressively.
+    orders = [
+        sorted(range(len(group_values)), key=group_values.__getitem__, reverse=True)
+        for group_values in values
+    ]
 
     best_value = float("-inf")
     best_selection: tuple[int, ...] | None = None
@@ -51,26 +62,22 @@ def solve_exact(problem: MMKPProblem, max_nodes: int = 1_000_000) -> MMKPSolutio
         nodes += 1
         if nodes > max_nodes:
             return
-        if group_index == len(groups):
+        if group_index == num_groups:
             if value > best_value:
                 best_value = value
                 best_selection = tuple(partial)
             return
         if value + suffix_best[group_index] <= best_value:
             return
-        # Explore higher-value items first so the bound prunes aggressively.
-        order = sorted(
-            range(len(groups[group_index])),
-            key=lambda i: groups[group_index][i].value,
-            reverse=True,
-        )
-        for item_index in order:
-            item = groups[group_index][item_index]
-            new_used = [used[d] + item.weights[d] for d in range(num_dimensions)]
+        group_rows = rows[group_index]
+        group_values = values[group_index]
+        for item_index in orders[group_index]:
+            weights = group_rows[item_index]
+            new_used = [used[d] + weights[d] for d in range(num_dimensions)]
             if any(new_used[d] > capacities[d] + 1e-9 for d in range(num_dimensions)):
                 continue
             partial.append(item_index)
-            recurse(group_index + 1, new_used, value + item.value, partial)
+            recurse(group_index + 1, new_used, value + group_values[item_index], partial)
             partial.pop()
 
     recurse(0, [0.0] * num_dimensions, 0.0, [])

@@ -44,15 +44,50 @@ class LagrangianResult:
 
 
 def _relaxed_selection(problem: MMKPProblem, multipliers: list[float]) -> list[int]:
-    """Per-group argmax of the Lagrangian-reduced value."""
+    """Per-group argmax of the Lagrangian-reduced value.
+
+    Runs on the problem's dense columns: the subgradient loop evaluates this
+    for every item on every iteration, so the flat tuples (no MMKPItem
+    attribute lookups) carry most of the solver's hot path.
+    """
     selection = []
-    for group in problem.groups:
+    dimensions = len(multipliers)
+    if dimensions == 1:
+        # Unrolled penalty for the dominant 1-D/2-D instances: the same
+        # additions in the same order as ``sum(...)``, minus the generator
+        # machinery (a ±0.0 sign is the only representable difference and no
+        # comparison observes it).
+        (m0,) = multipliers
+        for group_values, group_rows in zip(problem.dense_values, problem.dense_rows):
+            best_index = 0
+            best_reduced = float("-inf")
+            for index in range(len(group_values)):
+                reduced = group_values[index] - m0 * group_rows[index][0]
+                if reduced > best_reduced:
+                    best_reduced = reduced
+                    best_index = index
+            selection.append(best_index)
+        return selection
+    if dimensions == 2:
+        m0, m1 = multipliers
+        for group_values, group_rows in zip(problem.dense_values, problem.dense_rows):
+            best_index = 0
+            best_reduced = float("-inf")
+            for index in range(len(group_values)):
+                row = group_rows[index]
+                reduced = group_values[index] - (m0 * row[0] + m1 * row[1])
+                if reduced > best_reduced:
+                    best_reduced = reduced
+                    best_index = index
+            selection.append(best_index)
+        return selection
+    for group_values, group_rows in zip(problem.dense_values, problem.dense_rows):
         best_index = 0
         best_reduced = float("-inf")
-        for index, item in enumerate(group):
-            reduced = item.value - sum(
+        for index in range(len(group_values)):
+            reduced = group_values[index] - sum(
                 multiplier * weight
-                for multiplier, weight in zip(multipliers, item.weights)
+                for multiplier, weight in zip(multipliers, group_rows[index])
             )
             if reduced > best_reduced:
                 best_reduced = reduced
@@ -68,8 +103,9 @@ def _repair(problem: MMKPProblem, selection: list[int]) -> MMKPSolution:
     item with the smallest capacity-normalised weight until the selection
     fits; ties are broken in favour of higher value.
     """
+    rows = problem.dense_rows
     current = list(selection)
-    for _ in range(problem.num_groups * max(len(g) for g in problem.groups)):
+    for _ in range(problem.num_groups * max(len(g) for g in rows)):
         if problem.is_feasible(current):
             return MMKPSolution(tuple(current), problem.value_of(current), True)
         # Find the dimension with the largest relative violation.
@@ -81,10 +117,10 @@ def _repair(problem: MMKPProblem, selection: list[int]) -> MMKPSolution:
         worst_dim = max(range(problem.num_dimensions), key=lambda d: violations[d])
         # Downgrade the group contributing most to that dimension to a lighter item.
         best_group, best_item, best_saving = None, None, 0.0
-        for group_index, group in enumerate(problem.groups):
-            current_item = group[current[group_index]]
-            for item_index, item in enumerate(group):
-                saving = current_item.weights[worst_dim] - item.weights[worst_dim]
+        for group_index, group_rows in enumerate(rows):
+            current_weight = group_rows[current[group_index]][worst_dim]
+            for item_index in range(len(group_rows)):
+                saving = current_weight - group_rows[item_index][worst_dim]
                 if saving > best_saving:
                     best_saving = saving
                     best_group, best_item = group_index, item_index

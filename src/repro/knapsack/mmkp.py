@@ -71,6 +71,64 @@ class MMKPProblem:
                         f"item in group {index} has {len(item.weights)} weights, "
                         f"problem has {len(self._capacities)} dimensions"
                     )
+        # Columnar twin of the item groups: the solvers iterate these flat
+        # tuples instead of touching MMKPItem attributes per visit.
+        self._values = tuple(
+            tuple(item.value for item in group) for group in self._groups
+        )
+        self._rows = tuple(
+            tuple(item.weights for item in group) for group in self._groups
+        )
+        self._labels: tuple[tuple[object, ...], ...] | None = None
+
+    @classmethod
+    def from_columns(
+        cls,
+        capacities: Iterable[float],
+        values: Sequence[Sequence[float]],
+        weight_rows: Sequence[Sequence[tuple[float, ...]]],
+        labels: Sequence[Sequence[object]] | None = None,
+    ) -> "MMKPProblem":
+        """Build a problem from dense columns, skipping MMKPItem creation.
+
+        ``values[g][i]`` is the profit and ``weight_rows[g][i]`` the weight
+        tuple of item ``i`` of group ``g``.  The :class:`MMKPItem` groups are
+        materialised lazily on first ``groups`` access, so columnar callers
+        (the :class:`~repro.optable.view.ProblemView` group builder) never pay
+        for per-item objects.  Validation matches the item constructor:
+        non-negative weights, consistent dimensions, no empty group.
+        """
+        problem = cls.__new__(cls)
+        problem._capacities = tuple(float(c) for c in capacities)
+        if any(c < 0 for c in problem._capacities):
+            raise SchedulingError("knapsack capacities must be non-negative")
+        if not values or len(values) != len(weight_rows):
+            raise SchedulingError("an MMKP needs at least one group")
+        dimension = len(problem._capacities)
+        dense_values = []
+        dense_rows = []
+        for index, (group_values, group_rows) in enumerate(zip(values, weight_rows)):
+            if not group_values or len(group_values) != len(group_rows):
+                raise SchedulingError(f"group {index} has no items")
+            for row in group_rows:
+                if len(row) != dimension:
+                    raise SchedulingError(
+                        f"item in group {index} has {len(row)} weights, "
+                        f"problem has {dimension} dimensions"
+                    )
+                if any(w < 0 for w in row):
+                    raise SchedulingError(
+                        f"item weights must be non-negative: {tuple(row)}"
+                    )
+            dense_values.append(tuple(float(v) for v in group_values))
+            dense_rows.append(tuple(tuple(float(w) for w in row) for row in group_rows))
+        problem._values = tuple(dense_values)
+        problem._rows = tuple(dense_rows)
+        problem._groups = None
+        problem._labels = (
+            tuple(tuple(group) for group in labels) if labels is not None else None
+        )
+        return problem
 
     @property
     def capacities(self) -> tuple[float, ...]:
@@ -79,13 +137,38 @@ class MMKPProblem:
 
     @property
     def groups(self) -> tuple[tuple[MMKPItem, ...], ...]:
-        """The item groups."""
+        """The item groups (materialised lazily for columnar problems)."""
+        if self._groups is None:
+            labels = self._labels
+            self._groups = tuple(
+                tuple(
+                    MMKPItem(
+                        value,
+                        row,
+                        labels[g][i] if labels is not None else None,
+                    )
+                    for i, (value, row) in enumerate(zip(group_values, group_rows))
+                )
+                for g, (group_values, group_rows) in enumerate(
+                    zip(self._values, self._rows)
+                )
+            )
         return self._groups
+
+    @property
+    def dense_values(self) -> tuple[tuple[float, ...], ...]:
+        """Per-group item values as flat tuples (solver fast path)."""
+        return self._values
+
+    @property
+    def dense_rows(self) -> tuple[tuple[tuple[float, ...], ...], ...]:
+        """Per-group item weight tuples as flat tuples (solver fast path)."""
+        return self._rows
 
     @property
     def num_groups(self) -> int:
         """Number of groups (one item must be picked per group)."""
-        return len(self._groups)
+        return len(self._values)
 
     @property
     def num_dimensions(self) -> int:
@@ -94,29 +177,28 @@ class MMKPProblem:
 
     def is_feasible(self, selection: Sequence[int]) -> bool:
         """Check a selection (one item index per group) against the capacities."""
-        if len(selection) != self.num_groups:
+        rows = self._rows
+        num_groups = len(rows)
+        if len(selection) != num_groups:
             return False
-        for dim in range(self.num_dimensions):
-            used = sum(
-                self._groups[g][selection[g]].weights[dim]
-                for g in range(self.num_groups)
-            )
-            if used > self._capacities[dim] + 1e-9:
+        capacities = self._capacities
+        for dim in range(len(capacities)):
+            used = sum(rows[g][selection[g]][dim] for g in range(num_groups))
+            if used > capacities[dim] + 1e-9:
                 return False
         return True
 
     def value_of(self, selection: Sequence[int]) -> float:
         """Total value of a selection."""
-        return sum(
-            self._groups[g][selection[g]].value for g in range(self.num_groups)
-        )
+        values = self._values
+        return sum(values[g][selection[g]] for g in range(len(values)))
 
     def weights_of(self, selection: Sequence[int]) -> tuple[float, ...]:
         """Total weight per dimension of a selection."""
         totals = [0.0] * self.num_dimensions
+        rows = self._rows
         for group_index, item_index in enumerate(selection):
-            item = self._groups[group_index][item_index]
-            for dim, weight in enumerate(item.weights):
+            for dim, weight in enumerate(rows[group_index][item_index]):
                 totals[dim] += weight
         return tuple(totals)
 

@@ -130,27 +130,36 @@ class MappingSimulator:
         communication_bytes = 0.0
         communication_time_total = 0.0
 
+        # Hoist the per-process placement out of the iteration loop: the DSE
+        # simulates thousands of mappings per sweep, and the core / processor
+        # type / trace-segment lookups are iteration-invariant.  The same
+        # holds for the inter-core channel traffic — identical in every
+        # iteration — so its bytes are derived once and accumulated per
+        # iteration in the seed's order (the floats are unchanged).
+        placements = [
+            (
+                mapping.core_of(process_name).name,
+                mapping.core_of(process_name).processor_type,
+                traces[process_name].segments,
+            )
+            for process_name in graph.process_names
+        ]
+        iteration_bytes = 0.0
+        for channel in graph.channels:
+            if mapping.core_of(channel.source).name == mapping.core_of(channel.target).name:
+                continue
+            iteration_bytes += channel.bytes_transferred / iterations
+        communication_time = iteration_bytes / self._bandwidth
+
         for iteration in range(iterations):
             # Compute load of every core in this iteration.
             iteration_load = {core.name: 0.0 for core in cores}
-            for process_name in graph.process_names:
-                core = mapping.core_of(process_name)
-                segment = traces[process_name].segments[iteration]
-                seconds = core.processor_type.cycles_to_seconds(segment.cycles)
-                iteration_load[core.name] += seconds
-                busy_time[core.name] += seconds
+            for core_name, processor_type, segments in placements:
+                seconds = processor_type.cycles_to_seconds(segments[iteration].cycles)
+                iteration_load[core_name] += seconds
+                busy_time[core_name] += seconds
 
-            # Inter-core communication of this iteration: traffic of channels
-            # whose endpoints live on different cores.
-            iteration_bytes = 0.0
-            for channel in graph.channels:
-                source_core = mapping.core_of(channel.source)
-                target_core = mapping.core_of(channel.target)
-                if source_core.name == target_core.name:
-                    continue
-                iteration_bytes += channel.bytes_transferred / iterations
             communication_bytes += iteration_bytes
-            communication_time = iteration_bytes / self._bandwidth
             communication_time_total += communication_time
 
             # Self-timed execution: the iteration ends when the most loaded

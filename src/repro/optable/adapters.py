@@ -1,0 +1,82 @@
+"""Adapters between the columnar kernel and the row-oriented boundary types.
+
+Public APIs keep accepting ``list[OperatingPoint]`` / ``ConfigTable`` /
+``Mapping[str, ConfigTable]`` everywhere; these helpers are the single place
+where those boundary shapes meet the columnar kernel, so the conversion
+logic (and the interning) is never duplicated in a consumer layer.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from repro.optable.table import OpTable, as_optable
+
+if TYPE_CHECKING:  # pragma: no cover — typing only
+    from repro.core.config import ConfigTable
+    from repro.core.segment import MappingSegment
+
+
+def optables_for(tables: Mapping[str, "ConfigTable"]) -> dict[str, OpTable]:
+    """Interned columnar twins of a whole application-table mapping.
+
+    Prefers each table's cached ``optable`` twin (no re-fingerprinting);
+    plain point lists fall back to :func:`as_optable`.
+    """
+    result = {}
+    for name, table in tables.items():
+        columnar = getattr(table, "optable", None)
+        result[name] = columnar if columnar is not None else as_optable(table)
+    return result
+
+
+def to_config_table(table: OpTable, application: str) -> "ConfigTable":
+    """Materialise an :class:`OpTable` back into a named ``ConfigTable``."""
+    from repro.core.config import ConfigTable
+
+    return ConfigTable(application, table.points)
+
+
+def segment_busy_counts(
+    segment: "MappingSegment",
+    tables: Mapping[str, "ConfigTable"],
+    dimension: int,
+) -> list[int]:
+    """Per-cluster busy-core counts of one mapping segment.
+
+    The columnar replacement for the governor/accounting pattern of resolving
+    ``mapping.operating_point(tables).resources`` per mapping: demands come
+    straight from the interned resource columns (via the table's cached
+    ``optable`` property — never re-fingerprinting per call).  Accumulation
+    order matches the seed loops (mappings in segment order, clusters in
+    index order), so the counts — and everything integrated from them — are
+    identical.
+    """
+    busy = [0] * dimension
+    for mapping in segment:
+        try:
+            table = tables[mapping.application]
+        except KeyError:
+            from repro.exceptions import SchedulingError
+
+            raise SchedulingError(
+                f"no configuration table for application {mapping.application!r}"
+            ) from None
+        columnar = getattr(table, "optable", None)
+        if columnar is None:
+            columnar = as_optable(table)
+        row = columnar.resources[mapping.config_index]
+        for index, count in enumerate(row):
+            busy[index] += count
+    return busy
+
+
+def iter_point_rows(source: Iterable) -> Iterable[tuple]:
+    """Yield ``(index, resources, execution_time, energy)`` rows of a table.
+
+    Accepts an :class:`OpTable`, a ``ConfigTable`` or a plain point list —
+    the adapter consumers use for mixed-boundary iteration.
+    """
+    table = as_optable(source)
+    for index in range(len(table)):
+        yield index, table.resources[index], table.times[index], table.energies[index]

@@ -1,0 +1,50 @@
+"""Runtime switch between the columnar kernel and the seed list paths.
+
+Every decision-making layer (schedulers, EDF packer, MMKP group building)
+keeps its original ``list[OperatingPoint]`` implementation alive behind this
+switch.  The columnar path is the default; the seed path exists for
+
+* the equivalence suite, which runs every workload through both paths and
+  asserts bit-identical schedules, fingerprints and energy accounting, and
+* the benchmark harness, which reports the throughput of the columnar path
+  *relative to* the list path on the same host.
+
+The initial state comes from the ``REPRO_OPTABLE`` environment variable
+(``0``/``false``/``no`` disables the columnar path); tests flip it locally
+with :func:`columnar_disabled` / :func:`columnar_override`.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+_ENABLED = os.environ.get("REPRO_OPTABLE", "1") not in ("0", "false", "no")
+
+
+def columnar_enabled() -> bool:
+    """``True`` when the columnar OpTable fast paths are in force."""
+    return _ENABLED
+
+
+def set_columnar_enabled(enabled: bool) -> bool:
+    """Set the switch globally; returns the previous state."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(enabled)
+    return previous
+
+
+@contextmanager
+def columnar_override(enabled: bool):
+    """Context manager pinning the switch to ``enabled`` within the block."""
+    previous = set_columnar_enabled(enabled)
+    try:
+        yield
+    finally:
+        set_columnar_enabled(previous)
+
+
+def columnar_disabled():
+    """Shorthand for ``columnar_override(False)`` (the seed list paths)."""
+    return columnar_override(False)

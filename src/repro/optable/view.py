@@ -1,0 +1,194 @@
+"""Problem-scoped slicing of operating-point tables (:class:`ProblemView`).
+
+The seed schedulers re-derived per-activation structures from the raw point
+lists on every call: MMKP-LR re-wrapped points into ``MMKPItem`` groups per
+segment, MMKP-MDF re-filtered feasibility per round, EX-MEM re-scanned for
+minima per state.  A :class:`ProblemView` computes each capacity-dependent
+slice once per (table, capacity) pair and shares everything that is
+ratio-independent; the Lagrangian solve itself is memoised process-wide,
+keyed by table fingerprints — two activations anywhere in a batch that pose
+the same relaxation reuse one solve.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Mapping
+
+from repro.optable.table import OpTable, as_optable
+
+if TYPE_CHECKING:  # pragma: no cover — typing only
+    from repro.core.problem import SchedulingProblem
+
+
+class SolveCache:
+    """A small, thread-safe LRU memo for deterministic solver calls.
+
+    Keys embed table fingerprints, capacities and exact remaining ratios, so
+    a hit is guaranteed to describe the *same* mathematical problem and the
+    cached result is bit-identical to a fresh solve (all solvers in this
+    library are deterministic).
+
+    Caches are owned by their consumer (e.g. one per
+    :class:`~repro.schedulers.lr.MMKPLRScheduler` instance) rather than being
+    process-wide: a runtime-manager run reuses its scheduler across arrivals
+    and still benefits, while independent schedulers — and independent tests
+    measuring solver wall time — never contaminate each other.  All
+    operations take an internal lock, so one cache may also be shared across
+    service worker threads deliberately.
+    """
+
+    def __init__(self, max_entries: int = 4096):
+        if max_entries <= 0:
+            raise ValueError("cache capacity must be positive")
+        self._max_entries = max_entries
+        self._entries: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key):
+        """Return the cached value for ``key`` or ``None``."""
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key, value) -> None:
+        """Insert ``key → value``, evicting the least-recently-used entry."""
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop all entries and reset the statistics."""
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def info(self) -> dict[str, int]:
+        """Cache statistics (entries, hits, misses)."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+
+
+class ProblemView:
+    """Columnar view of one scheduler activation.
+
+    Built lazily by :meth:`repro.core.problem.SchedulingProblem.view`; holds
+    the capacity as a plain tuple, resolves each application's interned
+    :class:`OpTable` on first use and caches the capacity-dependent slices
+    (which points fit the whole platform, their MMKP weight rows) that the
+    seed path rebuilt per segment.
+    """
+
+    def __init__(self, problem: "SchedulingProblem"):
+        self._problem = problem
+        self.capacity = tuple(problem.capacity)
+        self.now = problem.now
+        self._tables = problem.tables
+        self._optables: dict[str, OpTable] = {}
+        #: app → indices of points whose demand fits the *full* capacity.
+        self._fitting: dict[str, tuple[int, ...]] = {}
+        #: app → per-fitting-point float weight rows for MMKP group building.
+        self._weight_rows: dict[str, tuple[tuple[float, ...], ...]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Table access
+    # ------------------------------------------------------------------ #
+    def optable(self, application: str) -> OpTable:
+        """The interned columnar table of ``application``."""
+        table = self._optables.get(application)
+        if table is None:
+            try:
+                source = self._tables[application]
+            except KeyError:
+                from repro.exceptions import SchedulingError
+
+                raise SchedulingError(
+                    f"no configuration table for application {application!r}"
+                ) from None
+            # Prefer the table's cached twin over re-fingerprinting.
+            table = getattr(source, "optable", None)
+            if table is None:
+                table = as_optable(source)
+            self._optables[application] = table
+        return table
+
+    def fitting_indices(self, application: str) -> tuple[int, ...]:
+        """Indices of the application's points that fit the platform capacity."""
+        cached = self._fitting.get(application)
+        if cached is None:
+            cached = self.optable(application).fitting_indices(self.capacity)
+            self._fitting[application] = cached
+        return cached
+
+    def mmkp_weight_rows(self, application: str) -> tuple[tuple[float, ...], ...]:
+        """Float weight rows (one per *fitting* point) for MMKP groups.
+
+        Matches the seed's ``tuple(float(c) for c in point.resources)`` per
+        feasible point, computed once per (table, capacity) instead of per
+        segment.
+        """
+        cached = self._weight_rows.get(application)
+        if cached is None:
+            table = self.optable(application)
+            cached = tuple(
+                tuple(float(c) for c in table.resources[index])
+                for index in self.fitting_indices(application)
+            )
+            self._weight_rows[application] = cached
+        return cached
+
+    # ------------------------------------------------------------------ #
+    # Cache keys
+    # ------------------------------------------------------------------ #
+    def lagrangian_key(self, entries, max_iterations: int):
+        """Memo key for one MMKP-LR segment relaxation.
+
+        ``entries`` is the ordered ``(application, remaining_ratio)`` list of
+        the segment's active jobs.  Fingerprints pin the table *content*;
+        ratios are kept as exact floats, so equal keys imply an identical
+        MMKP instance.
+        """
+        return (
+            self.capacity,
+            max_iterations,
+            tuple(
+                (self.optable(application).fingerprint, remaining_ratio)
+                for application, remaining_ratio in entries
+            ),
+        )
+
+    def signature(self) -> tuple:
+        """Content signature of the whole activation (tables, jobs, time).
+
+        Useful as a memo key for whole-activation caches layered above the
+        schedulers: equal signatures imply an identical
+        :class:`SchedulingProblem` up to job naming.
+        """
+        jobs = tuple(
+            (
+                self.optable(job.application).fingerprint,
+                job.remaining_ratio,
+                job.deadline,
+            )
+            for job in self._problem.jobs
+        )
+        return (self.capacity, self.now, jobs)

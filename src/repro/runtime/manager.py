@@ -55,6 +55,7 @@ from repro.energy.budget import EnergyBudget
 from repro.energy.governor import FrequencyGovernor, stretch_schedule
 from repro.energy.opp import OPPDecision, decide, ensure_opps
 from repro.exceptions import AdmissionError, SchedulingError
+from repro.optable.adapters import optables_for
 from repro.platforms.platform import Platform
 from repro.platforms.resources import ResourceVector
 from repro.runtime.log import ExecutedInterval, ExecutionLog, RequestOutcome
@@ -314,6 +315,10 @@ class RuntimeManager:
                         f"(frequency_scale != 1); a frequency governor needs "
                         f"nominal-frequency tables"
                     )
+        # Interned columnar twins of the design-time tables: one build per
+        # manager (shared process-wide via fingerprints), consumed by the
+        # execution hot loop instead of per-interval point lookups.
+        self._optables = optables_for(self._tables)
         self._scheduler = scheduler
         self._remap_on_finish = remap_on_finish
         self._engine = engine
@@ -639,34 +644,39 @@ class RuntimeManager:
                 job = ctx.active.get(mapping.job_name)
                 if job is None:
                     continue
-                point = mapping.operating_point(self._tables)
-                progress = duration * ctx.speed / point.execution_time
+                table = self._optables[mapping.application]
+                config_index = mapping.config_index
+                progress = duration * ctx.speed / table.times[config_index]
                 ctx.active[job.name] = job.with_progress(
                     min(progress, job.remaining_ratio)
                 )
-                active_points.append((mapping.job_name, point))
-                job_configs.append((mapping.job_name, mapping.config_index))
+                active_points.append((mapping.job_name, table.points[config_index]))
+                job_configs.append((mapping.job_name, config_index))
             if not job_configs:
                 return
             energy = ctx.meter.record_analytical(duration, active_points, ctx.decision)
         else:
             # Seed mode: operating-point energies, bit-identical to pre-DVFS
-            # behaviour; the meter only attributes the charged joules.
+            # behaviour; the meter only attributes the charged joules.  The
+            # per-interval table lookups read the interned OpTable columns.
             energy = 0.0
             contributions = []
             for mapping in segment:
                 job = ctx.active.get(mapping.job_name)
                 if job is None:
                     continue
-                point = mapping.operating_point(self._tables)
-                progress = duration / point.execution_time
-                share = point.energy * progress
+                table = self._optables[mapping.application]
+                config_index = mapping.config_index
+                progress = duration / table.times[config_index]
+                share = table.energies[config_index] * progress
                 energy += share
                 ctx.active[job.name] = job.with_progress(
                     min(progress, job.remaining_ratio)
                 )
-                job_configs.append((mapping.job_name, mapping.config_index))
-                contributions.append((mapping.job_name, point, share))
+                job_configs.append((mapping.job_name, config_index))
+                contributions.append(
+                    (mapping.job_name, table.points[config_index], share)
+                )
             if not job_configs:
                 # Every mapped job already finished (possible only for
                 # schedules kept in force past a failed re-activation):

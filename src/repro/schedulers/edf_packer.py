@@ -16,6 +16,7 @@ from repro.core.problem import SchedulingProblem
 from repro.core.request import Job
 from repro.core.segment import JobMapping, MappingSegment, Schedule, TIME_EPSILON
 from repro.exceptions import SchedulingError
+from repro.optable.runtime import columnar_enabled
 
 #: Remaining-ratio threshold below which a job counts as finished.
 _RATIO_EPSILON = 1e-9
@@ -55,8 +56,18 @@ def pack_jobs_edf(
     >>> schedule is not None
     True
     """
-    schedule = base_schedule if base_schedule is not None else Schedule()
     jobs = [job for job in problem.jobs if job.name in assignment]
+
+    if columnar_enabled():
+        view = problem.view()
+        for job in jobs:
+            config_index = assignment[job.name]
+            if not 0 <= config_index < len(view.optable(job.application).times):
+                raise SchedulingError(
+                    f"job {job.name!r}: configuration {config_index} out of range"
+                )
+        return _pack_columnar(problem, assignment, jobs, base_schedule)
+
     for job in jobs:
         config_index = assignment[job.name]
         table = problem.table_for(job)
@@ -65,12 +76,137 @@ def pack_jobs_edf(
                 f"job {job.name!r}: configuration {config_index} out of range"
             )
 
+    schedule = base_schedule if base_schedule is not None else Schedule()
     # EDF: place jobs in non-decreasing order of their absolute deadline.
     for job in sorted(jobs, key=lambda j: (j.deadline, j.name)):
         schedule = _place_job(problem, schedule, job, assignment[job.name])
         if schedule is None:
             return None
     return schedule
+
+
+def _pack_columnar(
+    problem: SchedulingProblem,
+    assignment: Mapping[str, int],
+    jobs: list[Job],
+    base_schedule: Schedule | None,
+) -> Schedule | None:
+    """The columnar fast path of Algorithm 2.
+
+    Replays exactly the seed placement loop, but on a flat segment list
+    ``[start, end, mappings, usage]`` with incrementally maintained
+    per-cluster usage counts from the :class:`~repro.optable.table.OpTable`
+    demand columns — no :class:`Schedule` re-sort per placement, no
+    ``resource_usage`` re-derivation per probe, no ``ResourceVector``
+    arithmetic in the inner loop.  The arithmetic (and therefore every float)
+    is identical to the seed path; the equivalence tests assert it.
+    """
+    view = problem.view()
+    capacity = view.capacity
+    dimension = len(capacity)
+    now = problem.now
+
+    # Flat working segments, kept sorted by start time (disjoint intervals).
+    segments: list[list] = []
+    if base_schedule is not None:
+        for segment in base_schedule:
+            usage = [0] * dimension
+            for mapping in segment:
+                row = view.optable(mapping.application).resources[mapping.config_index]
+                for k in range(dimension):
+                    usage[k] += row[k]
+            segments.append(
+                [segment.start, segment.end, list(segment.mappings), usage]
+            )
+
+    for job in sorted(jobs, key=lambda j: (j.deadline, j.name)):
+        config_index = assignment[job.name]
+        table = view.optable(job.application)
+        row = table.resources[config_index]
+        execution_time = table.times[config_index]
+        mapping = JobMapping(job, config_index)
+        remaining_ratio = job.remaining_ratio
+        finish_time: float | None = None
+
+        index = 0
+        while index < len(segments) and remaining_ratio > _RATIO_EPSILON:
+            start, end, mappings, usage = segments[index]
+            fits = True
+            for k in range(dimension):
+                if usage[k] + row[k] > capacity[k]:
+                    fits = False
+                    break
+            if not fits:
+                index += 1
+                continue
+
+            required = execution_time * min(1.0, remaining_ratio)
+            duration = end - start
+            if any(m.job_name == job.name for m in mappings):
+                # Same guard (and error) as the seed's ``with_mapping``: a
+                # base_schedule may already map this job in the segment.
+                raise SchedulingError(
+                    f"job {job.name!r} is already mapped in this segment"
+                )
+            if required >= duration - TIME_EPSILON:
+                # The job is busy for the whole segment (Alg. 2, lines 9-11).
+                mappings.append(mapping)
+                for k in range(dimension):
+                    usage[k] += row[k]
+                remaining_ratio -= duration / execution_time
+                if remaining_ratio <= _RATIO_EPSILON:
+                    remaining_ratio = 0.0
+                    finish_time = end
+                    break
+                index += 1
+            else:
+                # The job finishes inside the segment: split it and map the
+                # job only onto the first half (Alg. 2, lines 13-17).
+                split_time = start + required
+                if split_time <= start + TIME_EPSILON:
+                    # Degenerate split: identical guard (and error) as the
+                    # seed's ``MappingSegment.split_at``.
+                    raise SchedulingError(
+                        f"split time {split_time} outside open interval "
+                        f"({start}, {end})"
+                    )
+                first = [
+                    start,
+                    split_time,
+                    mappings + [mapping],
+                    [usage[k] + row[k] for k in range(dimension)],
+                ]
+                second = [split_time, end, list(mappings), list(usage)]
+                segments[index : index + 1] = [first, second]
+                remaining_ratio = 0.0
+                finish_time = split_time
+                break
+
+        if remaining_ratio > _RATIO_EPSILON:
+            # Remaining work after the last existing segment (lines 19-22).
+            start = max(now, segments[-1][1] if segments else now)
+            required = execution_time * min(1.0, remaining_ratio)
+            end = start + required
+            if end <= start + TIME_EPSILON:
+                # Identical guard (and error) as the seed's constructor.
+                raise SchedulingError(
+                    f"segment end {end} must be greater than start {start}"
+                )
+            segments.append([start, end, [mapping], list(row)])
+            finish_time = end
+
+        # Deadline check (Algorithm 2, line 23).
+        if finish_time is None or finish_time > job.deadline + 1e-9:
+            return None
+
+    # The working list is sorted and disjoint by construction; materialise
+    # through the trusted constructors (no re-sort, no re-validation).
+    return Schedule._trusted(
+        tuple(
+            MappingSegment._trusted(start, end, tuple(mappings))
+            for start, end, mappings, _ in segments
+        )
+    )
 
 
 def _place_job(

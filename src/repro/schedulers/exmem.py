@@ -28,7 +28,6 @@ from repro.core.config import ConfigTable, OperatingPoint
 from repro.core.problem import SchedulingProblem
 from repro.core.request import Job
 from repro.core.segment import JobMapping, MappingSegment, Schedule
-from repro.platforms.resources import ResourceVector
 from repro.schedulers.base import Scheduler, SchedulingResult
 
 _RATIO_EPSILON = 1e-9
@@ -84,9 +83,14 @@ class ExMemScheduler(Scheduler):
     # ------------------------------------------------------------------ #
     def _solve(self, problem: SchedulingProblem) -> SchedulingResult:
         self._problem = problem
-        self._capacity = problem.capacity
+        self._capacity_counts = tuple(problem.capacity)
         self._memo: dict = {}
         self._points_cache: dict[str, list[tuple[int, OperatingPoint]]] = {}
+        #: Per-application candidate columns, derived once per solve:
+        #: ``app → (times, energies, resource rows, cheapest energy,
+        #: fastest time)`` with columns indexed by *configuration index*
+        #: (sparse dict per app, since truncation may skip indices).
+        self._columns_cache: dict[str, tuple] = {}
         self._states_created = 0
         budget_exhausted = False
 
@@ -121,12 +125,38 @@ class ExMemScheduler(Scheduler):
     def _candidate_points(self, job: Job) -> list[tuple[int, OperatingPoint]]:
         """The (index, point) pairs this job may use, possibly truncated."""
         if job.application not in self._points_cache:
-            table = self._problem.table_for(job)
-            pairs = list(enumerate(table.points))
+            table = self._problem.optable_for(job)
+            pairs = [(index, table.points[index]) for index in range(len(table))]
             if self._max_configs is not None and len(pairs) > self._max_configs:
-                pairs = sorted(pairs, key=lambda item: item[1].energy)[: self._max_configs]
+                # ``order_by_energy`` is the same stable energy sort the seed
+                # performed here per solve.
+                pairs = [
+                    (index, table.points[index])
+                    for index in table.order_by_energy[: self._max_configs]
+                ]
             self._points_cache[job.application] = pairs
         return self._points_cache[job.application]
+
+    def _candidate_columns(self, job: Job):
+        """Columnar view of the candidate set of ``job``'s application.
+
+        Returns ``(times, energies, rows, cheapest, fastest)`` where the
+        first three are dicts keyed by configuration index (the candidate set
+        may be truncated) and the minima are over the candidate set — the
+        values the seed re-derived with ``min(...)`` scans per search state.
+        """
+        application = job.application
+        columns = self._columns_cache.get(application)
+        if columns is None:
+            pairs = self._candidate_points(job)
+            times = {index: point.execution_time for index, point in pairs}
+            energies = {index: point.energy for index, point in pairs}
+            rows = {index: tuple(point.resources) for index, point in pairs}
+            cheapest = min(energies.values())
+            fastest = min(times.values())
+            columns = (times, energies, rows, cheapest, fastest)
+            self._columns_cache[application] = columns
+        return columns
 
     def _state_key(self, now: float, states: Sequence[_JobState]):
         return (
@@ -140,9 +170,7 @@ class ExMemScheduler(Scheduler):
         for state in states:
             if state.finished():
                 continue
-            cheapest = min(
-                point.energy for _, point in self._candidate_points(state.job)
-            )
+            cheapest = self._candidate_columns(state.job)[3]
             bound += cheapest * state.remaining_ratio
         return bound
 
@@ -166,9 +194,7 @@ class ExMemScheduler(Scheduler):
         # Prune: every unfinished job must still be able to meet its deadline
         # even when executed with its fastest configuration starting now.
         for state in active:
-            fastest = min(
-                point.execution_time for _, point in self._candidate_points(state.job)
-            )
+            fastest = self._candidate_columns(state.job)[4]
             if now + fastest * state.remaining_ratio > state.job.deadline + 1e-6:
                 return float("inf"), None
 
@@ -212,14 +238,14 @@ class ExMemScheduler(Scheduler):
         the remaining work afterwards, and returns ``None`` for assignments
         that cannot make progress.
         """
-        tables = self._problem.tables
         segment_end = float("inf")
         for state in active:
             if state.name not in assignment:
                 continue
-            point = tables[state.job.application][assignment[state.name]]
+            times = self._candidate_columns(state.job)[0]
             segment_end = min(
-                segment_end, now + point.remaining_time(state.remaining_ratio)
+                segment_end,
+                now + times[assignment[state.name]] * state.remaining_ratio,
             )
         if segment_end == float("inf"):
             return None
@@ -229,15 +255,13 @@ class ExMemScheduler(Scheduler):
 
         estimate = 0.0
         for state in active:
-            cheapest = min(
-                point.energy for _, point in self._candidate_points(state.job)
-            )
+            times, energies, _, cheapest, _ = self._candidate_columns(state.job)
             if state.name not in assignment:
                 estimate += cheapest * state.remaining_ratio
                 continue
-            point = tables[state.job.application][assignment[state.name]]
-            progressed = min(state.remaining_ratio, duration / point.execution_time)
-            estimate += point.energy * progressed
+            config_index = assignment[state.name]
+            progressed = min(state.remaining_ratio, duration / times[config_index])
+            estimate += energies[config_index] * progressed
             estimate += cheapest * (state.remaining_ratio - progressed)
         return estimate
 
@@ -249,10 +273,11 @@ class ExMemScheduler(Scheduler):
         Each active job either runs one of its candidate configurations or is
         suspended for the segment (absent from the assignment).
         """
-        capacity = self._capacity
+        capacity = self._capacity_counts
         dimension = len(capacity)
+        rows_by_state = [self._candidate_columns(state.job)[2] for state in active]
 
-        def recurse(index: int, used: ResourceVector, chosen: dict[str, int]):
+        def recurse(index: int, used: tuple[int, ...], chosen: dict[str, int]):
             if index == len(active):
                 if chosen:
                     yield dict(chosen)
@@ -261,15 +286,22 @@ class ExMemScheduler(Scheduler):
             # Option 1: suspend the job for this segment.
             yield from recurse(index + 1, used, chosen)
             # Option 2: run it with one of its configurations.
-            for config_index, point in self._candidate_points(state.job):
-                total = used + point.resources
-                if not total.fits_into(capacity):
+            rows = rows_by_state[index]
+            for config_index, _ in self._candidate_points(state.job):
+                row = rows[config_index]
+                total = tuple(u + r for u, r in zip(used, row))
+                fits = True
+                for k in range(dimension):
+                    if total[k] > capacity[k]:
+                        fits = False
+                        break
+                if not fits:
                     continue
                 chosen[state.name] = config_index
                 yield from recurse(index + 1, total, chosen)
                 del chosen[state.name]
 
-        yield from recurse(0, ResourceVector.zeros(dimension), {})
+        yield from recurse(0, (0,) * dimension, {})
 
     def _evaluate_assignment(
         self,
@@ -279,17 +311,16 @@ class ExMemScheduler(Scheduler):
         assignment: Mapping[str, int],
     ):
         """Energy of the segment defined by ``assignment`` plus the best continuation."""
-        tables = self._problem.tables
-
         # The segment ends when the first mapped job finishes ("cut the
         # segment on the shortest job").
         segment_end = float("inf")
         for state in active:
             if state.name not in assignment:
                 continue
-            point = tables[state.job.application][assignment[state.name]]
+            times = self._candidate_columns(state.job)[0]
             segment_end = min(
-                segment_end, now + point.remaining_time(state.remaining_ratio)
+                segment_end,
+                now + times[assignment[state.name]] * state.remaining_ratio,
             )
         duration = segment_end - now
         if duration <= _TIME_EPSILON:
@@ -302,9 +333,11 @@ class ExMemScheduler(Scheduler):
             if state.finished() or state.name not in assignment:
                 new_states.append(state)
                 continue
-            point = tables[state.job.application][assignment[state.name]]
-            segment_energy += point.energy * duration / point.execution_time
-            progressed = duration / point.execution_time
+            times, energies, _, _, _ = self._candidate_columns(state.job)
+            config_index = assignment[state.name]
+            execution_time = times[config_index]
+            segment_energy += energies[config_index] * duration / execution_time
+            progressed = duration / execution_time
             remaining = state.remaining_ratio - progressed
             if remaining <= _RATIO_EPSILON:
                 remaining = 0.0
@@ -322,7 +355,6 @@ class ExMemScheduler(Scheduler):
     # ------------------------------------------------------------------ #
     def _reconstruct(self, now: float, states: Sequence[_JobState]):
         """Rebuild the optimal schedule by replaying the memoised decisions."""
-        tables = self._problem.tables
         segments: list[MappingSegment] = []
         first_config: dict[str, int] = {}
         current_states = tuple(states)
@@ -352,8 +384,10 @@ class ExMemScheduler(Scheduler):
                 if state.finished() or state.name not in assignment:
                     next_states.append(state)
                     continue
-                point = tables[state.job.application][assignment[state.name]]
-                remaining = state.remaining_ratio - duration / point.execution_time
+                times = self._candidate_columns(state.job)[0]
+                remaining = (
+                    state.remaining_ratio - duration / times[assignment[state.name]]
+                )
                 if remaining <= _RATIO_EPSILON:
                     remaining = 0.0
                 next_states.append(_JobState(state.job, remaining))

@@ -23,6 +23,8 @@ from repro.core.problem import SchedulingProblem
 from repro.core.request import Job
 from repro.core.segment import JobMapping, MappingSegment, Schedule
 from repro.knapsack import MMKPItem, MMKPProblem, solve_lagrangian
+from repro.optable.runtime import columnar_enabled
+from repro.optable.view import ProblemView, SolveCache
 from repro.platforms.resources import ResourceVector
 from repro.schedulers.base import Scheduler, SchedulingResult
 
@@ -64,13 +66,25 @@ class MMKPLRScheduler(Scheduler):
 
     name = "mmkp-lr"
 
-    def __init__(self, max_subgradient_iterations: int = 100):
+    def __init__(
+        self,
+        max_subgradient_iterations: int = 100,
+        solve_cache: SolveCache | None = None,
+    ):
         self._max_iterations = max_subgradient_iterations
+        #: Fingerprint-keyed memo for the segment relaxations.  Per instance
+        #: by default: a runtime-manager run (one scheduler, many arrivals)
+        #: reuses solves, while independent schedulers — and wall-time
+        #: measurements — stay isolated.  Pass a shared :class:`SolveCache`
+        #: to pool deliberately (it is thread-safe).
+        self.solve_cache = solve_cache if solve_cache is not None else SolveCache()
 
     # ------------------------------------------------------------------ #
     # Scheduler interface
     # ------------------------------------------------------------------ #
     def _solve(self, problem: SchedulingProblem) -> SchedulingResult:
+        columnar = columnar_enabled()
+        view = problem.view() if columnar else None
         pending = [
             _PendingJob(job, job.remaining_ratio)
             for job in sorted(problem.jobs, key=lambda j: j.name)
@@ -87,11 +101,19 @@ class MMKPLRScheduler(Scheduler):
             # Every unfinished job must still have a chance to meet its
             # deadline; otherwise the request set is rejected.
             for record in active:
-                fastest = problem.table_for(record.job).fastest().execution_time
+                if columnar:
+                    fastest = view.optable(record.job.application).min_time
+                else:
+                    fastest = problem.table_for(record.job).fastest().execution_time
                 if now + fastest * record.remaining_ratio > record.job.deadline + 1e-6:
                     return self._reject(subgradient_iterations, segment_count)
 
-            assignment, iterations = self._assign_segment(problem, active, now)
+            if columnar:
+                assignment, iterations = self._assign_segment_columnar(
+                    view, active, now
+                )
+            else:
+                assignment, iterations = self._assign_segment(problem, active, now)
             subgradient_iterations += iterations
             if not assignment:
                 # No job could be mapped onto the empty platform: no progress
@@ -99,14 +121,25 @@ class MMKPLRScheduler(Scheduler):
                 return self._reject(subgradient_iterations, segment_count)
 
             # The segment ends when the first mapped job finishes.
-            segment_end = min(
-                now
-                + problem.table_for(record.job)[assignment[record.name]].remaining_time(
-                    record.remaining_ratio
+            if columnar:
+                segment_end = min(
+                    now
+                    + view.optable(record.job.application).times[
+                        assignment[record.name]
+                    ]
+                    * record.remaining_ratio
+                    for record in active
+                    if record.name in assignment
                 )
-                for record in active
-                if record.name in assignment
-            )
+            else:
+                segment_end = min(
+                    now
+                    + problem.table_for(record.job)[
+                        assignment[record.name]
+                    ].remaining_time(record.remaining_ratio)
+                    for record in active
+                    if record.name in assignment
+                )
             duration = segment_end - now
             if duration <= _TIME_EPSILON:
                 return self._reject(subgradient_iterations, segment_count)
@@ -118,8 +151,15 @@ class MMKPLRScheduler(Scheduler):
                 config_index = assignment[record.name]
                 first_config.setdefault(record.name, config_index)
                 mappings.append(JobMapping(record.job, config_index))
-                point = problem.table_for(record.job)[config_index]
-                record.remaining_ratio -= duration / point.execution_time
+                if columnar:
+                    execution_time = view.optable(record.job.application).times[
+                        config_index
+                    ]
+                else:
+                    execution_time = problem.table_for(record.job)[
+                        config_index
+                    ].execution_time
+                record.remaining_ratio -= duration / execution_time
                 if record.remaining_ratio <= _RATIO_EPSILON:
                     record.remaining_ratio = 0.0
                     if segment_end > record.job.deadline + 1e-6:
@@ -243,6 +283,114 @@ class MMKPLRScheduler(Scheduler):
                     continue
                 assignment[record.name] = index
                 remaining = remaining - point.resources
+                estimated_end = min(estimated_end, completion)
+                break
+
+        return assignment, relaxation.iterations
+
+    def _assign_segment_columnar(
+        self,
+        view: ProblemView,
+        active: list[_PendingJob],
+        now: float,
+    ) -> tuple[dict[str, int], int]:
+        """Columnar twin of :meth:`_assign_segment`.
+
+        Builds the single-segment MMKP from the view's cached
+        capacity-feasible slices (no ``MMKPItem`` churn) and memoises the
+        Lagrangian solve in this scheduler's :attr:`solve_cache`, keyed by
+        table fingerprints, exact remaining ratios and the capacity — a hit
+        replays the identical deterministic relaxation without spending the
+        100 subgradient iterations again.
+        """
+        capacity = view.capacity
+        dimension = len(capacity)
+
+        entries = [
+            (record.job.application, record.remaining_ratio) for record in active
+        ]
+        key = view.lagrangian_key(entries, self._max_iterations)
+        relaxation = self.solve_cache.get(key)
+        if relaxation is None:
+            group_values = []
+            group_rows = []
+            for application, ratio in entries:
+                fitting = view.fitting_indices(application)
+                if fitting:
+                    energies = view.optable(application).energies
+                    group_values.append([-(energies[i] * ratio) for i in fitting])
+                    group_rows.append(view.mmkp_weight_rows(application))
+                else:
+                    group_values.append([0.0])
+                    group_rows.append((tuple(0.0 for _ in capacity),))
+            mmkp = MMKPProblem.from_columns(
+                [float(c) for c in capacity], group_values, group_rows
+            )
+            relaxation = solve_lagrangian(mmkp, max_iterations=self._max_iterations)
+            self.solve_cache.put(key, relaxation)
+        multipliers = relaxation.multipliers
+
+        def reduced_cost(ratio: float, energy: float, row: tuple[int, ...]) -> float:
+            penalty = sum(
+                multiplier * resource for multiplier, resource in zip(multipliers, row)
+            )
+            return energy * ratio + penalty
+
+        # Map jobs in increasing order of their minimum configuration cost.
+        ordering = []
+        for record in active:
+            application = record.job.application
+            table = view.optable(application)
+            fitting = view.fitting_indices(application)
+            if fitting:
+                ratio = record.remaining_ratio
+                minimum = min(
+                    reduced_cost(ratio, table.energies[i], table.resources[i])
+                    for i in fitting
+                )
+            else:
+                minimum = float("inf")
+            ordering.append((minimum, record, fitting))
+        ordering.sort(key=lambda entry: (entry[0], entry[1].name))
+
+        assignment: dict[str, int] = {}
+        remaining = list(capacity)
+        # Estimated end of the segment under construction (see the seed path).
+        estimated_end = float("inf")
+        for _, record, fitting in ordering:
+            table = view.optable(record.job.application)
+            times = table.times
+            energies = table.energies
+            resources = table.resources
+            ratio = record.remaining_ratio
+            deadline = record.job.deadline
+            fastest = table.min_time
+            for index in sorted(
+                fitting, key=lambda i: reduced_cost(ratio, energies[i], resources[i])
+            ):
+                row = resources[index]
+                fits = True
+                for k in range(dimension):
+                    if row[k] > remaining[k]:
+                        fits = False
+                        break
+                if not fits:
+                    continue
+                completion = now + times[index] * ratio
+                if completion <= deadline + 1e-9:
+                    accepted = True
+                else:
+                    # Optimistic check: run this configuration until the end
+                    # of the segment, then reconfigure to the fastest one.
+                    segment_end = min(estimated_end, completion)
+                    progressed = (segment_end - now) / times[index]
+                    left_after = max(0.0, ratio - progressed)
+                    accepted = segment_end + fastest * left_after <= deadline + 1e-9
+                if not accepted:
+                    continue
+                assignment[record.name] = index
+                for k in range(dimension):
+                    remaining[k] -= row[k]
                 estimated_end = min(estimated_end, completion)
                 break
 

@@ -26,6 +26,7 @@ from typing import Mapping
 from repro.core.config import ConfigTable
 from repro.core.problem import SchedulingProblem
 from repro.core.request import Job
+from repro.optable.runtime import columnar_enabled
 from repro.schedulers.base import Scheduler, SchedulingResult
 from repro.schedulers.edf_packer import pack_jobs_edf
 from repro.schedulers.policies import JobSelectionPolicy, MaximumDifferencePolicy
@@ -65,6 +66,117 @@ class MMKPMDFScheduler(Scheduler):
     # Algorithm 1
     # ------------------------------------------------------------------ #
     def _solve(self, problem: SchedulingProblem) -> SchedulingResult:
+        if columnar_enabled():
+            return self._solve_columnar(problem)
+        return self._solve_lists(problem)
+
+    def _solve_columnar(self, problem: SchedulingProblem) -> SchedulingResult:
+        """Algorithm 1 on the shared columnar :class:`ProblemView`.
+
+        Identical decision sequence (and floats) as :meth:`_solve_lists`; the
+        feasibility filter, the energy ordering and the container bookkeeping
+        read the interned OpTable columns instead of walking
+        ``list[OperatingPoint]`` per round.
+        """
+        view = problem.view()
+        containers = problem.processing_capacity()
+        assignment: dict[str, int] = {}
+        schedule = None
+        packer_calls = 0
+        policy_calls = 0
+
+        # Deadlines and remaining ratios are fixed for the whole activation,
+        # so the time-feasibility half of NEXTJOBMDF step (i) is computed once
+        # per job; only the container check repeats per round (the containers
+        # shrink as configurations are committed).
+        dimensions = len(containers)
+        time_feasible: dict[str, list[tuple[int, float, tuple[int, ...]]]] = {}
+        for job in problem.jobs:
+            table = view.optable(job.application)
+            budget = job.deadline - view.now
+            ratio = job.remaining_ratio
+            times = table.times
+            resources = table.resources
+            entries = []
+            for index in range(len(times)):
+                remaining = times[index] * ratio
+                if remaining <= budget + _EPSILON:
+                    entries.append((index, remaining, resources[index]))
+            time_feasible[job.name] = entries
+
+        def feasible_now(job: Job) -> list[int]:
+            feasible = []
+            for index, remaining, row in time_feasible[job.name]:
+                fits = True
+                for k in range(dimensions):
+                    if row[k] * remaining > containers[k] + _EPSILON:
+                        fits = False
+                        break
+                if fits:
+                    feasible.append(index)
+            return feasible
+
+        unassigned = {job.name for job in problem.jobs}
+        while unassigned:
+            candidates = [
+                (job, feasible_now(job))
+                for job in problem.jobs
+                if job.name in unassigned
+            ]
+            policy_calls += 1
+            job, config_indices = self._policy.select(
+                candidates, problem.tables, problem.now
+            )
+
+            # Try configurations in non-decreasing remaining-energy order
+            # (Algorithm 1, lines 5-14).  ``remaining_energy = energy * ratio``,
+            # evaluated on the energy column with the same float ops as the
+            # seed's key function.
+            table = view.optable(job.application)
+            energies = table.energies
+            ratio = job.remaining_ratio
+            ordered = sorted(config_indices, key=lambda i: energies[i] * ratio)
+            committed = False
+            for config_index in ordered:
+                trial = dict(assignment)
+                trial[job.name] = config_index
+                packer_calls += 1
+                trial_schedule = pack_jobs_edf(problem, trial)
+                if trial_schedule is None:
+                    continue
+                assignment = trial
+                schedule = trial_schedule
+                # Charge the committed configuration to the containers
+                # (Algorithm 1, line 12).
+                remaining = table.times[config_index] * ratio
+                row = table.resources[config_index]
+                for k in range(len(containers)):
+                    containers[k] -= row[k] * remaining
+                committed = True
+                break
+
+            if not committed:
+                # No configuration of this job yields a feasible packing: the
+                # request set is rejected (Algorithm 1, line 6).
+                return SchedulingResult(
+                    schedule=None,
+                    statistics={
+                        "packer_calls": packer_calls,
+                        "policy_calls": policy_calls,
+                    },
+                )
+            unassigned.remove(job.name)
+
+        energy = problem.energy_of(schedule) if schedule is not None else float("inf")
+        return SchedulingResult(
+            schedule=schedule,
+            assignment=assignment,
+            energy=energy,
+            statistics={"packer_calls": packer_calls, "policy_calls": policy_calls},
+        )
+
+    def _solve_lists(self, problem: SchedulingProblem) -> SchedulingResult:
+        """The seed list-based Algorithm 1 (kept for equivalence/benchmarks)."""
         containers = problem.processing_capacity()
         assignment: dict[str, int] = {}
         schedule = None

@@ -35,6 +35,9 @@ EXPECTED_API_ALL = [
     "Session",
     "RunEvent",
     "RunEventKind",
+    # columnar operating-point kernel (PR 4)
+    "OpTable",
+    "as_optable",
 ]
 
 #: The frozen field names of every spec dataclass (order included: it is the
@@ -102,6 +105,32 @@ class TestApiSurface:
             api.governors
         )
         assert {"poisson", "motivational", "explicit"} <= set(api.trace_sources)
+
+
+class TestOpTableSurface:
+    def test_api_export_is_the_kernel_class(self):
+        import repro.optable
+
+        assert api.OpTable is repro.optable.OpTable
+        assert api.as_optable is repro.optable.as_optable
+
+    def test_kernel_public_names_are_frozen(self):
+        import repro.optable
+
+        # Supersets allowed; the kernel contract must never silently shrink.
+        assert {
+            "OpTable",
+            "ParetoFrontier",
+            "ProblemView",
+            "SolveCache",
+            "as_optable",
+            "columnar_disabled",
+            "columnar_enabled",
+            "columnar_override",
+            "fingerprint_points",
+            "intern_info",
+            "pareto_select",
+        } <= set(repro.optable.__all__)
 
 
 class TestTopLevelReexports:

@@ -1,0 +1,123 @@
+"""Property-based agreement tests for the MMKP solvers.
+
+Small random instances drive both the exact branch-and-bound solver and the
+Lagrangian-relaxation solver:
+
+* whenever the relaxation *certifies* optimality (its feasible primal value
+  meets its dual bound), the exact solver must report the same optimal value;
+* in general the exact optimum must be sandwiched between the relaxation's
+  primal value and dual bound;
+* both solvers must honour infeasibility — on instances with no feasible
+  selection, neither may claim one, and on feasible instances the exact
+  solver must find one.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.knapsack import (
+    MMKPItem,
+    MMKPProblem,
+    solve_exact,
+    solve_lagrangian,
+)
+
+#: Comparison slack: solver arithmetic is exact per instance, but the dual
+#: bound is accumulated floating-point.
+EPSILON = 1e-6
+
+
+@st.composite
+def mmkp_instances(draw):
+    """Small random MMKP instances (1-2 dimensions, 1-4 groups, 1-4 items)."""
+    num_dimensions = draw(st.integers(min_value=1, max_value=2))
+    num_groups = draw(st.integers(min_value=1, max_value=4))
+    capacities = [
+        draw(st.integers(min_value=0, max_value=6)) * 1.0
+        for _ in range(num_dimensions)
+    ]
+    groups = []
+    for _ in range(num_groups):
+        num_items = draw(st.integers(min_value=1, max_value=4))
+        groups.append(
+            [
+                MMKPItem(
+                    value=draw(st.integers(min_value=0, max_value=20)) * 1.0,
+                    weights=tuple(
+                        draw(st.integers(min_value=0, max_value=5)) * 1.0
+                        for _ in range(num_dimensions)
+                    ),
+                )
+                for _ in range(num_items)
+            ]
+        )
+    return MMKPProblem(capacities, groups)
+
+
+@settings(max_examples=150, deadline=None)
+@given(problem=mmkp_instances())
+def test_exact_and_lagrangian_agree_on_certified_optima(problem):
+    exact = solve_exact(problem)
+    relaxation = solve_lagrangian(problem)
+    primal = relaxation.solution
+
+    if not exact.feasible:
+        # No feasible selection exists: the repair step must not fabricate one.
+        assert not primal.feasible
+        return
+
+    # The exact value is optimal: no feasible primal may beat it, and the
+    # dual bound may not cut below it.
+    if primal.feasible:
+        assert primal.value <= exact.value + EPSILON
+        assert problem.is_feasible(primal.selection)
+        assert abs(problem.value_of(primal.selection) - primal.value) <= EPSILON
+    assert exact.value <= relaxation.dual_bound + EPSILON
+
+    # Certified optimum: primal meets dual ⇒ both solvers agree exactly.
+    if primal.feasible and primal.value >= relaxation.dual_bound - EPSILON:
+        assert abs(primal.value - exact.value) <= EPSILON
+
+
+@settings(max_examples=150, deadline=None)
+@given(problem=mmkp_instances())
+def test_exact_solver_finds_feasible_instances(problem):
+    exact = solve_exact(problem)
+    # Brute-force ground truth on these tiny instances.
+    import itertools
+
+    selections = itertools.product(*(range(len(g)) for g in problem.groups))
+    feasible_values = [
+        problem.value_of(s) for s in selections if problem.is_feasible(list(s))
+    ]
+    if feasible_values:
+        assert exact.feasible
+        assert abs(exact.value - max(feasible_values)) <= EPSILON
+        assert problem.is_feasible(exact.selection)
+    else:
+        assert not exact.feasible
+        assert exact.selection is None
+
+
+@settings(max_examples=60, deadline=None)
+@given(problem=mmkp_instances())
+def test_columnar_construction_matches_item_construction(problem):
+    """``from_columns`` must describe the identical instance."""
+    dense = MMKPProblem.from_columns(
+        problem.capacities,
+        [[item.value for item in group] for group in problem.groups],
+        [[item.weights for item in group] for group in problem.groups],
+    )
+    assert dense.num_groups == problem.num_groups
+    assert dense.num_dimensions == problem.num_dimensions
+    assert dense.dense_values == problem.dense_values
+    assert dense.dense_rows == problem.dense_rows
+    exact_a = solve_exact(problem)
+    exact_b = solve_exact(dense)
+    assert exact_a.selection == exact_b.selection
+    assert exact_a.value == exact_b.value
+    relax_a = solve_lagrangian(problem)
+    relax_b = solve_lagrangian(dense)
+    assert relax_a.multipliers == relax_b.multipliers
+    assert relax_a.dual_bound == relax_b.dual_bound
+    assert relax_a.solution == relax_b.solution
