@@ -12,8 +12,10 @@ terminal.  This runner
 2. measures the headline kernel metrics directly — scheduler activation
    throughput on the census workload for the columnar ``repro.optable`` path
    *and* the seed list path (the ratio is the machine-independent speedup the
-   acceptance gate tracks), per-activation search times, and the Pareto
-   engine against the seed's O(n²) reference;
+   acceptance gate tracks), per-activation search times, the incremental
+   ``repro.kernel`` arrival-handling ratio against the seed full-re-solve
+   path (``REPRO_KERNEL=0``), and the Pareto engine against the seed's
+   O(n²) reference;
 3. writes everything to ``BENCH_RESULTS.json`` (name → wall time, throughput,
    key metric) next to this file, or to ``--output``.
 
@@ -168,6 +170,37 @@ def measure_kernel_metrics(repeats: int = 3) -> dict:
             "mean_search_time_list_s": round(1.0 / legacy, 6),
         }
 
+    # repro.kernel: incremental arrival handling against seed full re-solves.
+    # Setup and measurement come from bench_kernel_incremental itself, so
+    # the gated CI metric can never drift from the workload the pytest bench
+    # records (same REPRO_BENCH_KERNEL_* knobs, same seed, same best-of-N).
+    if str(BENCH_DIR) not in sys.path:
+        sys.path.insert(0, str(BENCH_DIR))
+    import bench_kernel_incremental as kernel_bench
+
+    platform, kernel_tables, kernel_trace = kernel_bench._setup()
+    kernel_s, kernel_log = kernel_bench._best_run_time(
+        platform, kernel_tables, kernel_trace, True, repeats=repeats
+    )
+    seed_s, seed_log = kernel_bench._best_run_time(
+        platform, kernel_tables, kernel_trace, False, repeats=repeats
+    )
+    assert kernel_bench.log_fingerprint(kernel_log) == kernel_bench.log_fingerprint(
+        seed_log
+    ), "incremental kernel diverged from the seed path"
+    metrics["kernel_incremental"] = {
+        "arrivals": len(kernel_trace),
+        "acceptance_rate": round(kernel_log.acceptance_rate, 3),
+        "arrivals_per_s_kernel": round(len(kernel_trace) / kernel_s, 1),
+        "arrivals_per_s_seed": round(len(kernel_trace) / seed_s, 1),
+        "speedup": round(seed_s / kernel_s, 3),
+        "scale": {
+            "max_points": int(os.environ.get("REPRO_BENCH_KERNEL_POINTS", "16")),
+            "arrival_rate": float(os.environ.get("REPRO_BENCH_KERNEL_RATE", "2.5")),
+            "requests": int(os.environ.get("REPRO_BENCH_KERNEL_REQUESTS", "300")),
+        },
+    }
+
     # Fig. 4 companion: the Pareto engine against the seed's pairwise scan.
     from repro.dse.pareto import pareto_front, pareto_front_reference
 
@@ -202,7 +235,7 @@ def measure_kernel_metrics(repeats: int = 3) -> dict:
 
 
 def check_baseline(results: dict, tolerance: float) -> list[str]:
-    """Compare the scheduling-rate speedup against the checked-in baseline."""
+    """Compare the recorded speedup ratios against the checked-in baseline."""
     if not BASELINE_PATH.exists():
         return [f"baseline file {BASELINE_PATH} is missing"]
     baseline = json.loads(BASELINE_PATH.read_text())
@@ -220,6 +253,19 @@ def check_baseline(results: dict, tolerance: float) -> list[str]:
                 f"below {floor:.3f} (baseline {expected['columnar_speedup']:.3f} "
                 f"- {tolerance:.0%})"
             )
+    expected = baseline.get("kernel_incremental")
+    if expected is not None:
+        entry = results["metrics"].get("kernel_incremental")
+        if entry is None:
+            failures.append("kernel_incremental: missing from results")
+        else:
+            floor = expected["speedup"] * (1.0 - tolerance)
+            if entry["speedup"] < floor:
+                failures.append(
+                    f"kernel_incremental: arrival-handling speedup "
+                    f"{entry['speedup']:.3f} fell below {floor:.3f} "
+                    f"(baseline {expected['speedup']:.3f} - {tolerance:.0%})"
+                )
     return failures
 
 
@@ -286,6 +332,12 @@ def main(argv: list[str] | None = None) -> int:
                 f"{entry['throughput_list_per_s']:.0f}/s list "
                 f"({entry['columnar_speedup']:.2f}x)"
             )
+    kernel = results["metrics"]["kernel_incremental"]
+    print(
+        f"  kernel_incremental: {kernel['arrivals_per_s_kernel']:.0f}/s kernel, "
+        f"{kernel['arrivals_per_s_seed']:.0f}/s seed "
+        f"({kernel['speedup']:.2f}x arrival handling)"
+    )
     pareto = results["metrics"]["pareto_front"]
     print(
         f"  pareto_front: {pareto['engine_s'] * 1e3:.1f} ms engine vs "

@@ -57,6 +57,11 @@ __all__ = [
     # columnar operating-point kernel
     "OpTable",
     "as_optable",
+    # incremental scheduling engine
+    "KernelCaches",
+    "kernel_disabled",
+    "kernel_enabled",
+    "kernel_override",
 ]
 
 #: Lazy attribute → defining submodule (PEP 562).
@@ -82,6 +87,10 @@ _LAZY = {
     "RunEventKind": "repro.api.events",
     "OpTable": "repro.optable",
     "as_optable": "repro.optable",
+    "KernelCaches": "repro.kernel",
+    "kernel_disabled": "repro.kernel",
+    "kernel_enabled": "repro.kernel",
+    "kernel_override": "repro.kernel",
 }
 
 from repro._lazy import lazy_attributes  # noqa: E402

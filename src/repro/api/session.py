@@ -55,6 +55,7 @@ class Session:
         self._spec = spec
         self._platform = None
         self._tables = None
+        self._kernel_caches = None
 
     @classmethod
     def from_spec(cls, spec: ExperimentSpec) -> "Session":
@@ -88,6 +89,21 @@ class Session:
             self._tables = self._spec.resolve_tables(self.platform)
         return self._tables
 
+    @property
+    def kernel_caches(self):
+        """The session's incremental-kernel warm starts (built once).
+
+        Shared by every manager and batch service this session creates, so
+        repeated :meth:`run` calls — and the runs that follow an
+        :meth:`explore` sweep — start from warm table slices and solver
+        memos.  Content-keyed, hence bit-identical reuse by construction.
+        """
+        if self._kernel_caches is None:
+            from repro.kernel.caches import KernelCaches
+
+            self._kernel_caches = KernelCaches()
+        return self._kernel_caches
+
     def scheduler(self):
         """A fresh scheduler instance per call (schedulers may keep state)."""
         return self._spec.scheduler.build()
@@ -105,6 +121,7 @@ class Session:
             platform=self.platform,
             tables=self.tables,
             scheduler=scheduler,
+            kernel_caches=self.kernel_caches,
         )
 
     # ------------------------------------------------------------------ #
@@ -249,6 +266,7 @@ class Session:
                 executor=executor,
                 use_cache=use_cache,
                 cache_size=cache_size,
+                kernel_caches=self.kernel_caches,
             )
         return service.run_batch(
             self.to_batch(trials=trials, seeds=seeds), progress=progress

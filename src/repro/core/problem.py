@@ -173,6 +173,21 @@ class SchedulingProblem:
             self._view = ProblemView(self)
         return self._view
 
+    def share_view(self, shared) -> "ProblemView":
+        """Seed :meth:`view` with cross-activation shared table slices.
+
+        The incremental kernel calls this right after constructing the
+        problem, passing the run's
+        :class:`~repro.optable.view.SharedSlices` so the capacity-dependent
+        slices derived by earlier activations are reused instead of rebuilt.
+        A no-op when the view already exists.
+        """
+        if self._view is None:
+            from repro.optable.view import ProblemView
+
+            self._view = ProblemView(self, shared)
+        return self._view
+
     def processing_capacity(self) -> list[float]:
         """The knapsack capacities :math:`\\vec{J}` of Algorithm 1, line 1.
 

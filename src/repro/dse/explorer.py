@@ -90,6 +90,11 @@ class DesignSpaceExplorer:
     ):
         self._platform = platform
         self._scaled_platforms: dict[float, Platform] = {}
+        #: Allocation enumeration per graph process count (kernel-style
+        #: incrementality: an OPP sweep walks the same allocations once per
+        #: scale, and a table-set exploration walks them once per variant —
+        #: one explorer instance derives them once and replays the tuple).
+        self._allocation_cache: dict[int, tuple[ResourceVector, ...]] = {}
         self._simulator = simulator or MappingSimulator(
             trace_generator=TraceGenerator(iterations=20, jitter=0.1, seed=2020)
         )
@@ -181,13 +186,30 @@ class DesignSpaceExplorer:
         evaluated once per scale, slowest first.
         """
         scales = (1.0,) if opp_scales is None else tuple(opp_scales)
+        allocations = self._allocations_for(graph.num_processes)
         results = []
         for scale in scales:
-            for allocation in self._platform.allocations(self._limit):
-                if allocation.total > graph.num_processes:
-                    continue
+            for allocation in allocations:
                 results.append(self.evaluate_allocation(graph, allocation, scale))
         return results
+
+    def _allocations_for(self, num_processes: int) -> tuple[ResourceVector, ...]:
+        """The admissible allocations for a graph of ``num_processes`` (cached).
+
+        The enumeration (and its process-count filter) is a pure function of
+        the platform limit and the process count, so one explorer derives it
+        once per count and reuses it across every sweep point and variant —
+        the same enumeration order the seed produced per scale.
+        """
+        cached = self._allocation_cache.get(num_processes)
+        if cached is None:
+            cached = tuple(
+                allocation
+                for allocation in self._platform.allocations(self._limit)
+                if allocation.total <= num_processes
+            )
+            self._allocation_cache[num_processes] = cached
+        return cached
 
     def explore(
         self,

@@ -154,6 +154,24 @@ class EnergyMeter:
 # ---------------------------------------------------------------------- #
 # Analytical schedule energy (offline helpers)
 # ---------------------------------------------------------------------- #
+def cluster_power(
+    busy_counts, platform: Platform, decision: OPPDecision
+) -> float:
+    """Platform watts for the given per-cluster busy-core counts.
+
+    The single home of the busy/idle per-cluster power formula: both the
+    seed admission path (via :func:`segment_analytical_power`) and the
+    incremental kernel's ledger-backed walk price segments through here, so
+    the two can never drift apart.
+    """
+    power = 0.0
+    for index, opp in enumerate(decision.cluster_opps):
+        busy = busy_counts[index]
+        idle = max(0, platform.core_counts[index] - busy)
+        power += busy * opp.power.power(1.0) + idle * opp.power.power(0.0)
+    return power
+
+
 def segment_analytical_power(
     segment: MappingSegment,
     tables: Mapping[str, ConfigTable],
@@ -164,12 +182,7 @@ def segment_analytical_power(
     from repro.optable.adapters import segment_busy_counts
 
     busy_counts = segment_busy_counts(segment, tables, platform.num_resource_types)
-    power = 0.0
-    for index, opp in enumerate(decision.cluster_opps):
-        busy = busy_counts[index]
-        idle = max(0, platform.core_counts[index] - busy)
-        power += busy * opp.power.power(1.0) + idle * opp.power.power(0.0)
-    return power
+    return cluster_power(busy_counts, platform, decision)
 
 
 def analytical_schedule_energy(

@@ -19,6 +19,7 @@ from repro.core.config import ConfigTable
 from repro.core.segment import Schedule
 from repro.energy.accounting import (
     analytical_schedule_energy,
+    cluster_power,
     segment_analytical_power,
 )
 from repro.energy.opp import OPPDecision
@@ -83,6 +84,9 @@ class EnergyBudget:
         consumed_joules: float,
         platform: Platform | None = None,
         decision: OPPDecision | None = None,
+        *,
+        optables: Mapping | None = None,
+        ledger=None,
     ) -> BudgetDecision:
         """Check the planned ``schedule`` against the envelope.
 
@@ -92,7 +96,18 @@ class EnergyBudget:
         it uses the operating-point averages (matching table-mode
         accounting), so the admission test always agrees with how the run
         will actually be metered.
+
+        ``optables`` and ``ledger`` are the incremental kernel's fast lane:
+        with the interned column tables (and, analytically, the run's
+        :class:`~repro.kernel.state.LoadLedger` busy rows) the check walks
+        the planned segments directly — same sums over the same floats —
+        instead of materialising a truncated :class:`Schedule` per admitted
+        arrival.
         """
+        if optables is not None:
+            return self._admits_kernel(
+                schedule, now, consumed_joules, platform, decision, optables, ledger
+            )
         future = schedule.truncated_before(now)
         analytical = platform is not None and decision is not None
 
@@ -120,6 +135,92 @@ class EnergyBudget:
                 )
             else:
                 planned = future.total_energy(tables)
+            total = consumed_joules + planned
+            if total > self.energy_budget_joules + 1e-9:
+                return BudgetDecision(
+                    False,
+                    f"plan needs {total:.3f} J > budget "
+                    f"{self.energy_budget_joules:.3f} J",
+                )
+
+        return BudgetDecision(True)
+
+    def _admits_kernel(
+        self,
+        schedule: Schedule,
+        now: float,
+        consumed_joules: float,
+        platform: Platform | None,
+        decision: OPPDecision | None,
+        optables: Mapping,
+        ledger,
+    ) -> BudgetDecision:
+        """The incremental kernel's admission walk.
+
+        Replays the exact arithmetic of :meth:`admits` — the same per-segment
+        power sums (mapping order) and the same truncated-duration energy
+        integral — directly over the planned segments and the interned
+        column tables, without materialising ``schedule.truncated_before``.
+        A straddling segment contributes ``end - now`` exactly like its
+        truncated twin would.
+        """
+        from repro.core.segment import TIME_EPSILON
+
+        analytical = platform is not None and decision is not None
+        if analytical and ledger is None:
+            from repro.kernel.state import LoadLedger
+
+            ledger = LoadLedger(optables, platform.num_resource_types)
+
+        def analytical_power(segment) -> float:
+            # Same rows and the same formula as the seed's
+            # segment_analytical_power, via the shared helpers.
+            return cluster_power(ledger.busy_counts(segment), platform, decision)
+
+        if self.power_cap_watts is not None:
+            for segment in schedule:
+                if segment.end <= now + TIME_EPSILON:
+                    continue
+                if analytical:
+                    watts = analytical_power(segment)
+                else:
+                    watts = sum(
+                        optables[m.application].powers[m.config_index]
+                        for m in segment
+                    )
+                if watts > self.power_cap_watts + 1e-9:
+                    start = segment.start
+                    if start < now - TIME_EPSILON:
+                        start = now
+                    return BudgetDecision(
+                        False,
+                        f"segment [{start:.3f}, {segment.end:.3f}) draws "
+                        f"{watts:.3f} W > cap {self.power_cap_watts:.3f} W",
+                    )
+
+        if self.energy_budget_joules is not None:
+            planned = 0.0
+            for segment in schedule:
+                end = segment.end
+                if end <= now + TIME_EPSILON:
+                    continue
+                start = segment.start
+                if start < now - TIME_EPSILON:
+                    start = now
+                duration = end - start
+                if analytical:
+                    planned += analytical_power(segment) * duration
+                else:
+                    segment_energy = 0.0
+                    for mapping in segment:
+                        table = optables[mapping.application]
+                        config_index = mapping.config_index
+                        segment_energy += (
+                            table.energies[config_index]
+                            * duration
+                            / table.times[config_index]
+                        )
+                    planned += segment_energy
             total = consumed_joules + planned
             if total > self.energy_budget_joules + 1e-9:
                 return BudgetDecision(

@@ -102,8 +102,19 @@ class FrequencyGovernor(abc.ABC):
         now: float,
         platform: Platform,
         tables: Mapping[str, ConfigTable],
+        ledger=None,
     ) -> float:
-        """Return a uniform speed from ``available_scales(platform)``."""
+        """Return a uniform speed from ``available_scales(platform)``.
+
+        ``ledger`` (keyword, optional) is the incremental kernel's
+        :class:`~repro.kernel.state.LoadLedger`: cached per-segment
+        busy-core rows shared with the budget admission check.  The rows
+        are integer sums, so reading them instead of re-deriving
+        ``resource_usage`` cannot change any selected speed.  Governors
+        that ignore it — including third-party ones written against the
+        pre-kernel signature, which the runtime manager detects and calls
+        without the argument — behave identically.
+        """
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
@@ -114,7 +125,7 @@ class PerformanceGovernor(FrequencyGovernor):
 
     name = "performance"
 
-    def select_scale(self, schedule, jobs, now, platform, tables) -> float:
+    def select_scale(self, schedule, jobs, now, platform, tables, ledger=None) -> float:
         return 1.0
 
 
@@ -127,7 +138,7 @@ class PowersaveGovernor(FrequencyGovernor):
 
     name = "powersave"
 
-    def select_scale(self, schedule, jobs, now, platform, tables) -> float:
+    def select_scale(self, schedule, jobs, now, platform, tables, ledger=None) -> float:
         return available_scales(platform)[0]
 
 
@@ -152,15 +163,22 @@ class OndemandGovernor(FrequencyGovernor):
             )
         self.up_threshold = up_threshold
 
-    def select_scale(self, schedule, jobs, now, platform, tables) -> float:
+    def select_scale(self, schedule, jobs, now, platform, tables, ledger=None) -> float:
         scales = available_scales(platform)
         upcoming = next(
             (s for s in schedule if s.end > now + TIME_EPSILON), None
         )
         if upcoming is None:
             return scales[0]
-        usage = upcoming.resource_usage(tables, platform.num_resource_types)
-        utilisation = usage.total / platform.total_cores
+        if ledger is not None:
+            # Same integer core counts as resource_usage, read from the
+            # kernel's shared ledger rows.
+            busy_total = sum(ledger.busy_counts(upcoming))
+        else:
+            busy_total = upcoming.resource_usage(
+                tables, platform.num_resource_types
+            ).total
+        utilisation = busy_total / platform.total_cores
         target = min(1.0, utilisation / self.up_threshold)
         for scale in scales:
             if scale >= target - SCALE_EPSILON:
@@ -183,7 +201,7 @@ class ScheduleAwareGovernor(FrequencyGovernor):
 
     name = "schedule-aware"
 
-    def select_scale(self, schedule, jobs, now, platform, tables) -> float:
+    def select_scale(self, schedule, jobs, now, platform, tables, ledger=None) -> float:
         floor = required_scale(schedule, jobs, now)
         candidates = [
             scale
@@ -193,10 +211,11 @@ class ScheduleAwareGovernor(FrequencyGovernor):
         if not candidates:
             return 1.0
         # Per-segment busy-core counts are scale-invariant; resolve them once
-        # from the interned OpTable demand columns and re-price per candidate
-        # scale.  Stretching anchors at ``now``, so every future duration
-        # scales by exactly 1 / scale and no stretched Schedule needs to be
-        # materialised.
+        # from the interned OpTable demand columns (or the kernel's shared
+        # ledger rows, which the budget admission check then reuses) and
+        # re-price per candidate scale.  Stretching anchors at ``now``, so
+        # every future duration scales by exactly 1 / scale and no stretched
+        # Schedule needs to be materialised.
         from repro.optable.adapters import segment_busy_counts
 
         future: list[tuple[float, list[int]]] = []
@@ -204,7 +223,12 @@ class ScheduleAwareGovernor(FrequencyGovernor):
             if segment.end <= now + TIME_EPSILON:
                 continue
             duration = segment.end - max(segment.start, now)
-            busy = segment_busy_counts(segment, tables, platform.num_resource_types)
+            if ledger is not None:
+                busy = ledger.busy_counts(segment)
+            else:
+                busy = segment_busy_counts(
+                    segment, tables, platform.num_resource_types
+                )
             future.append((duration, busy))
         best_scale, best_energy = 1.0, None
         for scale in candidates:

@@ -1,0 +1,216 @@
+"""The composable admission pipeline (``snapshot → candidates → solve → commit``).
+
+This is the decision path that used to live inline in
+``RuntimeManager._handle_arrival`` / ``_reschedule_at``, extracted into four
+named stages over an explicit :class:`~repro.kernel.state.ScheduleState`:
+
+``snapshot``
+    Capture the arrival: materialise the :class:`~repro.core.request.Job`,
+    record the request, mark the dirty set, stream the ``ARRIVAL`` event.
+``candidates``
+    Derive the scheduler candidates from the active set; overdue jobs (a
+    deadline-violating governor may leave some) get their deadline relaxed
+    to their *committed* completion time, read in O(1) from the schedule
+    state instead of scanning the committed segment list.
+``solve``
+    Build the :class:`~repro.core.problem.SchedulingProblem`, seed its
+    columnar view with the run's cross-activation
+    :class:`~repro.optable.view.SharedSlices`, and activate the scheduler.
+    The delta machinery lives below this stage: the EDF packer resumes from
+    placement prefixes shared with the activation's previous probe, falling
+    back to a full re-pack whenever the prefix diverges — which is what
+    keeps every schedule bit-identical to the seed's full re-solve.
+``commit``
+    Prune, apply the governor, check the energy envelope and install the
+    schedule — sharing one :class:`~repro.kernel.state.LoadLedger` across
+    the governor, the budget check and the committed-state rebind.
+
+The stages are ordinary methods, so subclasses (or tests) can compose or
+instrument them individually; the runtime manager drives :meth:`admit` and
+:meth:`reschedule` when ``REPRO_KERNEL`` is enabled and keeps its seed
+inline path alive for ``REPRO_KERNEL=0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING
+
+from repro.api.events import RunEvent, RunEventKind
+from repro.core.problem import SchedulingProblem
+from repro.core.request import Job
+from repro.kernel.caches import KernelCaches
+from repro.kernel.state import LoadLedger, ScheduleState
+
+if TYPE_CHECKING:  # pragma: no cover — typing only
+    from repro.runtime.manager import RuntimeManager
+    from repro.runtime.trace import RequestEvent
+    from repro.schedulers.base import SchedulingResult
+
+
+class KernelRun:
+    """Per-run kernel context: warm-start caches, schedule state, counters."""
+
+    __slots__ = ("caches", "slices", "state", "stats")
+
+    def __init__(self, caches: KernelCaches, slices) -> None:
+        self.caches = caches
+        self.slices = slices
+        self.state = ScheduleState()
+        self.stats = {
+            "activations": 0,
+            "dirty_jobs": 0,
+            "packs": 0,
+            "resumed_steps": 0,
+            "replayed_steps": 0,
+            "prunes_skipped": 0,
+            "prune_scans": 0,
+        }
+
+    def summary(self) -> dict:
+        """The payload of the run's ``KERNEL`` stream event."""
+        stats = dict(self.stats)
+        stats["commits"] = self.state.commits
+        placed = stats["resumed_steps"] + stats["replayed_steps"]
+        stats["delta_share"] = stats["resumed_steps"] / placed if placed else 0.0
+        return stats
+
+
+class AdmissionPipeline:
+    """Drives one arrival (or finish-time reschedule) through the kernel.
+
+    The pipeline is stateless across runs — everything mutable lives in the
+    manager's run context and its :class:`KernelRun` — so one pipeline
+    instance per manager serves concurrent runs.
+    """
+
+    def __init__(self, manager: "RuntimeManager"):
+        self._manager = manager
+
+    # ------------------------------------------------------------------ #
+    # Stages
+    # ------------------------------------------------------------------ #
+    def snapshot(self, ctx, event: "RequestEvent") -> Job:
+        """Stage 1: capture the arrival and mark the delta."""
+        job = Job(
+            name=event.name,
+            application=event.application,
+            arrival=event.time,
+            deadline=event.absolute_deadline,
+        )
+        ctx.request_info[event.name] = event
+        ctx.kernel.state.dirty.add(event.name)
+        if ctx.observer is not None:
+            ctx.observer(
+                RunEvent(
+                    RunEventKind.ARRIVAL,
+                    event.time,
+                    event.name,
+                    {
+                        "application": event.application,
+                        "deadline": event.absolute_deadline,
+                    },
+                )
+            )
+        return job
+
+    def candidates(self, ctx, now: float) -> list[Job]:
+        """Stage 2: the active jobs as scheduler candidates.
+
+        Mirrors the seed's ``_active_for_problem`` (see its docstring for
+        the overdue-deadline relaxation), but reads committed completion
+        times from the schedule state's ledger instead of scanning the
+        committed segments per overdue job.
+        """
+        state = ctx.kernel.state
+        candidates = []
+        for job in ctx.active.values():
+            if job.deadline < now:
+                committed = state.completion_time(job.name)
+                relaxed = max(now, committed if committed is not None else now)
+                candidates.append(replace(job, deadline=relaxed))
+            else:
+                candidates.append(job)
+        return candidates
+
+    def solve(self, ctx, jobs: list[Job], now: float) -> "SchedulingResult":
+        """Stage 3: pose the reduced problem and activate the scheduler."""
+        manager = self._manager
+        kernel = ctx.kernel
+        problem = SchedulingProblem(
+            manager._capacity, manager._tables, jobs, now=now
+        )
+        problem.share_view(kernel.slices)
+        result = manager._scheduler.schedule(problem)
+        ctx.log.activations += 1
+        stats = kernel.stats
+        stats["activations"] += 1
+        # The delta this activation was about: how many of the candidates
+        # were perturbed (arrived/finished) since the previous solve.
+        stats["dirty_jobs"] += len(kernel.state.dirty)
+        view = problem._view
+        memo = getattr(view, "_pack_memo", None) if view is not None else None
+        if memo is not None:
+            stats["packs"] += memo.packs
+            stats["resumed_steps"] += memo.resumed_steps
+            stats["replayed_steps"] += memo.replayed_steps
+        kernel.state.dirty.clear()
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Drivers
+    # ------------------------------------------------------------------ #
+    def admit(self, ctx, event: "RequestEvent") -> None:
+        """The kernel twin of the seed ``_handle_arrival`` decision path."""
+        manager = self._manager
+        job = self.snapshot(ctx, event)
+        candidate_jobs = self.candidates(ctx, event.time) + [job]
+        result = self.solve(ctx, candidate_jobs, event.time)
+
+        if result.feasible:
+            candidates = dict(ctx.active)
+            candidates[job.name] = job
+            ledger = LoadLedger(manager._optables, len(manager._capacity))
+            plan = manager._plan(
+                ctx, result.schedule, candidates, fresh=True, ledger=ledger
+            )
+            if manager._budget is not None:
+                verdict = manager._budget.admits(
+                    plan.schedule,
+                    manager._tables,
+                    now=event.time,
+                    consumed_joules=ctx.log.total_energy,
+                    platform=manager._platform,
+                    decision=plan.decision,
+                    optables=manager._optables,
+                    ledger=ledger,
+                )
+                if not verdict:
+                    # Deadline-feasible but over the power/energy envelope:
+                    # rejected like an infeasible request.
+                    ctx.log.budget_rejections += 1
+                    ctx.admissions[event.name] = (False, result.search_time)
+                    manager._emit_decision(ctx, event, False, result, reason="budget")
+                    return
+            ctx.active[job.name] = job
+            manager._commit(ctx, plan=plan)
+            ctx.admissions[event.name] = (True, result.search_time)
+            manager._emit_decision(ctx, event, True, result)
+        else:
+            # The new request is rejected; the previously committed schedule
+            # keeps serving the already admitted jobs.
+            ctx.admissions[event.name] = (False, result.search_time)
+            manager._emit_decision(ctx, event, False, result, reason="infeasible")
+
+    def reschedule(self, ctx, time: float) -> None:
+        """The kernel twin of ``_reschedule_at`` (remap on finish)."""
+        manager = self._manager
+        result = self.solve(ctx, self.candidates(ctx, time), time)
+        if result.feasible:
+            ledger = LoadLedger(manager._optables, len(manager._capacity))
+            plan = manager._plan(
+                ctx, result.schedule, ctx.active, fresh=True, ledger=ledger
+            )
+            manager._commit(ctx, plan=plan)
+        # If rescheduling fails the previously committed schedule (which is
+        # still feasible for the remaining jobs) stays in force.

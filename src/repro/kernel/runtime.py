@@ -1,0 +1,54 @@
+"""Runtime switch between the incremental kernel and the seed decision path.
+
+Mirrors :mod:`repro.optable.runtime` (the ``REPRO_OPTABLE`` gate of PR 4):
+every layer the incremental scheduling engine touches — the EDF packer's
+prefix-resumable placement, MMKP-MDF's monotone feasibility filtering, the
+runtime manager's delta-based admission pipeline, the load-ledger reads of
+the governor and the budget admission check — keeps its full re-solve
+implementation alive behind this switch.  The kernel path is the default;
+the seed path exists for
+
+* the equivalence suite, which runs every workload through both paths and
+  asserts bit-identical schedules, batch fingerprints and energy totals, and
+* the benchmark harness, which reports arrival-handling throughput of the
+  incremental kernel *relative to* the full re-solve path on the same host.
+
+The initial state comes from the ``REPRO_KERNEL`` environment variable
+(``0``/``false``/``no`` disables the incremental engine); tests flip it
+locally with :func:`kernel_disabled` / :func:`kernel_override`.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+_ENABLED = os.environ.get("REPRO_KERNEL", "1") not in ("0", "false", "no")
+
+
+def kernel_enabled() -> bool:
+    """``True`` when the incremental kernel fast paths are in force."""
+    return _ENABLED
+
+
+def set_kernel_enabled(enabled: bool) -> bool:
+    """Set the switch globally; returns the previous state."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(enabled)
+    return previous
+
+
+@contextmanager
+def kernel_override(enabled: bool):
+    """Context manager pinning the switch to ``enabled`` within the block."""
+    previous = set_kernel_enabled(enabled)
+    try:
+        yield
+    finally:
+        set_kernel_enabled(previous)
+
+
+def kernel_disabled():
+    """Shorthand for ``kernel_override(False)`` (the seed full-resolve path)."""
+    return kernel_override(False)

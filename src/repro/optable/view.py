@@ -88,6 +88,26 @@ class SolveCache:
             }
 
 
+class SharedSlices:
+    """Capacity-dependent table slices shared across scheduler activations.
+
+    A :class:`ProblemView` normally derives its slices per activation; the
+    incremental kernel keeps one ``SharedSlices`` per runtime-manager run
+    (and, via :class:`~repro.kernel.caches.KernelCaches`, per batch) so the
+    (table, capacity)-pure dictionaries — interned tables, capacity-fitting
+    index sets, MMKP weight rows — survive from one activation to the next.
+    The slices are filled lazily by whichever view touches them first; the
+    values are immutable, so sharing never changes what any activation sees.
+    """
+
+    __slots__ = ("optables", "fitting", "weight_rows")
+
+    def __init__(self) -> None:
+        self.optables: dict[str, OpTable] = {}
+        self.fitting: dict[str, tuple[int, ...]] = {}
+        self.weight_rows: dict[str, tuple[tuple[float, ...], ...]] = {}
+
+
 class ProblemView:
     """Columnar view of one scheduler activation.
 
@@ -98,16 +118,40 @@ class ProblemView:
     seed path rebuilt per segment.
     """
 
-    def __init__(self, problem: "SchedulingProblem"):
+    def __init__(self, problem: "SchedulingProblem", shared: "SharedSlices | None" = None):
         self._problem = problem
         self.capacity = tuple(problem.capacity)
         self.now = problem.now
         self._tables = problem.tables
-        self._optables: dict[str, OpTable] = {}
-        #: app → indices of points whose demand fits the *full* capacity.
-        self._fitting: dict[str, tuple[int, ...]] = {}
-        #: app → per-fitting-point float weight rows for MMKP group building.
-        self._weight_rows: dict[str, tuple[tuple[float, ...], ...]] = {}
+        if shared is not None:
+            # Cross-activation reuse (the incremental kernel): the slices
+            # depend only on (table content, capacity), both fixed for the
+            # lifetime of one runtime manager, so consecutive activations
+            # share one backing store instead of re-deriving them.
+            self._optables = shared.optables
+            self._fitting = shared.fitting
+            self._weight_rows = shared.weight_rows
+        else:
+            self._optables: dict[str, OpTable] = {}
+            #: app → indices of points whose demand fits the *full* capacity.
+            self._fitting: dict[str, tuple[int, ...]] = {}
+            #: app → per-fitting-point float weight rows for MMKP groups.
+            self._weight_rows: dict[str, tuple[tuple[float, ...], ...]] = {}
+        #: Per-activation prefix-resumable EDF pack trajectory (lazy).
+        self._pack_memo = None
+
+    def pack_memo(self):
+        """The activation's :class:`~repro.kernel.packmemo.PackMemo` (lazy).
+
+        One memo per view — i.e. per scheduler activation — because a pack
+        trajectory is only a valid resume point while ``now``, the job set,
+        the remaining ratios and the capacity are all unchanged.
+        """
+        if self._pack_memo is None:
+            from repro.kernel.packmemo import PackMemo
+
+            self._pack_memo = PackMemo()
+        return self._pack_memo
 
     # ------------------------------------------------------------------ #
     # Table access

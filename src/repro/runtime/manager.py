@@ -45,6 +45,8 @@ import warnings
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable, Mapping
 
+import inspect
+
 from repro.api.events import RunEvent, RunEventKind
 from repro.core.config import ConfigTable
 from repro.core.problem import SchedulingProblem
@@ -55,7 +57,12 @@ from repro.energy.budget import EnergyBudget
 from repro.energy.governor import FrequencyGovernor, stretch_schedule
 from repro.energy.opp import OPPDecision, decide, ensure_opps
 from repro.exceptions import AdmissionError, SchedulingError
+from repro.kernel.caches import KernelCaches
+from repro.kernel.pipeline import AdmissionPipeline, KernelRun
+from repro.kernel.runtime import kernel_enabled
+from repro.kernel.state import LoadLedger
 from repro.optable.adapters import optables_for
+from repro.optable.runtime import columnar_enabled
 from repro.platforms.platform import Platform
 from repro.platforms.resources import ResourceVector
 from repro.runtime.log import ExecutedInterval, ExecutionLog, RequestOutcome
@@ -121,6 +128,10 @@ class _RunContext:
     #: describe transitions the manager performs anyway, so observed and
     #: unobserved runs produce bit-identical logs.
     observer: Callable[[RunEvent], None] | None = None
+    #: Incremental-kernel context of this run (``None`` when the kernel is
+    #: disabled, i.e. ``REPRO_KERNEL=0`` or non-columnar mode): shared
+    #: warm-start caches, the explicit schedule state and delta counters.
+    kernel: KernelRun | None = None
 
 
 class RuntimeManager:
@@ -226,8 +237,15 @@ class RuntimeManager:
         governor: FrequencyGovernor | None = None,
         budget: EnergyBudget | None = None,
         account_energy: bool = True,
+        kernel_caches: KernelCaches | None = None,
     ) -> "RuntimeManager":
-        """Build a manager from live components (the canonical constructor)."""
+        """Build a manager from live components (the canonical constructor).
+
+        ``kernel_caches`` optionally injects a shared
+        :class:`~repro.kernel.caches.KernelCaches` so several managers (the
+        batch service's per-job managers, a DSE sweep) pool their
+        content-keyed warm starts; by default each manager owns one.
+        """
         manager = cls.__new__(cls)
         manager._configure(
             platform,
@@ -238,6 +256,7 @@ class RuntimeManager:
             governor=governor,
             budget=budget,
             account_energy=account_energy,
+            kernel_caches=kernel_caches,
         )
         return manager
 
@@ -249,13 +268,16 @@ class RuntimeManager:
         platform: Platform | ResourceVector | None = None,
         tables: Mapping[str, ConfigTable] | None = None,
         scheduler: Scheduler | None = None,
+        kernel_caches: KernelCaches | None = None,
     ) -> "RuntimeManager":
         """Build a manager from a declarative :class:`ExperimentSpec`.
 
         ``platform``/``tables``/``scheduler`` short-circuit the spec's
         registry lookups when the caller already materialised them (the
         :class:`~repro.api.session.Session` cache, or a
-        :class:`~repro.service.cache.CachingScheduler` wrapper).
+        :class:`~repro.service.cache.CachingScheduler` wrapper);
+        ``kernel_caches`` shares the caller's incremental-kernel warm
+        starts across the managers it builds.
         """
         if platform is None:
             platform = spec.platform.build()
@@ -272,6 +294,7 @@ class RuntimeManager:
             governor=spec.energy.build_governor(),
             budget=spec.energy.build_budget(),
             account_energy=spec.energy.account_energy,
+            kernel_caches=kernel_caches,
         )
 
     def _configure(
@@ -285,6 +308,7 @@ class RuntimeManager:
         governor: FrequencyGovernor | None,
         budget: EnergyBudget | None,
         account_energy: bool,
+        kernel_caches: KernelCaches | None = None,
     ) -> None:
         if engine not in ENGINES:
             raise SchedulingError(
@@ -325,6 +349,16 @@ class RuntimeManager:
         self._governor = governor
         self._budget = None if budget is not None and budget.unconstrained else budget
         self._account_energy = account_energy
+        # Incremental-kernel plumbing: one admission pipeline per manager and
+        # one warm-start cache store (shared across this manager's runs; a
+        # batch service may inject its own to share across jobs).
+        self._pipeline = AdmissionPipeline(self)
+        if kernel_caches is None:
+            kernel_caches = KernelCaches()
+        self._kernel_caches = kernel_caches
+        self._governor_takes_ledger = governor is not None and (
+            "ledger" in inspect.signature(governor.select_scale).parameters
+        )
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -361,12 +395,30 @@ class RuntimeManager:
             # Even before the first commit the platform idles at nominal
             # frequency; analytical accounting starts from that decision.
             ctx.decision = decide(self._platform, 1.0)
-        if engine == "events":
-            self._run_events(trace, ctx)
-        else:
-            self._run_linear(trace, ctx)
+        if kernel_enabled() and columnar_enabled():
+            ctx.kernel = KernelRun(
+                self._kernel_caches,
+                self._kernel_caches.shared_slices(self._capacity, self._tables),
+            )
+            # Immediately before the try whose finally releases it, so a
+            # failing run can never leave the scheduler's adoption dangling.
+            self._scheduler.begin_run(ctx.kernel)
+        try:
+            if engine == "events":
+                self._run_events(trace, ctx)
+            else:
+                self._run_linear(trace, ctx)
+        finally:
+            if ctx.kernel is not None:
+                self._scheduler.end_run(ctx.kernel)
         self._finalise_outcomes(ctx)
         if observer is not None:
+            if ctx.kernel is not None:
+                # One summary event of the incremental engine's delta work;
+                # purely observational, like every other stream event.
+                observer(
+                    RunEvent(RunEventKind.KERNEL, ctx.now, data=ctx.kernel.summary())
+                )
             observer(RunEvent(RunEventKind.END, ctx.now, data={"log": ctx.log}))
         return ctx.log
 
@@ -413,6 +465,12 @@ class RuntimeManager:
     # Arrival handling
     # ------------------------------------------------------------------ #
     def _handle_arrival(self, ctx: _RunContext, event: RequestEvent) -> None:
+        if ctx.kernel is not None:
+            # The incremental kernel's admission pipeline (snapshot →
+            # candidates → solve → commit); the inline body below is the
+            # seed path kept alive for REPRO_KERNEL=0.
+            self._pipeline.admit(ctx, event)
+            return
         job = Job(
             name=event.name,
             application=event.application,
@@ -490,7 +548,12 @@ class RuntimeManager:
     # Schedule commits
     # ------------------------------------------------------------------ #
     def _plan(
-        self, ctx: _RunContext, schedule: Schedule, active: Mapping[str, Job]
+        self,
+        ctx: _RunContext,
+        schedule: Schedule,
+        active: Mapping[str, Job],
+        fresh: bool = False,
+        ledger: LoadLedger | None = None,
     ) -> _Plan:
         """Prepare ``schedule`` for commit: prune ghosts, apply the governor.
 
@@ -498,13 +561,25 @@ class RuntimeManager:
         With one, the governor picks a uniform speed for the committed
         schedule, every cluster moves to the slowest OPP sustaining it and
         the schedule stretches by the inverse speed.
+
+        ``fresh=True`` (kernel pipeline only) marks a schedule the scheduler
+        just produced: every mapped job is a problem job and every problem
+        job is active, so the ghost prune is the identity by construction
+        and the scan is skipped.  ``ledger`` shares busy-count rows between
+        the governor and the budget admission check.
         """
-        schedule = self._without_finished(schedule, active, ctx.now)
+        if not (fresh and ctx.kernel is not None):
+            schedule = self._without_finished(schedule, active, ctx.now)
         if self._governor is None:
             return _Plan(schedule)
-        scale = self._governor.select_scale(
-            schedule, active, ctx.now, self._platform, self._tables
-        )
+        if ledger is not None and self._governor_takes_ledger:
+            scale = self._governor.select_scale(
+                schedule, active, ctx.now, self._platform, self._tables, ledger=ledger
+            )
+        else:
+            scale = self._governor.select_scale(
+                schedule, active, ctx.now, self._platform, self._tables
+            )
         if not 0.0 < scale <= 1.0 + _SCALE_EPSILON:
             raise SchedulingError(
                 f"governor {self._governor.name!r} selected invalid speed {scale}"
@@ -539,6 +614,8 @@ class RuntimeManager:
             ctx.decision = plan.decision
         ctx.cursor = 0
         ctx.epoch += 1
+        if ctx.kernel is not None:
+            ctx.kernel.state.rebind(ctx.schedule)
         if ctx.observer is not None:
             ctx.observer(
                 RunEvent(
@@ -716,6 +793,17 @@ class RuntimeManager:
                 if ctx.observer is not None:
                     ctx.observer(RunEvent(RunEventKind.FINISH, time, name))
         if finished and ctx.active:
+            kernel = ctx.kernel
+            if kernel is not None:
+                # The ledger knows each job's last committed segment end, so
+                # the common no-ghost case skips the prune scan entirely;
+                # the scan only runs when it will produce a changed
+                # schedule (the gate mirrors its boundary comparison).
+                kernel.state.dirty.update(finished)
+                if not kernel.state.needs_prune(finished, ctx.now):
+                    kernel.stats["prunes_skipped"] += 1
+                    return finished
+                kernel.stats["prune_scans"] += 1
             pruned = self._without_finished(ctx.schedule, ctx.active, ctx.now)
             if pruned is not ctx.schedule:
                 # Prune-only commit: the in-force schedule is already planned
@@ -748,6 +836,9 @@ class RuntimeManager:
 
     def _reschedule_at(self, ctx: _RunContext, time: float) -> None:
         """Re-activate the scheduler for the remaining jobs (remap on finish)."""
+        if ctx.kernel is not None:
+            self._pipeline.reschedule(ctx, time)
+            return
         problem = SchedulingProblem(
             self._capacity, self._tables, self._active_for_problem(ctx, time), now=time
         )

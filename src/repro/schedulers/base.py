@@ -60,6 +60,30 @@ class Scheduler(abc.ABC):
     def _solve(self, problem: SchedulingProblem) -> SchedulingResult:
         """Compute a schedule for ``problem`` (implemented by subclasses)."""
 
+    # ------------------------------------------------------------------ #
+    # Incremental-kernel hooks
+    # ------------------------------------------------------------------ #
+    def begin_run(self, kernel) -> None:
+        """Hook: a runtime-manager run is starting under the incremental kernel.
+
+        ``kernel`` is the run's :class:`~repro.kernel.pipeline.KernelRun`;
+        its :attr:`~repro.kernel.pipeline.KernelRun.caches` carry
+        content-keyed warm starts (table slices, MMKP-LR relaxations,
+        EX-MEM candidate columns) that survive across runs and batch jobs.
+        Schedulers adopt what helps them — any reuse must be keyed so a hit
+        is bit-identical to a fresh computation (fingerprints + exact
+        ratios, like :class:`~repro.optable.view.SolveCache`).  The default
+        is a no-op; the hook is never called with ``REPRO_KERNEL=0``.
+        """
+
+    def end_run(self, kernel) -> None:
+        """Hook: the run that :meth:`begin_run` opened has finished.
+
+        Called from a ``finally`` block, so per-run state adopted in
+        :meth:`begin_run` can be released even when the run raises.  The
+        default is a no-op.
+        """
+
     def schedule(self, problem: SchedulingProblem) -> SchedulingResult:
         """Solve ``problem`` and attach the wall-clock search time.
 

@@ -16,6 +16,7 @@ from repro.core.problem import SchedulingProblem
 from repro.core.request import Job
 from repro.core.segment import JobMapping, MappingSegment, Schedule, TIME_EPSILON
 from repro.exceptions import SchedulingError
+from repro.kernel.runtime import kernel_enabled
 from repro.optable.runtime import columnar_enabled
 
 #: Remaining-ratio threshold below which a job counts as finished.
@@ -56,6 +57,14 @@ def pack_jobs_edf(
     >>> schedule is not None
     True
     """
+    if columnar_enabled() and kernel_enabled() and base_schedule is None:
+        # Incremental kernel: resume from the longest placement prefix
+        # shared with the activation's previous pack (bit-identical to a
+        # from-scratch pack; see repro.kernel.packmemo).  Configuration
+        # range checks happen at placement time there (resumed steps were
+        # validated when first placed).
+        return _pack_incremental(problem, assignment, problem.view().pack_memo())
+
     jobs = [job for job in problem.jobs if job.name in assignment]
 
     if columnar_enabled():
@@ -204,6 +213,168 @@ def _pack_columnar(
     return Schedule._trusted(
         tuple(
             MappingSegment._trusted(start, end, tuple(mappings))
+            for start, end, mappings, _ in segments
+        )
+    )
+
+
+def _pack_incremental(
+    problem: SchedulingProblem,
+    assignment: Mapping[str, int],
+    memo,
+) -> Schedule | None:
+    """Prefix-resumable Algorithm 2 (the incremental kernel's fast path).
+
+    Replays exactly the placement loop of :func:`_pack_columnar`, but over a
+    list of *immutable* segment records ``(start, end, mappings, usage)``
+    resumed from the longest ``(job, configuration)`` placement prefix shared
+    with the activation's previous pack (see
+    :class:`~repro.kernel.packmemo.PackMemo`).  Placements copy-on-write only
+    the records they touch, so recording one snapshot per step is a pointer
+    copy.  The arithmetic — and therefore every float — is identical to the
+    from-scratch pack; the kernel equivalence tests assert it.
+    """
+    view = problem.view()
+    capacity = view.capacity
+    dimension = len(capacity)
+    now = problem.now
+
+    # The EDF placement order of the *full* job set is a constant of the
+    # activation; sorting it once and filtering preserves the exact relative
+    # order a per-pack sort of the assigned subset would produce.
+    edf_jobs = memo.edf_jobs
+    if edf_jobs is None:
+        edf_jobs = memo.edf_jobs = sorted(
+            problem.jobs, key=lambda j: (j.deadline, j.name)
+        )
+    ordered = [job for job in edf_jobs if job.name in assignment]
+    memo.packs += 1
+
+    # Longest placement prefix shared with the previous pack, compared in
+    # stride (no intermediate step list).
+    recorded = memo.steps
+    shared = 0
+    limit = min(len(ordered), len(recorded))
+    while shared < limit:
+        job = ordered[shared]
+        step = recorded[shared]
+        if step[0] != job.name or step[1] != assignment[job.name]:
+            break
+        shared += 1
+    segments = memo.resume(shared)
+    memo.resumed_steps += shared
+    steps = memo.steps
+    snapshots = memo.snapshots
+    placements = memo.placements
+    add = int.__add__
+
+    # Validate (and derive placement constants for) every job of the dirty
+    # suffix up front, like the seed's pre-loop — so an out-of-range
+    # configuration raises even when an earlier placement fails its
+    # deadline first.  Prefix jobs were validated when their steps were
+    # recorded; repeat probes hit the per-activation placement cache.
+    for job in ordered[shared:]:
+        config_index = assignment[job.name]
+        placement = placements.get(job.name)
+        if placement is None or placement[0] != config_index:
+            table = view.optable(job.application)
+            if not 0 <= config_index < len(table.times):
+                raise SchedulingError(
+                    f"job {job.name!r}: configuration {config_index} out of range"
+                )
+            placements[job.name] = (
+                config_index,
+                table.resources[config_index],
+                table.times[config_index],
+                JobMapping(job, config_index),
+            )
+
+    # The seed path re-checks per probed segment that the job is not already
+    # mapped there; without a base schedule that guard is unreachable (job
+    # names are unique and each job's own placement only moves forward), so
+    # the incremental path drops it from the inner loop.
+    for job in ordered[shared:]:
+        job_name = job.name
+        config_index, row, execution_time, mapping = placements[job_name]
+        remaining_ratio = job.remaining_ratio
+        finish_time: float | None = None
+
+        index = 0
+        while index < len(segments) and remaining_ratio > _RATIO_EPSILON:
+            start, end, mappings, usage = segments[index]
+            fits = True
+            for k in range(dimension):
+                if usage[k] + row[k] > capacity[k]:
+                    fits = False
+                    break
+            if not fits:
+                index += 1
+                continue
+
+            required = execution_time * min(1.0, remaining_ratio)
+            duration = end - start
+            if required >= duration - TIME_EPSILON:
+                # The job is busy for the whole segment (Alg. 2, lines 9-11).
+                segments[index] = (
+                    start,
+                    end,
+                    mappings + (mapping,),
+                    tuple(map(add, usage, row)),
+                )
+                remaining_ratio -= duration / execution_time
+                if remaining_ratio <= _RATIO_EPSILON:
+                    remaining_ratio = 0.0
+                    finish_time = end
+                    break
+                index += 1
+            else:
+                # The job finishes inside the segment: split it and map the
+                # job only onto the first half (Alg. 2, lines 13-17).
+                split_time = start + required
+                if split_time <= start + TIME_EPSILON:
+                    # Identical guard (and error) as the seed paths.
+                    raise SchedulingError(
+                        f"split time {split_time} outside open interval "
+                        f"({start}, {end})"
+                    )
+                first = (
+                    start,
+                    split_time,
+                    mappings + (mapping,),
+                    tuple(map(add, usage, row)),
+                )
+                second = (split_time, end, mappings, usage)
+                segments[index : index + 1] = [first, second]
+                remaining_ratio = 0.0
+                finish_time = split_time
+                break
+
+        if remaining_ratio > _RATIO_EPSILON:
+            # Remaining work after the last existing segment (lines 19-22).
+            start = max(now, segments[-1][1] if segments else now)
+            required = execution_time * min(1.0, remaining_ratio)
+            end = start + required
+            if end <= start + TIME_EPSILON:
+                # Identical guard (and error) as the seed's constructor.
+                raise SchedulingError(
+                    f"segment end {end} must be greater than start {start}"
+                )
+            segments.append((start, end, (mapping,), row))
+            finish_time = end
+
+        memo.replayed_steps += 1
+        # Deadline check (Algorithm 2, line 23).  Failed placements are not
+        # recorded: a later pack sharing the failing step must re-fail it.
+        if finish_time is None or finish_time > job.deadline + 1e-9:
+            return None
+        steps.append((job_name, config_index))
+        snapshots.append(segments.copy())
+
+    # The working list is sorted and disjoint by construction; materialise
+    # through the trusted constructors (no re-sort, no re-validation).
+    return Schedule._trusted(
+        tuple(
+            MappingSegment._trusted(start, end, mappings)
             for start, end, mappings, _ in segments
         )
     )

@@ -77,6 +77,23 @@ class ExMemScheduler(Scheduler):
     ):
         self._max_configs = max_configs_per_job
         self._max_states = max_states
+        self._kernel_caches = None
+
+    # ------------------------------------------------------------------ #
+    # Incremental-kernel hooks
+    # ------------------------------------------------------------------ #
+    def begin_run(self, kernel) -> None:
+        """Adopt the kernel's shared per-table candidate-column store.
+
+        The candidate points/columns of an application depend only on the
+        table content and the truncation knob; keying by the interned
+        table fingerprint lets every activation of a run (and every job of
+        a batch posing the same tables) reuse one derivation.
+        """
+        self._kernel_caches = kernel.caches
+
+    def end_run(self, kernel) -> None:
+        self._kernel_caches = None
 
     # ------------------------------------------------------------------ #
     # Scheduler interface
@@ -125,15 +142,26 @@ class ExMemScheduler(Scheduler):
     def _candidate_points(self, job: Job) -> list[tuple[int, OperatingPoint]]:
         """The (index, point) pairs this job may use, possibly truncated."""
         if job.application not in self._points_cache:
-            table = self._problem.optable_for(job)
-            pairs = [(index, table.points[index]) for index in range(len(table))]
-            if self._max_configs is not None and len(pairs) > self._max_configs:
-                # ``order_by_energy`` is the same stable energy sort the seed
-                # performed here per solve.
-                pairs = [
-                    (index, table.points[index])
-                    for index in table.order_by_energy[: self._max_configs]
-                ]
+            pairs = None
+            caches = self._kernel_caches
+            if caches is not None:
+                # Shared across activations (and batch jobs) by table
+                # content: the pairs are a pure function of the interned
+                # table and the truncation knob.
+                table = self._problem.optable_for(job)
+                entry = caches.exmem_columns(table.fingerprint, self._max_configs)
+                if entry is not None:
+                    pairs = entry[0]
+            if pairs is None:
+                table = self._problem.optable_for(job)
+                pairs = [(index, table.points[index]) for index in range(len(table))]
+                if self._max_configs is not None and len(pairs) > self._max_configs:
+                    # ``order_by_energy`` is the same stable energy sort the
+                    # seed performed here per solve.
+                    pairs = [
+                        (index, table.points[index])
+                        for index in table.order_by_energy[: self._max_configs]
+                    ]
             self._points_cache[job.application] = pairs
         return self._points_cache[job.application]
 
@@ -144,10 +172,21 @@ class ExMemScheduler(Scheduler):
         first three are dicts keyed by configuration index (the candidate set
         may be truncated) and the minima are over the candidate set — the
         values the seed re-derived with ``min(...)`` scans per search state.
+        Under the incremental kernel the derivation is shared process-wide
+        by table fingerprint (see :meth:`begin_run`).
         """
         application = job.application
         columns = self._columns_cache.get(application)
         if columns is None:
+            caches = self._kernel_caches
+            fingerprint = None
+            if caches is not None:
+                fingerprint = self._problem.optable_for(job).fingerprint
+                entry = caches.exmem_columns(fingerprint, self._max_configs)
+                if entry is not None and entry[1] is not None:
+                    self._columns_cache[application] = entry[1]
+                    self._points_cache.setdefault(application, entry[0])
+                    return entry[1]
             pairs = self._candidate_points(job)
             times = {index: point.execution_time for index, point in pairs}
             energies = {index: point.energy for index, point in pairs}
@@ -156,6 +195,10 @@ class ExMemScheduler(Scheduler):
             fastest = min(times.values())
             columns = (times, energies, rows, cheapest, fastest)
             self._columns_cache[application] = columns
+            if caches is not None:
+                caches.store_exmem_columns(
+                    fingerprint, self._max_configs, (pairs, columns)
+                )
         return columns
 
     def _state_key(self, now: float, states: Sequence[_JobState]):

@@ -26,6 +26,7 @@ from typing import Mapping
 from repro.core.config import ConfigTable
 from repro.core.problem import SchedulingProblem
 from repro.core.request import Job
+from repro.kernel.runtime import kernel_enabled
 from repro.optable.runtime import columnar_enabled
 from repro.schedulers.base import Scheduler, SchedulingResult
 from repro.schedulers.edf_packer import pack_jobs_edf
@@ -104,6 +105,11 @@ class MMKPMDFScheduler(Scheduler):
                     entries.append((index, remaining, resources[index]))
             time_feasible[job.name] = entries
 
+        if kernel_enabled():
+            return self._solve_columnar_kernel(
+                problem, view, containers, time_feasible
+            )
+
         def feasible_now(job: Job) -> list[int]:
             feasible = []
             for index, remaining, row in time_feasible[job.name]:
@@ -158,6 +164,189 @@ class MMKPMDFScheduler(Scheduler):
             if not committed:
                 # No configuration of this job yields a feasible packing: the
                 # request set is rejected (Algorithm 1, line 6).
+                return SchedulingResult(
+                    schedule=None,
+                    statistics={
+                        "packer_calls": packer_calls,
+                        "policy_calls": policy_calls,
+                    },
+                )
+            unassigned.remove(job.name)
+
+        energy = problem.energy_of(schedule) if schedule is not None else float("inf")
+        return SchedulingResult(
+            schedule=schedule,
+            assignment=assignment,
+            energy=energy,
+            statistics={"packer_calls": packer_calls, "policy_calls": policy_calls},
+        )
+
+    def _solve_columnar_kernel(
+        self,
+        problem: SchedulingProblem,
+        view,
+        containers: list[float],
+        time_feasible: dict[str, list[tuple[int, float, tuple[int, ...]]]],
+    ) -> SchedulingResult:
+        """Algorithm 1 on the incremental kernel (``REPRO_KERNEL=1``).
+
+        Produces the exact decision sequence (and floats) of
+        :meth:`_solve_columnar` while avoiding its per-round rescans:
+
+        * The per-entry container demand ``row[k] * remaining`` is a constant
+          of the activation and is materialised once.
+        * Containers only shrink as configurations commit, so feasibility is
+          *monotone*: an entry that failed a round can never pass a later
+          one.  Each job keeps its surviving entries plus their per-type
+          maximum demand; a round whose containers still cover that maximum
+          reuses the previous feasible set without scanning at all (every
+          comparison that does run is the seed comparison on the same
+          floats, so the feasible sets are identical).
+        * With the paper's MDF policy, a job's selection priority depends
+          only on its feasible set; it is recomputed only when that set
+          shrank.  The inlined selection replays the policy's exact
+          arithmetic and the seed's ``max((priority, name))`` tie-break.
+
+        The EDF packer underneath resumes from shared placement prefixes
+        (see :func:`repro.kernel.packmemo`), which is where the bulk of the
+        arrival-handling speedup comes from.
+        """
+        dimensions = len(containers)
+        epsilon = _EPSILON
+        assignment: dict[str, int] = {}
+        schedule = None
+        packer_calls = 0
+        policy_calls = 0
+
+        #: name → [entries, max_demand, feasible_indices, cached_priority]
+        records: dict[str, list] = {}
+        for job in problem.jobs:
+            entries = [
+                (index, tuple(row[k] * remaining for k in range(dimensions)))
+                for index, remaining, row in time_feasible[job.name]
+            ]
+            records[job.name] = [
+                entries,
+                [
+                    max((entry[1][k] for entry in entries), default=0.0)
+                    for k in range(dimensions)
+                ],
+                [entry[0] for entry in entries],
+                None,
+            ]
+
+        def feasible_now(name: str) -> tuple[list[int], bool]:
+            """The job's feasible indices plus whether the set just shrank."""
+            rec = records[name]
+            max_demand = rec[1]
+            for k in range(dimensions):
+                if max_demand[k] > containers[k] + epsilon:
+                    break
+            else:
+                return rec[2], False
+            survivors = []
+            for entry in rec[0]:
+                demand = entry[1]
+                fits = True
+                for k in range(dimensions):
+                    if demand[k] > containers[k] + epsilon:
+                        fits = False
+                        break
+                if fits:
+                    survivors.append(entry)
+            rec[0] = survivors
+            rec[1] = [
+                max((entry[1][k] for entry in survivors), default=0.0)
+                for k in range(dimensions)
+            ]
+            rec[2] = [entry[0] for entry in survivors]
+            rec[3] = None
+            return rec[2], True
+
+        inline_mdf = type(self._policy) is MaximumDifferencePolicy
+        unassigned = {job.name for job in problem.jobs}
+        while unassigned:
+            policy_calls += 1
+            if inline_mdf:
+                # Inlined MDF selection with cached priorities.  Matches the
+                # policy exactly: the first candidate (in problem.jobs
+                # order) with no feasible configuration is hopeless and
+                # selected immediately; otherwise the maximum of
+                # ``(priority, name)`` wins — identical to the seed's
+                # ``max(candidates, key=...)`` because names are unique.
+                job = None
+                config_indices: list[int] = []
+                best_key = None
+                for candidate in problem.jobs:
+                    name = candidate.name
+                    if name not in unassigned:
+                        continue
+                    indices, shrank = feasible_now(name)
+                    if not indices:
+                        job, config_indices = candidate, indices
+                        break
+                    rec = records[name]
+                    priority = rec[3]
+                    if shrank or priority is None:
+                        # The policy's columnar priority: difference of the
+                        # two smallest remaining energies (same floats).
+                        if len(indices) == 1:
+                            priority = float("inf")
+                        else:
+                            energies = view.optable(candidate.application).energies
+                            ratio = candidate.remaining_ratio
+                            smallest = second = float("inf")
+                            for index in indices:
+                                value = energies[index] * ratio
+                                if value < smallest:
+                                    smallest, second = value, smallest
+                                elif value < second:
+                                    second = value
+                            priority = second - smallest
+                        rec[3] = priority
+                    key = (priority, name)
+                    if best_key is None or key > best_key:
+                        best_key = key
+                        job, config_indices = candidate, indices
+            else:
+                candidates = [
+                    (candidate, feasible_now(candidate.name)[0])
+                    for candidate in problem.jobs
+                    if candidate.name in unassigned
+                ]
+                job, config_indices = self._policy.select(
+                    candidates, problem.tables, problem.now
+                )
+
+            # Try configurations in non-decreasing remaining-energy order
+            # (Algorithm 1, lines 5-14) — identical to the seed loop; the
+            # packer underneath resumes from shared placement prefixes.
+            table = view.optable(job.application)
+            energies = table.energies
+            ratio = job.remaining_ratio
+            ordered = sorted(config_indices, key=lambda i: energies[i] * ratio)
+            committed = False
+            for config_index in ordered:
+                # The seed copies the assignment per trial; mutating in
+                # place (and undoing on rejection) hands the packer the
+                # identical mapping without the per-trial dict churn.
+                assignment[job.name] = config_index
+                packer_calls += 1
+                trial_schedule = pack_jobs_edf(problem, assignment)
+                if trial_schedule is None:
+                    continue
+                schedule = trial_schedule
+                # Charge the committed configuration to the containers
+                # (Algorithm 1, line 12).
+                remaining = table.times[config_index] * ratio
+                row = table.resources[config_index]
+                for k in range(len(containers)):
+                    containers[k] -= row[k] * remaining
+                committed = True
+                break
+
+            if not committed:
+                assignment.pop(job.name, None)
                 return SchedulingResult(
                     schedule=None,
                     statistics={

@@ -243,6 +243,13 @@ class CachingScheduler(Scheduler):
         """The wrapped scheduler."""
         return self._inner
 
+    def begin_run(self, kernel) -> None:
+        """Forward the incremental-kernel run hook to the wrapped scheduler."""
+        self._inner.begin_run(kernel)
+
+    def end_run(self, kernel) -> None:
+        self._inner.end_run(kernel)
+
     def _solve(self, problem: SchedulingProblem) -> SchedulingResult:
         ordered = _canonical_order(problem)
         key = problem_signature(problem, namespace=self._inner.name, ordered=ordered)

@@ -41,6 +41,7 @@ from repro.api.registry import governors as _governors
 from repro.api.registry import schedulers as _schedulers
 from repro.energy.budget import EnergyBudget
 from repro.exceptions import WorkloadError
+from repro.kernel.caches import KernelCaches
 from repro.runtime.log import ExecutionLog, RequestOutcome
 from repro.runtime.manager import RuntimeManager
 from repro.service.cache import ActivationCache, CachingScheduler
@@ -296,7 +297,11 @@ class BatchResults:
         }
 
 
-def _simulate(job: SimulationJob, cache: ActivationCache | None) -> SimulationResult:
+def _simulate(
+    job: SimulationJob,
+    cache: ActivationCache | None,
+    kernel_caches: KernelCaches | None = None,
+) -> SimulationResult:
     """Materialise and run one job, capturing any failure in the result."""
     start = time.perf_counter()
     try:
@@ -323,6 +328,7 @@ def _simulate(job: SimulationJob, cache: ActivationCache | None) -> SimulationRe
             engine=job.engine,
             governor=governor,
             budget=budget,
+            kernel_caches=kernel_caches,
         )
         log = manager.run(trace)
     except Exception as error:  # noqa: BLE001 — failure isolation by design
@@ -334,18 +340,23 @@ def _simulate(job: SimulationJob, cache: ActivationCache | None) -> SimulationRe
 #: configured size; initialised lazily in each worker process.
 _PROCESS_CACHE: ActivationCache | None = None
 _PROCESS_CACHE_SIZE: int = 0
+#: Per-process incremental-kernel warm starts (content-keyed, so sharing
+#: across the heterogeneous jobs of one worker process is always sound).
+_PROCESS_KERNEL_CACHES: KernelCaches | None = None
 
 
 def _process_simulate(job_data: Mapping, cache_size: int) -> SimulationResult:
     """Worker-process entry point: rebuild the job and simulate it."""
-    global _PROCESS_CACHE, _PROCESS_CACHE_SIZE
+    global _PROCESS_CACHE, _PROCESS_CACHE_SIZE, _PROCESS_KERNEL_CACHES
     cache = None
     if cache_size > 0:
         if _PROCESS_CACHE is None or _PROCESS_CACHE_SIZE != cache_size:
             _PROCESS_CACHE = ActivationCache(cache_size)
             _PROCESS_CACHE_SIZE = cache_size
         cache = _PROCESS_CACHE
-    return _simulate(SimulationJob.from_dict(job_data), cache)
+    if _PROCESS_KERNEL_CACHES is None:
+        _PROCESS_KERNEL_CACHES = KernelCaches()
+    return _simulate(SimulationJob.from_dict(job_data), cache, _PROCESS_KERNEL_CACHES)
 
 
 class SimulationService:
@@ -387,6 +398,7 @@ class SimulationService:
         use_cache: bool = True,
         cache_size: int = 4096,
         metrics: ServiceMetrics | None = None,
+        kernel_caches: KernelCaches | None = None,
     ):
         if workers < 1:
             raise WorkloadError(f"worker count must be positive, got {workers}")
@@ -400,6 +412,14 @@ class SimulationService:
         self.cache_size = cache_size
         self.cache = ActivationCache(cache_size) if use_cache else None
         self.metrics = metrics if metrics is not None else ServiceMetrics()
+        #: Incremental-kernel warm starts shared by every job of every batch
+        #: this service runs (content-keyed, hence safe across heterogeneous
+        #: jobs): capacity-fitting table slices, MMKP-LR relaxations, EX-MEM
+        #: candidate columns.  Callers may inject one to pool across
+        #: services/sessions.
+        self.kernel_caches = (
+            kernel_caches if kernel_caches is not None else KernelCaches()
+        )
 
     # ------------------------------------------------------------------ #
     # Batch execution
@@ -445,7 +465,7 @@ class SimulationService:
     def _run_serial(self, jobs, progress) -> list[SimulationResult]:
         results = []
         for index, job in enumerate(jobs):
-            result = _simulate(job, self.cache)
+            result = _simulate(job, self.cache, self.kernel_caches)
             results.append(result)
             if progress is not None:
                 progress(index, result)
@@ -455,7 +475,7 @@ class SimulationService:
         results: list[SimulationResult | None] = [None] * len(jobs)
         with ThreadPoolExecutor(max_workers=self.workers) as pool:
             futures = {
-                pool.submit(_simulate, job, self.cache): index
+                pool.submit(_simulate, job, self.cache, self.kernel_caches): index
                 for index, job in enumerate(jobs)
             }
             for future in as_completed(futures):

@@ -117,3 +117,22 @@ class TestBuilderShims:
             warnings.simplefilter("error", DeprecationWarning)
             results = SimulationService(workers=1).run_batch(spec)
         assert results.failures == []
+
+    def test_session_and_kernel_paths_do_not_warn(self):
+        """Every remaining internal caller migrated off the shims.
+
+        A full Session run — spec resolution, registries, kernel pipeline,
+        commit path — must not touch ``build_scheduler``/``build_platform``
+        or the deprecated ``RuntimeManager(...)`` constructor.  Together
+        with pytest.ini's ``error::DeprecationWarning`` filter this pins the
+        suite's warning count to exactly the shim tests above.
+        """
+        from repro.api import ExperimentSpec, Session, WorkloadSpec
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            spec = ExperimentSpec(
+                name="clean", workload=WorkloadSpec.scenario("S1")
+            )
+            log = Session.from_spec(spec).run()
+        assert log.acceptance_rate == 1.0

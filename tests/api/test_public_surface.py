@@ -38,6 +38,11 @@ EXPECTED_API_ALL = [
     # columnar operating-point kernel (PR 4)
     "OpTable",
     "as_optable",
+    # incremental scheduling engine (PR 5)
+    "KernelCaches",
+    "kernel_disabled",
+    "kernel_enabled",
+    "kernel_override",
 ]
 
 #: The frozen field names of every spec dataclass (order included: it is the
@@ -88,6 +93,7 @@ class TestApiSurface:
             "commit",
             "interval",
             "finish",
+            "kernel",
             "end",
         }
 

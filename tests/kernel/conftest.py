@@ -1,0 +1,21 @@
+"""Gate pinning for the kernel suite.
+
+The incremental engine sits on top of the columnar OpTable stack, so these
+tests pin both runtime gates ON for their duration: the suite must exercise
+(and equivalence-test) the kernel even when the ambient environment runs
+with ``REPRO_KERNEL=0`` or ``REPRO_OPTABLE=0``.  Tests that compare against
+the seed path flip the kernel off locally via ``kernel_disabled()``; the
+nested overrides restore the pinned state on exit.
+"""
+
+import pytest
+
+from repro.kernel.runtime import kernel_override
+from repro.optable.runtime import columnar_override
+
+
+@pytest.fixture(autouse=True)
+def _kernel_stack_on():
+    with columnar_override(True):
+        with kernel_override(True):
+            yield

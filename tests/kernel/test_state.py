@@ -1,0 +1,138 @@
+"""Units for the kernel's explicit state: ledger, schedule state, pack memo."""
+
+from repro.core.request import Job
+from repro.core.segment import JobMapping, MappingSegment, Schedule
+from repro.kernel import KernelCaches, LoadLedger, PackMemo, ScheduleState
+from repro.optable.adapters import optables_for, segment_busy_counts
+from repro.workload.motivational import motivational_problem, motivational_tables
+
+
+def _schedule_and_tables():
+    problem = motivational_problem("S1")
+    from repro.schedulers import MMKPMDFScheduler
+
+    schedule = MMKPMDFScheduler().schedule(problem).schedule
+    return schedule, problem.tables
+
+
+class TestLoadLedger:
+    def test_rows_match_the_segment_rescan(self):
+        schedule, tables = _schedule_and_tables()
+        optables = optables_for(tables)
+        dimension = 2
+        ledger = LoadLedger(optables, dimension)
+        for segment in schedule:
+            assert ledger.busy_counts(segment) == segment_busy_counts(
+                segment, tables, dimension
+            )
+
+    def test_rows_are_cached_per_segment_identity(self):
+        schedule, tables = _schedule_and_tables()
+        ledger = LoadLedger(optables_for(tables), 2)
+        segment = schedule[0]
+        assert ledger.busy_counts(segment) is ledger.busy_counts(segment)
+
+
+class TestScheduleState:
+    def test_completion_time_matches_schedule_scan(self):
+        schedule, tables = _schedule_and_tables()
+        state = ScheduleState()
+        state.rebind(schedule)
+        for name in schedule.job_names():
+            assert state.completion_time(name) == schedule.completion_time(name)
+        assert state.completion_time("nope") is None
+
+    def test_needs_prune_mirrors_the_scan_boundary(self):
+        job = Job(name="x", application="lambda1", arrival=0.0, deadline=100.0)
+        other = Job(name="y", application="lambda1", arrival=0.0, deadline=100.0)
+        schedule = Schedule(
+            [
+                MappingSegment(0.0, 2.0, [JobMapping(job, 0), JobMapping(other, 0)]),
+                MappingSegment(2.0, 4.0, [JobMapping(job, 0)]),
+            ]
+        )
+        state = ScheduleState()
+        state.rebind(schedule)
+        # x's last committed segment ends at 4.0: pruning at any earlier
+        # timestamp would strip it, pruning at/after is a no-op — with the
+        # same epsilon boundary the scan uses (end <= now + 1e-9 is history).
+        assert state.needs_prune(["x"], 2.0)
+        assert state.needs_prune(["x"], 4.0 - 1e-6)
+        assert not state.needs_prune(["x"], 4.0)
+        assert not state.needs_prune(["x"], 4.0 - 1e-10)  # within epsilon
+        # y's last segment ends at 2.0.
+        assert not state.needs_prune(["y"], 2.0)
+        assert state.needs_prune(["y"], 1.0)
+        assert not state.needs_prune(["gone"], 0.0)
+
+    def test_dirty_set_tracks_and_clears(self):
+        state = ScheduleState()
+        state.dirty.update(["a", "b"])
+        assert state.dirty == {"a", "b"}
+        state.dirty.clear()
+        assert not state.dirty
+
+
+class TestPackMemo:
+    def test_prefix_resume_counts(self):
+        from repro.schedulers.edf_packer import pack_jobs_edf
+
+        problem = motivational_problem("S1")
+        memo = problem.view().pack_memo()
+        # EDF order of S1 is (sigma2: deadline 4, sigma1: deadline 9), so a
+        # pack extending a sigma2-only assignment shares the sigma2 prefix.
+        first = pack_jobs_edf(problem, {"sigma2": 6})
+        assert first is not None
+        assert memo.packs == 1 and memo.resumed_steps == 0
+        assert memo.replayed_steps == 1
+
+        second = pack_jobs_edf(problem, {"sigma1": 6, "sigma2": 6})
+        assert second is not None
+        assert memo.packs == 2
+        # sigma2's placement was resumed; only sigma1 was replayed.
+        assert memo.resumed_steps == 1
+        assert memo.replayed_steps == 2
+
+    def test_resumed_pack_is_bit_identical_to_fresh(self):
+        from repro.schedulers.edf_packer import pack_jobs_edf
+
+        problem = motivational_problem("S2")
+        assignments = [
+            {"sigma1": 0},
+            {"sigma1": 0, "sigma2": 3},
+            {"sigma1": 1, "sigma2": 3},
+            {"sigma1": 1, "sigma2": 3, "sigma3": 2},
+        ]
+        resumed = [pack_jobs_edf(problem, a) for a in assignments]
+        for assignment, schedule in zip(assignments, resumed):
+            fresh_problem = motivational_problem("S2")
+            fresh = pack_jobs_edf(fresh_problem, assignment)
+            assert (schedule is None) == (fresh is None)
+            if schedule is not None:
+                assert schedule == fresh
+                for a, b in zip(schedule, fresh):
+                    assert a.start == b.start and a.end == b.end
+                    assert [
+                        (m.job_name, m.config_index) for m in a.mappings
+                    ] == [(m.job_name, m.config_index) for m in b.mappings]
+
+
+class TestKernelCaches:
+    def test_shared_slices_are_content_keyed(self):
+        caches = KernelCaches()
+        tables = motivational_tables()
+        capacity = (2, 2)
+        first = caches.shared_slices(capacity, tables)
+        again = caches.shared_slices(capacity, dict(tables))
+        assert first is again
+        other_capacity = caches.shared_slices((4, 4), tables)
+        assert other_capacity is not first
+
+    def test_exmem_columns_roundtrip(self):
+        caches = KernelCaches()
+        assert caches.exmem_columns("fp", 4) is None
+        caches.store_exmem_columns("fp", 4, ("pairs", "columns"))
+        assert caches.exmem_columns("fp", 4) == ("pairs", "columns")
+        assert caches.exmem_columns("fp", None) is None
+        info = caches.info()
+        assert info["exmem_tables"] == 1

@@ -11,8 +11,6 @@ from repro.service.jobs import (
     BatchSpec,
     SimulationJob,
     TraceSpec,
-    build_platform,
-    build_scheduler,
 )
 from repro.workload.motivational import motivational_tables
 
@@ -38,22 +36,25 @@ class TestTraceSpec:
 
 
 class TestRegistries:
+    # The deprecated ``build_scheduler``/``build_platform`` shims are covered
+    # (with their warnings) in tests/api/test_deprecations.py; everything
+    # else goes through the registries, so a clean run emits no warnings.
     def test_all_registered_schedulers_build_fresh_instances(self):
         for name in SCHEDULERS:
-            first = build_scheduler(name)
-            second = build_scheduler(name)
+            first = SCHEDULERS.build(name)
+            second = SCHEDULERS.build(name)
             assert first is not second
             assert first.name == name
 
     def test_all_registered_platforms_build(self):
         for name in PLATFORMS:
-            assert isinstance(build_platform(name), Platform)
+            assert isinstance(PLATFORMS.build(name), Platform)
 
     def test_unknown_names_raise(self):
         with pytest.raises(WorkloadError):
-            build_scheduler("nope")
+            SCHEDULERS.build("nope")
         with pytest.raises(WorkloadError):
-            build_platform("nope")
+            PLATFORMS.build("nope")
 
 
 class TestSimulationJob:
