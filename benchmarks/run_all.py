@@ -231,6 +231,13 @@ def measure_kernel_metrics(repeats: int = 3) -> dict:
         "speedup": round(reference_s / fast_s, 2) if fast_s > 0 else float("inf"),
     }
     metrics["optable_intern"] = intern_info()
+
+    # repro.gateway: warm runs/sec through the network daemon.  Measurement
+    # lives in bench_gateway_throughput so the gated CI metric is exactly
+    # what the pytest bench asserts (same spec, same warm-up, same clients).
+    import bench_gateway_throughput as gateway_bench
+
+    metrics["gateway_throughput"] = gateway_bench.measure_gateway_throughput()
     return metrics
 
 
@@ -253,6 +260,20 @@ def check_baseline(results: dict, tolerance: float) -> list[str]:
                 f"below {floor:.3f} (baseline {expected['columnar_speedup']:.3f} "
                 f"- {tolerance:.0%})"
             )
+    expected = baseline.get("gateway_throughput")
+    if expected is not None:
+        entry = results["metrics"].get("gateway_throughput")
+        if entry is None:
+            failures.append("gateway_throughput: missing from results")
+        else:
+            # An absolute floor, not a ratio: the subsystem's acceptance
+            # criterion is ">= 50 finished runs/sec warm" on any host.
+            floor = expected["min_runs_per_s"]
+            if entry["runs_per_s_warm"] < floor:
+                failures.append(
+                    f"gateway_throughput: {entry['runs_per_s_warm']:.1f} "
+                    f"runs/s warm fell below the absolute {floor:.0f}/s floor"
+                )
     expected = baseline.get("kernel_incremental")
     if expected is not None:
         entry = results["metrics"].get("kernel_incremental")
@@ -337,6 +358,12 @@ def main(argv: list[str] | None = None) -> int:
         f"  kernel_incremental: {kernel['arrivals_per_s_kernel']:.0f}/s kernel, "
         f"{kernel['arrivals_per_s_seed']:.0f}/s seed "
         f"({kernel['speedup']:.2f}x arrival handling)"
+    )
+    gateway = results["metrics"]["gateway_throughput"]
+    print(
+        f"  gateway_throughput: {gateway['runs_per_s_warm']:.0f} runs/s warm "
+        f"over {gateway['clients']} clients "
+        f"({gateway['gateway_efficiency']:.0%} of in-process)"
     )
     pareto = results["metrics"]["pareto_front"]
     print(

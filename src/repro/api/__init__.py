@@ -54,6 +54,7 @@ __all__ = [
     "Session",
     "RunEvent",
     "RunEventKind",
+    "RunEventStream",
     # columnar operating-point kernel
     "OpTable",
     "as_optable",
@@ -85,6 +86,7 @@ _LAZY = {
     "Session": "repro.api.session",
     "RunEvent": "repro.api.events",
     "RunEventKind": "repro.api.events",
+    "RunEventStream": "repro.api.session",
     "OpTable": "repro.optable",
     "as_optable": "repro.optable",
     "KernelCaches": "repro.kernel",

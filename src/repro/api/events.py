@@ -10,6 +10,14 @@ delivered while the run is still in flight, either through a callback
 Observation never changes simulation behaviour: the manager emits events
 *about* state transitions it performs anyway, so a run with and without an
 observer produces bit-identical logs.
+
+Events also define the network wire schema of :mod:`repro.gateway`:
+:meth:`RunEvent.to_dict` / :meth:`RunEvent.from_dict` round-trip every kind
+through plain JSON.  The one lossy case is :attr:`RunEventKind.END`, whose
+in-process payload carries the live
+:class:`~repro.runtime.log.ExecutionLog` — on the wire it travels as
+``ExecutionLog.summary()`` (aggregates plus the deterministic run
+fingerprint), which is what remote equivalence checks compare.
 """
 
 from __future__ import annotations
@@ -75,6 +83,64 @@ class RunEvent:
         )
         extras = f" ({extras})" if extras else ""
         return f"[{self.time:10.4f}] {self.kind.value}{request}{extras}"
+
+    # ------------------------------------------------------------------ #
+    # Wire schema (shared with repro.gateway)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """The JSON wire form of the event.
+
+        ``from_dict(to_dict(event)) == event`` for every kind whose payload
+        is already plain data — all of them except :attr:`RunEventKind.END`,
+        whose live ``ExecutionLog`` is replaced by its ``summary()`` dict
+        (so ``to_dict`` is idempotent across the round trip:
+        ``from_dict(d).to_dict() == d`` always holds).
+        """
+        payload: dict = {"kind": self.kind.value, "time": self.time}
+        if self.request is not None:
+            payload["request"] = self.request
+        payload["data"] = {
+            key: _wire_value(key, value) for key, value in self.data.items()
+        }
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RunEvent":
+        """Rebuild an event from its :meth:`to_dict` form."""
+        if not isinstance(payload, Mapping):
+            raise ValueError(f"run event payload must be a mapping, got {payload!r}")
+        try:
+            kind = RunEventKind(payload["kind"])
+        except KeyError:
+            raise ValueError("run event payload has no 'kind'") from None
+        except ValueError:
+            known = ", ".join(sorted(k.value for k in RunEventKind))
+            raise ValueError(
+                f"unknown run event kind {payload['kind']!r} (known: {known})"
+            ) from None
+        try:
+            time = float(payload["time"])
+        except (KeyError, TypeError, ValueError):
+            raise ValueError("run event payload needs a numeric 'time'") from None
+        data = payload.get("data") or {}
+        if not isinstance(data, Mapping):
+            raise ValueError(f"run event data must be a mapping, got {data!r}")
+        return cls(kind, time, payload.get("request"), dict(data))
+
+
+def _wire_value(key: str, value: Any):
+    """Normalise one payload entry to its JSON shape."""
+    if key == "log" and hasattr(value, "summary"):
+        return value.summary()
+    return _jsonify(value)
+
+
+def _jsonify(value: Any):
+    if isinstance(value, Mapping):
+        return {str(key): _jsonify(entry) for key, entry in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(entry) for entry in value]
+    return value
 
 
 __all__ = ["RunEvent", "RunEventKind"]

@@ -30,11 +30,109 @@ from __future__ import annotations
 
 import queue
 import threading
-from typing import Callable, Iterator, Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 from repro.api.events import RunEvent, RunEventKind
 from repro.api.spec import ExperimentSpec
 from repro.exceptions import WorkloadError
+
+
+class RunEventStream:
+    """A live stream of :class:`RunEvent`\\ s with deterministic shutdown.
+
+    Returned by :meth:`Session.stream`.  Iterating yields events as the
+    simulation produces them on a worker thread; the stream ends after the
+    :attr:`~RunEventKind.END` event.  The stream is also a context manager:
+    leaving the ``with`` block — or calling :meth:`close` directly — cancels
+    the worker thread and joins it, so abandoning a run mid-flight never
+    leaks a thread nor relies on generator garbage collection.
+
+    The worker starts lazily on the first :meth:`__next__` (or explicitly
+    via :meth:`__enter__`), feeding a bounded queue; a failure inside the
+    simulation is re-raised to the consumer.
+    """
+
+    _QUEUE_SIZE = 1024
+
+    class _Closed(BaseException):
+        """Raised inside the worker to abort an abandoned simulation."""
+
+    def __init__(self, run, name: str):
+        self._run = run  # callable(observer) executing the simulation
+        self._name = name
+        self._events: queue.Queue = queue.Queue(maxsize=self._QUEUE_SIZE)
+        self._cancelled = threading.Event()
+        self._worker: threading.Thread | None = None
+        self._finished = False
+
+    # -- worker side ---------------------------------------------------- #
+    def _put(self, item) -> None:
+        while not self._cancelled.is_set():
+            try:
+                self._events.put(item, timeout=0.05)
+                return
+            except queue.Full:
+                continue
+        raise self._Closed
+
+    def _work(self) -> None:
+        try:
+            self._run(self._put)
+        except self._Closed:
+            pass
+        except BaseException as error:  # noqa: BLE001 — re-raised in consumer
+            try:
+                self._put(error)
+            except self._Closed:
+                pass
+
+    def _start(self) -> None:
+        if self._worker is None:
+            self._worker = threading.Thread(
+                target=self._work, name=f"repro-session-{self._name}", daemon=True
+            )
+            self._worker.start()
+
+    # -- consumer side --------------------------------------------------- #
+    def __iter__(self) -> "RunEventStream":
+        return self
+
+    def __next__(self) -> RunEvent:
+        if self._finished:
+            raise StopIteration
+        self._start()
+        item = self._events.get()
+        if isinstance(item, BaseException):
+            self.close()
+            raise item
+        if item.kind is RunEventKind.END:
+            # The worker emitted its last event; reap it before handing the
+            # final event out so a completed stream never leaves a thread.
+            self.close()
+        return item
+
+    def close(self) -> None:
+        """Cancel the worker (if running) and reap it.  Idempotent."""
+        self._finished = True
+        self._cancelled.set()
+        worker = self._worker
+        if worker is None:
+            return
+        # Unblock a producer stuck between the cancel check and a full
+        # queue, then reap the thread.
+        while True:
+            try:
+                self._events.get_nowait()
+            except queue.Empty:
+                break
+        worker.join(timeout=10.0)
+
+    def __enter__(self) -> "RunEventStream":
+        self._start()
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
 
 
 class Session:
@@ -45,9 +143,13 @@ class Session:
     spec:
         The declarative experiment description.  The session never mutates
         it; derived live objects (platform, tables) are cached per session.
+    kernel_caches:
+        Optional pre-existing :class:`~repro.kernel.caches.KernelCaches` to
+        adopt instead of building a fresh store — the gateway passes one per
+        tenant so warm starts survive across sessions and requests.
     """
 
-    def __init__(self, spec: ExperimentSpec):
+    def __init__(self, spec: ExperimentSpec, *, kernel_caches=None):
         if not isinstance(spec, ExperimentSpec):
             raise WorkloadError(
                 f"Session expects an ExperimentSpec, got {type(spec).__name__}"
@@ -55,12 +157,12 @@ class Session:
         self._spec = spec
         self._platform = None
         self._tables = None
-        self._kernel_caches = None
+        self._kernel_caches = kernel_caches
 
     @classmethod
-    def from_spec(cls, spec: ExperimentSpec) -> "Session":
+    def from_spec(cls, spec: ExperimentSpec, *, kernel_caches=None) -> "Session":
         """The canonical constructor: ``Session.from_spec(spec).run()``."""
-        return cls(spec)
+        return cls(spec, kernel_caches=kernel_caches)
 
     @classmethod
     def from_file(cls, path) -> "Session":
@@ -140,65 +242,26 @@ class Session:
         """
         return self.manager().run(self.trace(), engine=engine, observer=on_event)
 
-    def stream(self, *, engine: str | None = None) -> Iterator[RunEvent]:
+    def stream(self, *, engine: str | None = None) -> RunEventStream:
         """Run the experiment, yielding :class:`RunEvent`\\ s as they happen.
 
-        The simulation executes on a worker thread feeding a bounded queue;
-        the final event has kind :attr:`~RunEventKind.END` and carries the
-        completed :class:`~repro.runtime.log.ExecutionLog` in
-        ``event.data["log"]``.  A failure inside the simulation is re-raised
-        from the generator.  Abandoning the generator early (``break``,
-        ``close()``) cancels the worker: its next event raises instead of
-        blocking on the full queue, so the thread always exits promptly.
+        Returns a :class:`RunEventStream`: iterate it (the simulation
+        executes on a worker thread feeding a bounded queue; the final event
+        has kind :attr:`~RunEventKind.END` and carries the completed
+        :class:`~repro.runtime.log.ExecutionLog` in ``event.data["log"]``),
+        or use it as a context manager so an early exit deterministically
+        cancels and joins the worker thread::
+
+            with session.stream() as events:
+                for event in events:
+                    ...
+
+        A failure inside the simulation is re-raised to the consumer.
         """
-        events: queue.Queue = queue.Queue(maxsize=1024)
-        cancelled = threading.Event()
-
-        class _StreamClosed(BaseException):
-            """Raised inside the worker to abort an abandoned simulation."""
-
-        def _put(item) -> None:
-            while not cancelled.is_set():
-                try:
-                    events.put(item, timeout=0.05)
-                    return
-                except queue.Full:
-                    continue
-            raise _StreamClosed
-
-        def _worker() -> None:
-            try:
-                self.run(on_event=_put, engine=engine)
-            except _StreamClosed:
-                pass
-            except BaseException as error:  # noqa: BLE001 — re-raised in consumer
-                try:
-                    _put(error)
-                except _StreamClosed:
-                    pass
-
-        worker = threading.Thread(
-            target=_worker, name=f"repro-session-{self._spec.name}", daemon=True
+        return RunEventStream(
+            lambda observer: self.run(on_event=observer, engine=engine),
+            self._spec.name,
         )
-        worker.start()
-        try:
-            while True:
-                item = events.get()
-                if isinstance(item, BaseException):
-                    raise item
-                yield item
-                if item.kind is RunEventKind.END:
-                    return
-        finally:
-            cancelled.set()
-            # Unblock a producer stuck between the cancel check and a full
-            # queue, then reap the thread.
-            while True:
-                try:
-                    events.get_nowait()
-                except queue.Empty:
-                    break
-            worker.join(timeout=10.0)
 
     # ------------------------------------------------------------------ #
     # Batch fan-out
@@ -306,4 +369,4 @@ class Session:
         return f"Session({self._spec.name!r}, scheduler={self._spec.scheduler.name!r})"
 
 
-__all__ = ["Session"]
+__all__ = ["RunEventStream", "Session"]

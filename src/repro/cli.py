@@ -22,6 +22,12 @@ The CLI mirrors the typical usage of the library:
 * ``repro-rm energy`` — replay a batch (or the motivational trace) under a
   frequency governor and report the per-cluster energy breakdown; see
   :mod:`repro.energy`.
+* ``repro-rm serve`` — run the scheduler-as-a-service gateway daemon:
+  REST submission of experiment specs, SSE streaming of run events,
+  per-tenant concurrency limits and graceful drain; see
+  :mod:`repro.gateway`.
+* ``repro-rm submit`` — submit an :class:`~repro.api.spec.ExperimentSpec`
+  JSON file to a running gateway and wait for (or stream) the result.
 
 All name-based choices (``--scheduler``, ``--governor``, platform names in
 spec files) resolve through the plugin registries of
@@ -33,6 +39,7 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import os
 import sys
 from typing import Sequence
 
@@ -108,6 +115,21 @@ def _load_batch(path: str):
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return None
+
+
+def _broken_pipe_exit() -> int:
+    """Exit cleanly after stdout went away mid-stream (e.g. piped to head).
+
+    Redirects stdout to /dev/null so the interpreter's shutdown flush does
+    not traceback on the closed pipe; a consumer closing its end is a
+    normal way to end a stream, not an error.
+    """
+    try:
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+    except OSError:
+        pass
+    return 0
 
 
 def _print_aggregate(name: str, aggregate: dict) -> None:
@@ -252,6 +274,73 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_service_options(energy)
     energy.add_argument("--output", default=None, help="write the breakdown JSON")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the scheduler-as-a-service gateway daemon",
+        description=(
+            "Start the asyncio gateway daemon (see repro.gateway): POST "
+            "ExperimentSpec JSON to /runs or /batches, stream run events "
+            "over SSE from /runs/{id}/events, scrape Prometheus metrics "
+            "from /metrics.  SIGTERM/SIGINT drain gracefully: in-flight "
+            "runs finish, new submissions get 503."
+        ),
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8023, help="bind port (0 picks a free one)"
+    )
+    serve.add_argument(
+        "--max-concurrent", type=int, default=8,
+        help="total runs executing at once (excess queue fairly)",
+    )
+    serve.add_argument(
+        "--max-per-tenant", type=int, default=2,
+        help="runs one tenant may execute at once",
+    )
+    serve.add_argument(
+        "--queue-timeout", type=float, default=None, metavar="SECONDS",
+        help="fail queued submissions that wait longer than this",
+    )
+    serve.add_argument(
+        "--batch-workers", type=int, default=1,
+        help="SimulationService workers per batch submission",
+    )
+
+    submit = subparsers.add_parser(
+        "submit",
+        help="submit an ExperimentSpec to a running gateway",
+        description=(
+            "Submit an ExperimentSpec JSON file to a gateway daemon "
+            "(repro-rm serve) and wait for the result — or follow the run's "
+            "event stream live with --stream.  With --trials N the spec "
+            "fans out into a seeded batch on the daemon."
+        ),
+    )
+    submit.add_argument("spec", help="ExperimentSpec JSON file (see repro.api.spec)")
+    submit.add_argument(
+        "--url",
+        default=os.environ.get("REPRO_GATEWAY_URL", "http://127.0.0.1:8023"),
+        help="gateway base URL (default: $REPRO_GATEWAY_URL or localhost:8023)",
+    )
+    submit.add_argument("--tenant", default=None, help="tenant label for admission")
+    submit.add_argument(
+        "--session", default=None,
+        help="named gateway session to reuse (warm kernel caches)",
+    )
+    submit.add_argument(
+        "--trials", type=int, default=1,
+        help="fan the spec out into N seeded trials on the daemon",
+    )
+    submit.add_argument(
+        "--stream", action="store_true",
+        help="follow the run's event stream (single runs only)",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="queue-to-finish deadline enforced by the daemon",
+    )
+    submit.add_argument("--output", default=None, help="write the result JSON")
     return parser
 
 
@@ -295,11 +384,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
     try:
         if args.stream:
             log = None
-            for event in session.stream():
-                if event.kind is RunEventKind.END:
-                    log = event.data["log"]
-                else:
-                    print(event)
+            try:
+                # The stream is a context manager: leaving the block — for
+                # any reason — cancels and joins the worker thread, so a
+                # consumer like ``| head`` never leaves a simulation running.
+                with session.stream() as events:
+                    for event in events:
+                        if event.kind is RunEventKind.END:
+                            log = event.data["log"]
+                        else:
+                            print(event, flush=True)
+            except BrokenPipeError:
+                return _broken_pipe_exit()
+            except KeyboardInterrupt:
+                print("interrupted", file=sys.stderr)
+                return 130
         else:
             log = session.run()
     except ReproError as error:
@@ -575,6 +674,107 @@ def _cmd_energy(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.gateway.server import GatewayConfig, serve
+
+    config = GatewayConfig(
+        host=args.host,
+        port=args.port,
+        max_concurrent=args.max_concurrent,
+        max_per_tenant=args.max_per_tenant,
+        queue_timeout_s=args.queue_timeout,
+        batch_workers=args.batch_workers,
+    )
+    try:
+        asyncio.run(serve(config))
+    except KeyboardInterrupt:
+        # The daemon's own SIGINT handler drains before the loop exits;
+        # this catches a second Ctrl-C pressed during the drain.
+        pass
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.api.events import RunEvent, RunEventKind
+    from repro.exceptions import ReproError
+    from repro.gateway.client import GatewayClient, GatewayError
+
+    try:
+        spec = ExperimentSpec.load(args.spec)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.trials > 1 and args.stream:
+        print("error: --stream applies to single runs, not --trials batches",
+              file=sys.stderr)
+        return 2
+
+    client = GatewayClient(args.url, tenant=args.tenant)
+    try:
+        if args.trials > 1:
+            record = client.submit_batch(
+                spec,
+                trials=args.trials,
+                session=args.session,
+                timeout_s=args.timeout,
+            )
+            status = client.wait_batch(record["id"])
+            if status["state"] != "done":
+                error = status.get("error", {})
+                print(f"error: batch {record['id']} failed: "
+                      f"{error.get('message', error)}", file=sys.stderr)
+                return 1
+            result = status["result"]
+            _print_aggregate(spec.name, result["aggregate"])
+            print(f"batch fingerprint {result['fingerprint']}")
+        else:
+            record = client.submit_run(
+                spec, session=args.session, timeout_s=args.timeout
+            )
+            if args.stream:
+                try:
+                    for payload in client.events(record["id"]):
+                        if payload.get("kind") in (
+                            RunEventKind.END.value, "error"
+                        ):
+                            continue  # the final status below reports both
+                        print(RunEvent.from_dict(payload), flush=True)
+                except BrokenPipeError:
+                    return _broken_pipe_exit()
+                except KeyboardInterrupt:
+                    print("interrupted (the run keeps going on the daemon; "
+                          f"check it with GET /runs/{record['id']})",
+                          file=sys.stderr)
+                    return 130
+            status = client.wait_run(record["id"])
+            if status["state"] != "done":
+                error = status.get("error", {})
+                print(f"error: run {record['id']} failed: "
+                      f"{error.get('message', error)}", file=sys.stderr)
+                return 1
+            result = status["result"]
+            print(
+                f"run {record['id']} ({spec.name}): "
+                f"{result['requests']} requests, "
+                f"acceptance {result['acceptance_rate'] * 100:.1f} %, "
+                f"energy {result['total_energy']:.2f} J, "
+                f"fingerprint {result['fingerprint']}"
+            )
+        if args.output:
+            save_json(status, args.output)
+            print(f"wrote gateway result to {args.output}")
+        return 0
+    except GatewayError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except (ConnectionError, OSError) as error:
+        print(f"error: cannot reach gateway at {args.url}: {error}",
+              file=sys.stderr)
+        return 2
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point (also installed as the ``repro-rm`` script)."""
     parser = _build_parser()
@@ -588,6 +788,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "motivational": _cmd_motivational,
         "batch": _cmd_batch,
         "energy": _cmd_energy,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
     }
     return handlers[args.command](args)
 

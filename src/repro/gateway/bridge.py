@@ -1,0 +1,90 @@
+"""Bridging the synchronous Session worker into asyncio, with backpressure.
+
+A gateway run executes :meth:`repro.api.session.Session.stream` on an
+executor thread while its consumers — the run record's event buffer and
+any number of SSE subscribers — live on the asyncio event loop.  The
+:class:`EventBridge` is the one-way pipe between the two worlds:
+
+* the executor thread calls :meth:`EventBridge.emit` per event;
+* the event is delivered on the loop thread via
+  ``loop.call_soon_threadsafe`` (FIFO, so event order is preserved);
+* a :class:`threading.BoundedSemaphore` caps the number of events in
+  flight — when the loop falls behind (slow SSE consumers, a busy
+  daemon), ``emit`` blocks the *simulation* thread, which in turn stalls
+  the bounded queue inside ``Session.stream``.  Backpressure propagates
+  all the way into the simulation instead of ballooning memory.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+
+class BridgeClosed(RuntimeError):
+    """Raised on emit after the loop side shut the bridge down."""
+
+
+class EventBridge:
+    """One-way, order-preserving, bounded pipe: worker thread → event loop.
+
+    Parameters
+    ----------
+    loop:
+        The event loop that owns the consumer side.
+    deliver:
+        Loop-thread callback invoked with each emitted item (e.g.
+        ``RunRecord.append_event``).
+    capacity:
+        Maximum items in flight before :meth:`emit` blocks the producer.
+    """
+
+    def __init__(
+        self,
+        loop,
+        deliver: Callable[[Any], None],
+        capacity: int = 256,
+    ):
+        if capacity < 1:
+            raise ValueError(f"bridge capacity must be positive, got {capacity}")
+        self._loop = loop
+        self._deliver = deliver
+        self._slots = threading.BoundedSemaphore(capacity)
+        self._closed = threading.Event()
+
+    def emit(self, item: Any) -> None:
+        """Hand one item to the loop (called on the worker thread).
+
+        Blocks while ``capacity`` items are already in flight; raises
+        :class:`BridgeClosed` if the bridge was shut down (the executor
+        thread should treat that as "stop simulating").
+        """
+        while not self._slots.acquire(timeout=0.1):
+            if self._closed.is_set():
+                raise BridgeClosed("event bridge is closed")
+        if self._closed.is_set():
+            self._slots.release()
+            raise BridgeClosed("event bridge is closed")
+        try:
+            self._loop.call_soon_threadsafe(self._pump, item)
+        except RuntimeError:  # loop already closed (daemon shutting down)
+            self._slots.release()
+            self._closed.set()
+            raise BridgeClosed("event loop is gone") from None
+
+    def _pump(self, item: Any) -> None:
+        self._slots.release()
+        if not self._closed.is_set():
+            self._deliver(item)
+
+    def close(self) -> None:
+        """Stop delivering and unblock any producer stuck in :meth:`emit`.
+
+        Safe from either side; idempotent.  Items already scheduled on the
+        loop are dropped, not delivered — close only when the consumer no
+        longer cares (run failed, daemon stopping).
+        """
+        self._closed.set()
+
+
+__all__ = ["BridgeClosed", "EventBridge"]

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -132,3 +133,63 @@ class ExecutionLog:
                 continue
             total += interval.energy * overlap / interval.duration
         return total
+
+    # ------------------------------------------------------------------ #
+    # Wire-friendly views
+    # ------------------------------------------------------------------ #
+    def fingerprint(self) -> str:
+        """SHA-256 digest of every deterministic field of the run.
+
+        Two runs of the same experiment produce the same fingerprint exactly
+        when they admitted the same requests, executed the same intervals on
+        the same configurations and charged the same energy — the equality
+        the gateway uses to prove a remote run matches an in-process one.
+        Floats are hashed through ``repr`` so the digest is bit-exact, not
+        tolerance-based.
+        """
+        digest = hashlib.sha256()
+        key = (
+            repr(self.total_energy),
+            self.activations,
+            self.budget_rejections,
+            tuple(
+                (
+                    o.name,
+                    o.application,
+                    repr(o.arrival),
+                    repr(o.deadline),
+                    o.accepted,
+                    repr(o.completion_time),
+                    repr(o.energy),
+                )
+                for o in self.outcomes
+            ),
+            tuple(
+                (repr(i.start), repr(i.end), i.job_configs, repr(i.energy))
+                for i in self.timeline
+            ),
+        )
+        digest.update(repr(key).encode("utf-8"))
+        return digest.hexdigest()
+
+    def summary(self) -> dict:
+        """A JSON-ready summary of the run (the gateway's result payload).
+
+        Carries the aggregate figures plus :meth:`fingerprint`, never the
+        full timeline — remote consumers follow the event stream for that.
+        """
+        return {
+            "requests": len(self.outcomes),
+            "accepted": len(self.accepted),
+            "rejected": len(self.rejected),
+            "acceptance_rate": self.acceptance_rate,
+            "total_energy": self.total_energy,
+            "makespan": self.makespan,
+            "activations": self.activations,
+            "deadline_misses": len(self.deadline_misses),
+            "budget_rejections": self.budget_rejections,
+            "cluster_energy": {
+                name: dict(entry) for name, entry in sorted(self.cluster_energy.items())
+            },
+            "fingerprint": self.fingerprint(),
+        }

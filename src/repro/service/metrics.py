@@ -8,12 +8,17 @@ text block the ``repro-rm batch`` CLI prints after a run.
 
 All mutators are thread-safe so a single registry can be shared by every
 worker of a :class:`~repro.service.pool.SimulationService`.
+
+:func:`prometheus_lines` renders any collection of counters and histograms
+in the Prometheus text exposition format; the gateway's ``GET /metrics``
+endpoint serves :meth:`ServiceMetrics.to_prometheus` output concatenated
+with its own daemon-level series.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Mapping
+from typing import Iterable, Mapping
 
 
 class Counter:
@@ -115,6 +120,52 @@ class Histogram:
             "p90": self.percentile(0.90),
             "p99": self.percentile(0.99),
         }
+
+
+def _prom_labels(labels: Mapping[str, str] | None) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{key}="{value}"' for key, value in sorted(labels.items()))
+    return "{" + body + "}"
+
+
+def prometheus_lines(
+    counters: Iterable[Counter] = (),
+    histograms: Iterable[Histogram] = (),
+    *,
+    prefix: str = "repro",
+    labels: Mapping[str, str] | None = None,
+) -> list[str]:
+    """Render counters and histograms in Prometheus text exposition format.
+
+    Histograms are exported as summaries: ``_count``/``_sum`` series plus
+    ``quantile``-labelled gauges for p50/p90/p99.  Empty histograms emit
+    only their count (quantiles of nothing are NaN, which scrapers dislike).
+    """
+    tag = _prom_labels(labels)
+    lines: list[str] = []
+    for counter in counters:
+        name = f"{prefix}_{counter.name}"
+        if counter.description:
+            lines.append(f"# HELP {name} {counter.description}")
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name}{tag} {counter.value:g}")
+    for histogram in histograms:
+        name = f"{prefix}_{histogram.name}"
+        if histogram.description:
+            lines.append(f"# HELP {name} {histogram.description}")
+        lines.append(f"# TYPE {name} summary")
+        lines.append(f"{name}_count{tag} {histogram.count}")
+        lines.append(f"{name}_sum{tag} {histogram.total:g}")
+        if histogram.count:
+            for fraction in (0.5, 0.9, 0.99):
+                quantile = dict(labels or {})
+                quantile["quantile"] = f"{fraction:g}"
+                lines.append(
+                    f"{name}{_prom_labels(quantile)} "
+                    f"{histogram.percentile(fraction):g}"
+                )
+    return lines
 
 
 class ServiceMetrics:
@@ -242,6 +293,30 @@ class ServiceMetrics:
                 )
             },
         }
+
+    def to_prometheus(self, *, prefix: str = "repro_service") -> str:
+        """The registry in Prometheus text exposition format."""
+        lines = prometheus_lines(
+            (
+                self.traces_run,
+                self.traces_failed,
+                self.requests_total,
+                self.requests_accepted,
+                self.requests_rejected,
+                self.activations,
+                self.cache_hits,
+                self.cache_misses,
+                self.budget_rejections,
+            ),
+            (
+                self.trace_energy,
+                self.request_energy,
+                self.trace_search_time,
+                self.trace_wall_time,
+            ),
+            prefix=prefix,
+        )
+        return "\n".join(lines) + "\n"
 
     def format(self) -> str:
         """Render the snapshot as the text block printed by the CLI."""

@@ -35,6 +35,7 @@ EXPECTED_API_ALL = [
     "Session",
     "RunEvent",
     "RunEventKind",
+    "RunEventStream",
     # columnar operating-point kernel (PR 4)
     "OpTable",
     "as_optable",

@@ -177,12 +177,92 @@ class TestStreaming:
             t.name == "repro-session-abandoned" for t in threading.enumerate()
         )
 
+    def test_stream_is_a_context_manager(self):
+        spec = _poisson_spec()
+        kinds = []
+        with Session.from_spec(spec).stream() as events:
+            for event in events:
+                kinds.append(event.kind)
+        assert kinds[0] is RunEventKind.ARRIVAL
+        assert kinds[-1] is RunEventKind.END
+
+    def test_early_close_leaves_no_live_worker_thread(self):
+        """Breaking out of the with-block mid-run joins the worker."""
+        import threading
+        import time
+
+        spec = ExperimentSpec(
+            name="early-close",
+            workload=WorkloadSpec.poisson(arrival_rate=0.5, num_requests=40, seed=1),
+        )
+        with Session.from_spec(spec).stream() as events:
+            next(events)  # worker is running mid-simulation
+        # __exit__ has returned: the worker must already be joined, not
+        # merely cancelled — no polling grace period.
+        assert not any(
+            t.name == "repro-session-early-close" for t in threading.enumerate()
+        )
+        # close() is idempotent and a closed stream stays closed.
+        events.close()
+        with pytest.raises(StopIteration):
+            next(events)
+
+    def test_close_before_first_next_never_starts_the_worker(self):
+        import threading
+
+        stream = Session.from_spec(_poisson_spec()).stream()
+        stream.close()
+        assert not any(
+            t.name == "repro-session-session-poisson"
+            for t in threading.enumerate()
+        )
+
     def test_run_event_str_is_compact(self):
         spec = ExperimentSpec(name="str", workload=WorkloadSpec.scenario("S1"))
         events = []
         Session.from_spec(spec).run(on_event=events.append)
         text = str(events[0])
         assert "arrival" in text and "sigma1" in text
+
+
+class TestConcurrentSessions:
+    def test_parallel_sessions_with_private_caches_match_serial(self):
+        """Two Sessions with independent KernelCaches, run in parallel
+        threads, produce batch fingerprints identical to running each
+        serially — per-tenant cache isolation never leaks across sessions.
+        This is the property the gateway's per-tenant warm stores rely on.
+        """
+        import threading
+
+        from repro.kernel.caches import KernelCaches
+
+        specs = [_poisson_spec(seed=21), _poisson_spec(seed=42)]
+        serial = [
+            Session.from_spec(spec, kernel_caches=KernelCaches()).run_batch(trials=3)
+            for spec in specs
+        ]
+
+        parallel_results = [None, None]
+        errors = []
+
+        def work(index):
+            try:
+                session = Session.from_spec(
+                    specs[index], kernel_caches=KernelCaches()
+                )
+                parallel_results[index] = session.run_batch(trials=3)
+            except BaseException as error:  # surfaced below
+                errors.append(error)
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert errors == []
+        for reference, observed in zip(serial, parallel_results):
+            assert observed is not None
+            assert observed.fingerprint() == reference.fingerprint()
 
 
 class TestSessionSurface:
