@@ -1,0 +1,110 @@
+"""repro.obs — span-tracing overhead on the kernel arrival-handling run.
+
+Re-runs the :mod:`bench_kernel_incremental` workload (high load, incremental
+kernel on) with a live :class:`repro.obs.Tracer` around the whole run and
+compares the best-of-N wall time against the untraced run.  Two gates:
+
+* **enabled** tracing must stay under :data:`MAX_ENABLED_OVERHEAD`
+  (default 5 %, ``REPRO_BENCH_OBS_MAX_OVERHEAD`` overrides) — every hot
+  layer is instrumented (arrival spans, pipeline phases, solver spans,
+  cache counters), so this bounds the *total* cost of observability;
+* **disabled** tracing has no dedicated gate: the instrumented code runs
+  in every other benchmark with tracing off, so the existing
+  ``kernel_incremental`` speedup floor in ``BENCH_BASELINE.json`` is the
+  disabled-overhead regression gate.
+
+The traced run must stay bit-identical to the untraced one — observability
+that changes behaviour is a bug, not overhead.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import bench_kernel_incremental as kernel_bench  # noqa: E402
+
+from repro.kernel import kernel_override  # noqa: E402
+from repro.obs import Tracer  # noqa: E402
+from repro.runtime.manager import RuntimeManager  # noqa: E402
+from repro.schedulers import MMKPMDFScheduler  # noqa: E402
+
+#: Acceptance ceiling on (traced - untraced) / untraced wall time.
+MAX_ENABLED_OVERHEAD = float(
+    os.environ.get("REPRO_BENCH_OBS_MAX_OVERHEAD", "0.05")
+)
+
+
+def _one_run(platform, tables, trace, tracer):
+    """One timed kernel run (fresh manager), traced when ``tracer`` is set."""
+    manager = RuntimeManager.from_components(platform, tables, MMKPMDFScheduler())
+    if tracer is None:
+        started = time.perf_counter()
+        log = manager.run(trace)
+        return time.perf_counter() - started, log
+    started = time.perf_counter()
+    with tracer:
+        log = manager.run(trace)
+    return time.perf_counter() - started, log
+
+
+def measure_tracing_overhead(repeats: int = 5, setup: tuple | None = None):
+    """Traced-vs-untraced best-of-N wall times of the kernel workload.
+
+    One untimed warm-up run, then the disabled and enabled measurements
+    interleave (disabled, enabled, disabled, enabled, ...) so drift in the
+    host's performance over the measurement window cancels out instead of
+    landing entirely on one side; the collector is paused so a GC pass
+    landing in one side's timing window cannot masquerade as tracing
+    overhead.  ``setup`` lets :mod:`run_all` pass the workload it already
+    built.
+    """
+    platform, tables, trace = setup if setup is not None else kernel_bench._setup()
+    disabled_s = enabled_s = float("inf")
+    disabled_log = enabled_log = None
+    spans = 0
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        with kernel_override(True):
+            _one_run(platform, tables, trace, None)  # warm-up, untimed
+            for _ in range(repeats):
+                seconds, disabled_log = _one_run(platform, tables, trace, None)
+                disabled_s = min(disabled_s, seconds)
+                tracer = Tracer(name="bench")
+                seconds, enabled_log = _one_run(platform, tables, trace, tracer)
+                enabled_s = min(enabled_s, seconds)
+                spans = len(tracer)
+                gc.collect()  # pay collection between repeats, not inside
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    assert kernel_bench.log_fingerprint(enabled_log) == kernel_bench.log_fingerprint(
+        disabled_log
+    ), "traced run diverged from the untraced run"
+    return {
+        "disabled_s": disabled_s,
+        "enabled_s": enabled_s,
+        "enabled_overhead": enabled_s / disabled_s - 1.0,
+        "spans": spans,
+    }
+
+
+def test_tracing_overhead():
+    result = measure_tracing_overhead()
+    print(
+        f"\nrepro.obs tracing overhead ({result['spans']} spans):\n"
+        f"  disabled: {result['disabled_s'] * 1e3:7.1f} ms\n"
+        f"  enabled:  {result['enabled_s'] * 1e3:7.1f} ms\n"
+        f"  overhead: {result['enabled_overhead'] * 100:+.2f} % "
+        f"(ceiling {MAX_ENABLED_OVERHEAD * 100:.0f} %)"
+    )
+    assert result["enabled_overhead"] < MAX_ENABLED_OVERHEAD, (
+        f"enabled tracing costs {result['enabled_overhead'] * 100:.2f} % "
+        f"(ceiling {MAX_ENABLED_OVERHEAD * 100:.0f} %)"
+    )

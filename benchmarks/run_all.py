@@ -201,6 +201,21 @@ def measure_kernel_metrics(repeats: int = 3) -> dict:
         },
     }
 
+    # repro.obs: span-tracing overhead on the same kernel workload.  The
+    # measurement (interleaved best-of-N, GC paused) lives in
+    # bench_obs_overhead so the gated metric matches the pytest bench.
+    import bench_obs_overhead as obs_bench
+
+    overhead = obs_bench.measure_tracing_overhead(
+        repeats=repeats, setup=(platform, kernel_tables, kernel_trace)
+    )
+    metrics["tracing_overhead"] = {
+        "spans": overhead["spans"],
+        "disabled_ms": round(overhead["disabled_s"] * 1e3, 1),
+        "enabled_ms": round(overhead["enabled_s"] * 1e3, 1),
+        "enabled_overhead": round(overhead["enabled_overhead"], 4),
+    }
+
     # Fig. 4 companion: the Pareto engine against the seed's pairwise scan.
     from repro.dse.pareto import pareto_front, pareto_front_reference
 
@@ -287,6 +302,21 @@ def check_baseline(results: dict, tolerance: float) -> list[str]:
                     f"{entry['speedup']:.3f} fell below {floor:.3f} "
                     f"(baseline {expected['speedup']:.3f} - {tolerance:.0%})"
                 )
+    expected = baseline.get("tracing_overhead")
+    if expected is not None:
+        entry = results["metrics"].get("tracing_overhead")
+        if entry is None:
+            failures.append("tracing_overhead: missing from results")
+        else:
+            # An absolute ceiling (no tolerance scaling): enabled tracing
+            # must never cost more than the acceptance criterion allows.
+            ceiling = expected["max_enabled_overhead"]
+            if entry["enabled_overhead"] > ceiling:
+                failures.append(
+                    f"tracing_overhead: enabled tracing costs "
+                    f"{entry['enabled_overhead'] * 100:.2f} % (ceiling "
+                    f"{ceiling * 100:.0f} %)"
+                )
     return failures
 
 
@@ -369,6 +399,12 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"  pareto_front: {pareto['engine_s'] * 1e3:.1f} ms engine vs "
         f"{pareto['reference_s'] * 1e3:.1f} ms reference ({pareto['speedup']:.1f}x)"
+    )
+    tracing = results["metrics"]["tracing_overhead"]
+    print(
+        f"  tracing_overhead: {tracing['enabled_ms']:.1f} ms traced vs "
+        f"{tracing['disabled_ms']:.1f} ms untraced "
+        f"({tracing['enabled_overhead']:+.2%}, {tracing['spans']} spans)"
     )
 
     exit_code = 0

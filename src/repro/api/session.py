@@ -28,6 +28,7 @@ Examples
 
 from __future__ import annotations
 
+import contextvars
 import queue
 import threading
 from typing import Callable, Mapping, Sequence
@@ -88,8 +89,15 @@ class RunEventStream:
 
     def _start(self) -> None:
         if self._worker is None:
+            # Run the worker inside a copy of the caller's contextvars
+            # context so context-propagated state — a repro.obs tracer in
+            # particular — follows the simulation onto the worker thread.
+            context = contextvars.copy_context()
             self._worker = threading.Thread(
-                target=self._work, name=f"repro-session-{self._name}", daemon=True
+                target=context.run,
+                args=(self._work,),
+                name=f"repro-session-{self._name}",
+                daemon=True,
             )
             self._worker.start()
 

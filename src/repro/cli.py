@@ -19,6 +19,10 @@ The CLI mirrors the typical usage of the library:
   described by a :class:`~repro.service.jobs.BatchSpec` JSON file through the
   concurrent :class:`~repro.service.pool.SimulationService` (worker fan-out,
   activation caching, service metrics); see :mod:`repro.service`.
+* ``repro-rm profile`` — run one experiment under several schedulers with
+  span tracing enabled (see :mod:`repro.obs`) and print the per-scheduler
+  phase-time breakdown; ``run``/``batch`` accept ``--trace out.json`` to
+  export a Chrome-trace view of any run.
 * ``repro-rm energy`` — replay a batch (or the motivational trace) under a
   frequency governor and report the per-cluster energy breakdown; see
   :mod:`repro.energy`.
@@ -38,6 +42,7 @@ everywhere without CLI edits.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import dataclasses
 import os
 import sys
@@ -132,6 +137,28 @@ def _broken_pipe_exit() -> int:
     return 0
 
 
+def _make_tracer(args: argparse.Namespace, name: str):
+    """A :class:`~repro.obs.Tracer` when ``--trace`` was given, else ``None``."""
+    if not getattr(args, "trace", None):
+        return None
+    from repro.obs import Tracer
+
+    return Tracer(name=name)
+
+
+def _write_trace(args: argparse.Namespace, tracer) -> None:
+    """Export a finished tracer to the ``--trace`` path (Chrome trace JSON)."""
+    if tracer is None:
+        return
+    from repro.obs import write_chrome_trace
+
+    write_chrome_trace(args.trace, tracer)
+    print(
+        f"wrote {len(tracer)} spans to {args.trace} "
+        "(load in Perfetto or chrome://tracing)"
+    )
+
+
 def _print_aggregate(name: str, aggregate: dict) -> None:
     print(
         f"batch {name}: {aggregate['traces']} traces "
@@ -178,6 +205,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="override the spec's time-advance engine",
     )
     run.add_argument("--output", default=None, help="write the run summary JSON")
+    run.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a Chrome-trace JSON of the run (Perfetto / chrome://tracing)",
+    )
     _add_service_options(run)
 
     dse = subparsers.add_parser("dse", help="generate operating-point tables")
@@ -237,6 +268,45 @@ def _build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--output", default=None, help="write result summaries JSON")
     batch.add_argument(
         "--quiet", action="store_true", help="omit the service metrics block"
+    )
+    batch.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a Chrome-trace JSON of the batch (Perfetto / chrome://tracing)",
+    )
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="per-scheduler phase-time breakdown of a traced run",
+        description=(
+            "Run one experiment under several schedulers with span tracing "
+            "enabled and print where the time went: per-phase durations "
+            "(arrival handling, pipeline snapshot/candidates/solve/commit, "
+            "solver activations, energy accounting) plus cache and packer "
+            "counters.  Without a spec file, profiles the motivational "
+            "scenario workload."
+        ),
+    )
+    profile.add_argument(
+        "spec", nargs="?", default=None,
+        help="ExperimentSpec JSON file (default: the motivational scenario)",
+    )
+    profile.add_argument(
+        "--scenario", choices=["S1", "S2"], default="S1",
+        help="motivational scenario to profile when no spec is given",
+    )
+    profile.add_argument(
+        "--schedulers", nargs="+", default=None, metavar="NAME",
+        help="schedulers to profile (default: ex-mem mmkp-lr mmkp-mdf fixed)",
+    )
+    profile.add_argument(
+        "--engine",
+        choices=["events", "linear"],
+        default=None,
+        help="override the time-advance engine",
+    )
+    profile.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="also write the merged Chrome trace of every profiled run",
     )
 
     energy = subparsers.add_parser(
@@ -362,6 +432,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     session = Session.from_spec(spec)
+    tracer = _make_tracer(args, spec.name)
+    scope = tracer if tracer is not None else contextlib.nullcontext()
 
     if args.trials > 1:
         if args.stream:
@@ -369,41 +441,47 @@ def _cmd_run(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
         try:
-            results = session.run_batch(trials=args.trials, service=_make_service(args))
+            with scope:
+                results = session.run_batch(
+                    trials=args.trials, service=_make_service(args)
+                )
         except ReproError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
         _print_aggregate(spec.name, results.aggregate())
         for failure in results.failures:
             print(f"  FAILED {failure.job_name}: {failure.error}")
+        _write_trace(args, tracer)
         if args.output:
             save_json(results.to_dict(), args.output)
             print(f"wrote {len(results)} trial summaries to {args.output}")
         return 1 if results.failures else 0
 
     try:
-        if args.stream:
-            log = None
-            try:
-                # The stream is a context manager: leaving the block — for
-                # any reason — cancels and joins the worker thread, so a
-                # consumer like ``| head`` never leaves a simulation running.
-                with session.stream() as events:
-                    for event in events:
-                        if event.kind is RunEventKind.END:
-                            log = event.data["log"]
-                        else:
-                            print(event, flush=True)
-            except BrokenPipeError:
-                return _broken_pipe_exit()
-            except KeyboardInterrupt:
-                print("interrupted", file=sys.stderr)
-                return 130
-        else:
-            log = session.run()
+        with scope:
+            if args.stream:
+                log = None
+                try:
+                    # The stream is a context manager: leaving the block — for
+                    # any reason — cancels and joins the worker thread, so a
+                    # consumer like ``| head`` never leaves a simulation running.
+                    with session.stream() as events:
+                        for event in events:
+                            if event.kind is RunEventKind.END:
+                                log = event.data["log"]
+                            else:
+                                print(event, flush=True)
+                except BrokenPipeError:
+                    return _broken_pipe_exit()
+                except KeyboardInterrupt:
+                    print("interrupted", file=sys.stderr)
+                    return 130
+            else:
+                log = session.run()
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    _write_trace(args, tracer)
 
     misses = len(log.deadline_misses)
     print(
@@ -557,16 +635,95 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     except WorkloadError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    results = service.run_batch(spec)
+    tracer = _make_tracer(args, spec.name)
+    scope = tracer if tracer is not None else contextlib.nullcontext()
+    with scope:
+        results = service.run_batch(spec)
     _print_aggregate(spec.name, results.aggregate())
     for failure in results.failures:
         print(f"  FAILED {failure.job_name}: {failure.error}")
+    _write_trace(args, tracer)
     if not args.quiet:
         print(service.metrics.format())
     if args.output:
         save_json(results.to_dict(), args.output)
         print(f"wrote {len(results)} result summaries to {args.output}")
     return 1 if results.failures else 0
+
+
+#: Default scheduler line-up of ``repro-rm profile``.
+_PROFILE_SCHEDULERS = ("ex-mem", "mmkp-lr", "mmkp-mdf", "fixed")
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.api.session import Session
+    from repro.exceptions import ReproError
+    from repro.obs import (
+        Tracer,
+        chrome_trace,
+        merge_chrome_traces,
+        phase_summary,
+        render_phase_table,
+    )
+
+    names = list(args.schedulers) if args.schedulers else list(_PROFILE_SCHEDULERS)
+    unknown = [name for name in names if name not in SCHEDULERS]
+    if unknown:
+        print(
+            f"error: unknown scheduler(s) {', '.join(unknown)}; "
+            f"choose from {', '.join(sorted(SCHEDULERS))}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        if args.spec:
+            base = ExperimentSpec.load(args.spec)
+        else:
+            base = ExperimentSpec(
+                name=f"profile-{args.scenario.lower()}",
+                workload=WorkloadSpec.scenario(args.scenario),
+            )
+        if args.engine:
+            base = dataclasses.replace(base, engine=args.engine)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    profiles: dict = {}
+    documents = []
+    for index, name in enumerate(names):
+        spec = dataclasses.replace(
+            base, scheduler=dataclasses.replace(base.scheduler, name=name)
+        )
+        tracer = Tracer(name=name)
+        try:
+            with tracer:
+                log = Session.from_spec(spec).run()
+        except ReproError as error:
+            print(f"error: {name}: {error}", file=sys.stderr)
+            return 2
+        profiles[name] = phase_summary(tracer.span_dicts())
+        print(
+            f"{name:10s} {len(log.outcomes)} requests, "
+            f"acceptance {log.acceptance_rate * 100:5.1f} %, "
+            f"energy {log.total_energy:7.2f} J, "
+            f"{len(tracer)} spans"
+        )
+        if args.trace:
+            # One Chrome-trace process per scheduler, so the merged view
+            # shows the four runs side by side.
+            documents.append(
+                chrome_trace(tracer, pid=index + 1, process_name=name)
+            )
+    print()
+    print(render_phase_table(profiles))
+    if args.trace:
+        save_json(merge_chrome_traces(documents), args.trace)
+        print(
+            f"wrote the merged trace of {len(documents)} runs to {args.trace} "
+            "(load in Perfetto or chrome://tracing)"
+        )
+    return 0
 
 
 def _motivational_energy_run(governor_name: str, power_cap, energy_budget):
@@ -787,6 +944,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "evaluate": _cmd_evaluate,
         "motivational": _cmd_motivational,
         "batch": _cmd_batch,
+        "profile": _cmd_profile,
         "energy": _cmd_energy,
         "serve": _cmd_serve,
         "submit": _cmd_submit,

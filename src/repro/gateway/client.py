@@ -139,6 +139,14 @@ class GatewayClient:
         """Long-poll ``GET /runs/{id}/wait`` until the run is terminal."""
         return self._request("GET", f"/runs/{run_id}/wait")
 
+    def trace(self, run_id: str) -> dict:
+        """The run's span trace: ``{id, trace_id, state, spans}``.
+
+        ``spans`` is empty until the run finishes (the daemon publishes the
+        completed span tree atomically with the result).
+        """
+        return self._request("GET", f"/runs/{run_id}/trace")
+
     def events(self, run_id: str, *, start: int = 0) -> Iterator[dict]:
         """Stream the run's events over SSE (replay from ``start``, then live).
 

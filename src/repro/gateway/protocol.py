@@ -163,7 +163,10 @@ def canonical_events(events) -> list[dict]:
             for key, value in (payload.get("data") or {}).items()
             if key not in WALL_CLOCK_FIELDS
         }
-        canonical.append({**payload, "data": data})
+        # The daemon stamps its per-request trace id onto streamed frames;
+        # like wall-clock fields it is run-specific, never behavioural.
+        stripped = {key: value for key, value in payload.items() if key != "trace_id"}
+        canonical.append({**stripped, "data": data})
     return canonical
 
 
@@ -186,12 +189,19 @@ def error_from(exception: BaseException) -> dict:
 # ---------------------------------------------------------------------- #
 # Server-Sent Events
 # ---------------------------------------------------------------------- #
-def sse_frame(event: Mapping[str, Any], index: int) -> bytes:
+def sse_frame(
+    event: Mapping[str, Any], index: int, trace_id: str | None = None
+) -> bytes:
     """One SSE frame: ``id`` = event index, ``event`` = RunEventKind value.
 
     The ``id`` line lets a disconnected client resume with
-    ``GET /runs/{id}/events?from=<last id + 1>``.
+    ``GET /runs/{id}/events?from=<last id + 1>``.  ``trace_id`` (the run's
+    server-minted span-trace id) is merged into the payload at frame time so
+    the buffered event dictionaries stay byte-identical to an in-process
+    run's; :func:`canonical_events` strips it again for equivalence checks.
     """
+    if trace_id is not None:
+        event = {**event, "trace_id": trace_id}
     payload = json.dumps(event, separators=(",", ":"), sort_keys=True)
     kind = event.get("kind", "message")
     return f"id: {index}\nevent: {kind}\ndata: {payload}\n\n".encode("utf-8")

@@ -47,6 +47,7 @@ class _Record:
         self.id = record_id
         self.tenant = tenant
         self.spec_name = spec_name
+        self.trace_id: str | None = None
         self.state = RunState.QUEUED
         self.submitted_at = time.time()
         self.started_at: float | None = None
@@ -94,6 +95,8 @@ class _Record:
             "started_at": self.started_at,
             "finished_at": self.finished_at,
         }
+        if self.trace_id is not None:
+            status["trace_id"] = self.trace_id
         if self.error is not None:
             status["error"] = self.error
         if self.result is not None:
@@ -107,6 +110,9 @@ class RunRecord(_Record):
     def __init__(self, record_id: str, tenant: str, spec_name: str):
         super().__init__(record_id, tenant, spec_name)
         self.events: list[dict] = []
+        #: Completed span dictionaries (set once, on the loop thread, after
+        #: a traced run finishes); ``GET /runs/{id}/trace`` serves these.
+        self.trace: list[dict] | None = None
 
     def append_event(self, payload: dict) -> None:
         self.events.append(payload)
@@ -156,8 +162,11 @@ class RunRegistry:
         self._batches: dict[str, BatchRecord] = {}
         self._counter = itertools.count(1)
 
-    def new_run(self, tenant: str, spec_name: str) -> RunRecord:
+    def new_run(
+        self, tenant: str, spec_name: str, trace_id: str | None = None
+    ) -> RunRecord:
         record = RunRecord(f"run-{next(self._counter):06d}", tenant, spec_name)
+        record.trace_id = trace_id
         self._runs[record.id] = record
         self._evict(self._runs)
         return record

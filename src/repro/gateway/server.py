@@ -33,6 +33,7 @@ import signal
 import threading
 import time
 import urllib.parse
+import uuid
 from dataclasses import dataclass
 from typing import Any, Mapping
 
@@ -43,10 +44,14 @@ from repro.gateway.bridge import EventBridge
 from repro.gateway.protocol import ProtocolError
 from repro.gateway.runs import RunRegistry, RunState
 from repro.gateway.store import SessionStore
+from repro.obs.profile import PHASE_SPANS
+from repro.obs.tracer import Tracer
 from repro.service.metrics import (
     Counter,
     Histogram,
     ServiceMetrics,
+    escape_label_value,
+    prometheus_grouped_lines,
     prometheus_lines,
 )
 
@@ -75,6 +80,10 @@ class GatewayConfig:
     batch_workers: int = 1
     #: Largest accepted request body.
     max_body_bytes: int = 8 * 1024 * 1024
+    #: Trace every run with a :class:`~repro.obs.Tracer`: responses carry a
+    #: ``trace_id``, the span tree is served by ``GET /runs/{id}/trace`` and
+    #: phase durations feed the ``/metrics`` exposition.
+    trace_runs: bool = True
 
 
 class GatewayMetrics:
@@ -94,6 +103,21 @@ class GatewayMetrics:
         self.sse_streams = Counter("sse_streams", "event streams served")
         self.queue_wait_s = Histogram("queue_wait_s", "admission queue wait (s)")
         self.run_wall_s = Histogram("run_wall_s", "run wall time (s)")
+        #: Span-derived phase durations, one histogram per phase span name.
+        self.phase_seconds: dict[str, Histogram] = {}
+
+    def observe_phases(self, spans) -> None:
+        """Fold one traced run's phase-span durations into the histograms."""
+        for span in spans:
+            name = span.get("name")
+            if name not in PHASE_SPANS:
+                continue
+            histogram = self.phase_seconds.get(name)
+            if histogram is None:
+                histogram = self.phase_seconds[name] = Histogram(
+                    f"phase_{name}", f"duration of {name} spans (s)"
+                )
+            histogram.observe(span["duration_s"])
 
     def counters(self) -> tuple[Counter, ...]:
         return (
@@ -392,6 +416,17 @@ class GatewayServer:
                 return self._write_response(writer, 200, record.status())
             if len(parts) == 3 and parts[2] == "events" and parts[0] == "runs":
                 return await self._stream_events(request, record, writer)
+            if len(parts) == 3 and parts[2] == "trace" and parts[0] == "runs":
+                return self._write_response(
+                    writer,
+                    200,
+                    {
+                        "id": record.id,
+                        "trace_id": record.trace_id,
+                        "state": record.state.value,
+                        "spans": record.trace or [],
+                    },
+                )
         if path in ("/runs", "/batches") or (
             len(parts) >= 2 and parts[0] in ("runs", "batches")
         ):
@@ -428,8 +463,17 @@ class GatewayServer:
         lines.append("# TYPE repro_gateway_tenant_running_peak gauge")
         for tenant, peak in sorted(self.admission.peak_per_tenant.items()):
             lines.append(
-                f'repro_gateway_tenant_running_peak{{tenant="{tenant}"}} {peak}'
+                "repro_gateway_tenant_running_peak"
+                f'{{tenant="{escape_label_value(tenant)}"}} {peak}'
             )
+        lines.extend(
+            prometheus_grouped_lines(
+                "phase_seconds",
+                "span-derived scheduling phase durations (s)",
+                self.metrics.phase_seconds,
+                prefix="repro_gateway",
+            )
+        )
         return "\n".join(lines) + "\n" + self.service_metrics.to_prometheus()
 
     def _refuse_if_draining(self) -> None:
@@ -447,7 +491,10 @@ class GatewayServer:
     ) -> None:
         self._refuse_if_draining()
         submission = protocol.parse_run_submission(request.json())
-        record = self.registry.new_run(submission.tenant, submission.spec.name)
+        trace_id = uuid.uuid4().hex[:16] if self.config.trace_runs else None
+        record = self.registry.new_run(
+            submission.tenant, submission.spec.name, trace_id=trace_id
+        )
         self.metrics.runs_submitted.increment()
         self._spawn(self._execute_run(record, submission))
         self._write_response(writer, 202, record.status())
@@ -485,7 +532,9 @@ class GatewayServer:
         while True:
             events, done = await record.wait_events(index)
             for payload in events:
-                writer.write(protocol.sse_frame(payload, index))
+                writer.write(
+                    protocol.sse_frame(payload, index, trace_id=record.trace_id)
+                )
                 index += 1
             await writer.drain()  # SSE backpressure: respect the socket
             if done and index >= len(record.events):
@@ -497,6 +546,7 @@ class GatewayServer:
                 protocol.sse_frame(
                     {"kind": "error", "time": record.finished_at, "data": record.error},
                     index,
+                    trace_id=record.trace_id,
                 )
             )
             await writer.drain()
@@ -533,24 +583,42 @@ class GatewayServer:
                 self.metrics.queue_wait_s.observe(time.time() - record.submitted_at)
                 started = time.perf_counter()
 
-                def work() -> None:
+                def work() -> list[dict] | None:
                     session = self.store.session_for(
                         submission.tenant, submission.session, submission.spec
                     )
-                    with session.stream(engine=submission.engine) as events:
-                        for event in events:
-                            if (
-                                deadline is not None
-                                and time.monotonic() > deadline
-                            ):
-                                raise RunTimeout(
-                                    f"run {record.id} exceeded "
-                                    f"timeout_s={submission.timeout_s:g}"
-                                )
-                            bridge.emit(event.to_dict())
+                    tracer = (
+                        Tracer(trace_id=record.trace_id, name=f"gateway:{record.id}")
+                        if record.trace_id is not None
+                        else None
+                    )
 
-                await loop.run_in_executor(self._executor, work)
+                    def drive() -> None:
+                        with session.stream(engine=submission.engine) as events:
+                            for event in events:
+                                if (
+                                    deadline is not None
+                                    and time.monotonic() > deadline
+                                ):
+                                    raise RunTimeout(
+                                        f"run {record.id} exceeded "
+                                        f"timeout_s={submission.timeout_s:g}"
+                                    )
+                                bridge.emit(event.to_dict())
+
+                    if tracer is None:
+                        drive()
+                        return None
+                    with tracer:
+                        drive()
+                    return tracer.span_dicts()
+
+                spans = await loop.run_in_executor(self._executor, work)
                 self.metrics.run_wall_s.observe(time.perf_counter() - started)
+                if spans is not None:
+                    # Back on the loop thread: safe to publish on the record.
+                    record.trace = spans
+                    self.metrics.observe_phases(spans)
             # The END frame is the last event the bridge delivered (its
             # call_soon_threadsafe precedes the executor completion signal).
             if not record.events or record.events[-1].get("kind") != "end":

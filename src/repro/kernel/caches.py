@@ -20,6 +20,7 @@ import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Mapping
 
+from repro.obs import tracer as obs
 from repro.optable.view import SharedSlices, SolveCache
 
 if TYPE_CHECKING:  # pragma: no cover — typing only
@@ -81,6 +82,7 @@ class KernelCaches:
             entry = self._exmem.get((fingerprint, max_configs))
             if entry is not None:
                 self._exmem.move_to_end((fingerprint, max_configs))
+            obs.count("cache.exmem.hit" if entry is not None else "cache.exmem.miss")
             return entry
 
     def store_exmem_columns(

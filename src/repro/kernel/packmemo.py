@@ -61,6 +61,7 @@ class PackMemo:
         "placements",
         "edf_jobs",
         "packs",
+        "resumed_packs",
         "resumed_steps",
         "replayed_steps",
     )
@@ -75,6 +76,8 @@ class PackMemo:
         #: The activation's full job set in EDF placement order (lazy).
         self.edf_jobs = None
         self.packs = 0
+        #: Packs that resumed a non-empty shared prefix (vs. from scratch).
+        self.resumed_packs = 0
         self.resumed_steps = 0
         self.replayed_steps = 0
 

@@ -41,6 +41,7 @@ from repro.core.problem import SchedulingProblem
 from repro.core.request import Job
 from repro.kernel.caches import KernelCaches
 from repro.kernel.state import LoadLedger, ScheduleState
+from repro.obs import tracer as obs
 
 if TYPE_CHECKING:  # pragma: no cover — typing only
     from repro.runtime.manager import RuntimeManager
@@ -154,6 +155,14 @@ class AdmissionPipeline:
             stats["packs"] += memo.packs
             stats["resumed_steps"] += memo.resumed_steps
             stats["replayed_steps"] += memo.replayed_steps
+            # Pack resume-vs-fallback outcome of this activation, aggregated
+            # here (once per solve) rather than in the per-candidate pack
+            # hot path, where per-call counting would dominate the traced
+            # run's overhead.
+            obs.count("pack.resume", memo.resumed_packs)
+            obs.count("pack.scratch", memo.packs - memo.resumed_packs)
+            obs.count("pack.steps_resumed", memo.resumed_steps)
+        obs.annotate(dirty_jobs=len(kernel.state.dirty))
         kernel.state.dirty.clear()
         return result
 
@@ -163,54 +172,70 @@ class AdmissionPipeline:
     def admit(self, ctx, event: "RequestEvent") -> None:
         """The kernel twin of the seed ``_handle_arrival`` decision path."""
         manager = self._manager
-        job = self.snapshot(ctx, event)
-        candidate_jobs = self.candidates(ctx, event.time) + [job]
-        result = self.solve(ctx, candidate_jobs, event.time)
+        with obs.span("phase.snapshot", category="pipeline"):
+            job = self.snapshot(ctx, event)
+        with obs.span("phase.candidates", category="pipeline") as candidates_span:
+            candidate_jobs = self.candidates(ctx, event.time) + [job]
+            candidates_span.annotate(jobs=len(candidate_jobs))
+        with obs.span("phase.solve", category="pipeline") as solve_span:
+            result = self.solve(ctx, candidate_jobs, event.time)
+            solve_span.annotate(feasible=result.feasible)
 
-        if result.feasible:
-            candidates = dict(ctx.active)
-            candidates[job.name] = job
-            ledger = LoadLedger(manager._optables, len(manager._capacity))
-            plan = manager._plan(
-                ctx, result.schedule, candidates, fresh=True, ledger=ledger
-            )
-            if manager._budget is not None:
-                verdict = manager._budget.admits(
-                    plan.schedule,
-                    manager._tables,
-                    now=event.time,
-                    consumed_joules=ctx.log.total_energy,
-                    platform=manager._platform,
-                    decision=plan.decision,
-                    optables=manager._optables,
-                    ledger=ledger,
+        with obs.span("phase.commit", category="pipeline") as commit_span:
+            if result.feasible:
+                candidates = dict(ctx.active)
+                candidates[job.name] = job
+                ledger = LoadLedger(manager._optables, len(manager._capacity))
+                plan = manager._plan(
+                    ctx, result.schedule, candidates, fresh=True, ledger=ledger
                 )
-                if not verdict:
-                    # Deadline-feasible but over the power/energy envelope:
-                    # rejected like an infeasible request.
-                    ctx.log.budget_rejections += 1
-                    ctx.admissions[event.name] = (False, result.search_time)
-                    manager._emit_decision(ctx, event, False, result, reason="budget")
-                    return
-            ctx.active[job.name] = job
-            manager._commit(ctx, plan=plan)
-            ctx.admissions[event.name] = (True, result.search_time)
-            manager._emit_decision(ctx, event, True, result)
-        else:
-            # The new request is rejected; the previously committed schedule
-            # keeps serving the already admitted jobs.
-            ctx.admissions[event.name] = (False, result.search_time)
-            manager._emit_decision(ctx, event, False, result, reason="infeasible")
+                if manager._budget is not None:
+                    verdict = manager._budget.admits(
+                        plan.schedule,
+                        manager._tables,
+                        now=event.time,
+                        consumed_joules=ctx.log.total_energy,
+                        platform=manager._platform,
+                        decision=plan.decision,
+                        optables=manager._optables,
+                        ledger=ledger,
+                    )
+                    if not verdict:
+                        # Deadline-feasible but over the power/energy
+                        # envelope: rejected like an infeasible request.
+                        ctx.log.budget_rejections += 1
+                        ctx.admissions[event.name] = (False, result.search_time)
+                        commit_span.annotate(outcome="budget-reject")
+                        manager._emit_decision(
+                            ctx, event, False, result, reason="budget"
+                        )
+                        return
+                ctx.active[job.name] = job
+                manager._commit(ctx, plan=plan)
+                ctx.admissions[event.name] = (True, result.search_time)
+                commit_span.annotate(outcome="admitted", speed=plan.speed)
+                manager._emit_decision(ctx, event, True, result)
+            else:
+                # The new request is rejected; the previously committed
+                # schedule keeps serving the already admitted jobs.
+                ctx.admissions[event.name] = (False, result.search_time)
+                commit_span.annotate(outcome="rejected")
+                manager._emit_decision(ctx, event, False, result, reason="infeasible")
 
     def reschedule(self, ctx, time: float) -> None:
         """The kernel twin of ``_reschedule_at`` (remap on finish)."""
         manager = self._manager
-        result = self.solve(ctx, self.candidates(ctx, time), time)
+        with obs.span("phase.candidates", category="pipeline"):
+            candidate_jobs = self.candidates(ctx, time)
+        with obs.span("phase.solve", category="pipeline") as solve_span:
+            result = self.solve(ctx, candidate_jobs, time)
+            solve_span.annotate(feasible=result.feasible)
         if result.feasible:
-            ledger = LoadLedger(manager._optables, len(manager._capacity))
-            plan = manager._plan(
-                ctx, result.schedule, ctx.active, fresh=True, ledger=ledger
-            )
-            manager._commit(ctx, plan=plan)
+            with obs.span("phase.commit", category="pipeline"):
+                ledger = LoadLedger(manager._optables, len(manager._capacity))
+                plan = manager._plan(
+                    ctx, result.schedule, ctx.active, fresh=True, ledger=ledger
+                )
+                manager._commit(ctx, plan=plan)
         # If rescheduling fails the previously committed schedule (which is
         # still feasible for the remaining jobs) stays in force.

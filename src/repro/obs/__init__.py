@@ -1,0 +1,66 @@
+"""repro.obs — span tracing and phase profiling for the whole stack.
+
+A contextvar-propagated, span-based tracer threaded through the runtime
+manager, the incremental admission pipeline, scheduler solves, the cache
+stack and the gateway.  No-op by default: instrumentation costs one
+``ContextVar.get`` per call site until a :class:`Tracer` is entered.
+
+::
+
+    from repro import obs
+
+    with obs.Tracer(name="run:my-experiment") as tracer:
+        log = session.run()
+    obs.write_chrome_trace("trace.json", tracer)   # load in ui.perfetto.dev
+    obs.phase_summary(tracer.span_dicts())         # per-phase wall time
+
+See also ``repro-rm run --trace out.json`` and ``repro-rm profile``.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    merge_chrome_traces,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.profile import (
+    PHASE_SPANS,
+    merged_counts,
+    phase_summary,
+    phase_totals,
+    render_phase_table,
+)
+from repro.obs.tracer import (
+    NOOP_SPAN,
+    NoopSpan,
+    Span,
+    Tracer,
+    active,
+    annotate,
+    count,
+    current_span,
+    current_tracer,
+    span,
+)
+
+__all__ = [
+    "NOOP_SPAN",
+    "NoopSpan",
+    "PHASE_SPANS",
+    "Span",
+    "Tracer",
+    "active",
+    "annotate",
+    "chrome_trace",
+    "count",
+    "current_span",
+    "current_tracer",
+    "merge_chrome_traces",
+    "merged_counts",
+    "phase_summary",
+    "phase_totals",
+    "render_phase_table",
+    "span",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,119 @@
+"""Trace exporters: Chrome trace-event JSON (Perfetto-loadable) and JSONL.
+
+The Chrome format is the ``traceEvents`` array documented by the Trace Event
+Format spec: complete (``"ph": "X"``) events with microsecond ``ts``/``dur``,
+grouped by ``pid``/``tid``.  Load the written file directly in
+https://ui.perfetto.dev (or ``chrome://tracing``) — span nesting is derived
+from the time bounds per thread track, which the tracer guarantees because
+children always exit before their parent.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Mapping
+
+from repro.obs.tracer import Tracer
+
+
+def _json_safe(value: Any) -> Any:
+    """Coerce an annotation value to something JSON can carry."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    if isinstance(value, Mapping):
+        return {str(key): _json_safe(item) for key, item in value.items()}
+    return repr(value)
+
+
+def chrome_trace(
+    tracer: Tracer,
+    *,
+    pid: int | None = None,
+    process_name: str | None = None,
+) -> dict:
+    """Render the tracer's spans as a Chrome trace-event JSON document.
+
+    ``pid``/``process_name`` override the process identity, which lets
+    callers merge several tracers (one per scheduler, say) into one document
+    with one Perfetto process track each — see ``repro-rm profile --trace``.
+    """
+    if pid is None:
+        pid = os.getpid()
+    if process_name is None:
+        process_name = f"repro {tracer.name}"
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for span in sorted(tracer.spans(), key=lambda s: (s.start, s.span_id)):
+        args: dict = {
+            "trace_id": tracer.trace_id,
+            "span_id": span.span_id,
+        }
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        for key, value in span.annotations.items():
+            args[key] = _json_safe(value)
+        for key, value in span.counts.items():
+            args[key] = value
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.category or "repro",
+                "ph": "X",
+                "ts": (span.start - tracer.epoch) * 1e6,
+                "dur": span.duration * 1e6,
+                "pid": pid,
+                "tid": span.thread,
+                "args": args,
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"trace_id": tracer.trace_id, "dropped_spans": tracer.dropped},
+    }
+
+
+def write_chrome_trace(path, tracer: Tracer, **kwargs) -> dict:
+    """Write :func:`chrome_trace` output to ``path``; returns the document."""
+    document = chrome_trace(tracer, **kwargs)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+        handle.write("\n")
+    return document
+
+
+def merge_chrome_traces(documents: list[dict]) -> dict:
+    """Concatenate several Chrome trace documents into one.
+
+    Callers are responsible for giving each document a distinct ``pid`` (via
+    :func:`chrome_trace`'s override) so the merged file renders as separate
+    process tracks.
+    """
+    merged: dict = {"traceEvents": [], "displayTimeUnit": "ms", "otherData": {}}
+    for document in documents:
+        merged["traceEvents"].extend(document.get("traceEvents", ()))
+        other = document.get("otherData", {})
+        if "trace_id" in other:
+            merged["otherData"].setdefault("trace_ids", []).append(other["trace_id"])
+    return merged
+
+
+def write_jsonl(path, tracer: Tracer) -> int:
+    """Write one JSON span record per line; returns the number of lines."""
+    records = tracer.span_dicts()
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            record = dict(record)
+            record["annotations"] = _json_safe(record["annotations"])
+            handle.write(json.dumps(record) + "\n")
+    return len(records)

@@ -1,0 +1,114 @@
+"""Phase-time aggregation over span records and the profile table renderer.
+
+These helpers consume the JSON-ready span dictionaries produced by
+:meth:`repro.obs.Tracer.span_dicts` (or stored on a gateway run record), so
+the same aggregation feeds ``repro-rm profile``, the gateway's ``/metrics``
+phase summaries and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+#: Span names that count as pipeline phases (the rows ``repro-rm profile``
+#: and the gateway's phase-duration summaries report).  Everything else —
+#: per-arrival wrappers, the run root — still appears in the exported trace,
+#: just not in the phase breakdown.
+PHASE_SPANS = (
+    "rm.run",
+    "rm.arrival",
+    "rm.reschedule",
+    "phase.snapshot",
+    "phase.candidates",
+    "phase.solve",
+    "phase.commit",
+    "solve",
+    "governor",
+    "energy.accounting",
+)
+
+
+def phase_totals(spans: Iterable[Mapping]) -> dict[str, dict[str, float]]:
+    """Per-span-name totals: count, total/mean/max wall seconds."""
+    totals: dict[str, dict[str, float]] = {}
+    for span in spans:
+        name = span["name"]
+        entry = totals.setdefault(
+            name, {"count": 0, "total_s": 0.0, "max_s": 0.0}
+        )
+        entry["count"] += 1
+        entry["total_s"] += span["duration_s"]
+        entry["max_s"] = max(entry["max_s"], span["duration_s"])
+    for entry in totals.values():
+        entry["mean_s"] = entry["total_s"] / entry["count"] if entry["count"] else 0.0
+    return totals
+
+
+def merged_counts(spans: Iterable[Mapping]) -> dict[str, float]:
+    """Sum of every span-attached counter (cache hits, pack resumes, ...)."""
+    merged: dict[str, float] = {}
+    for span in spans:
+        for name, amount in span.get("counts", {}).items():
+            merged[name] = merged.get(name, 0) + amount
+    return merged
+
+
+def phase_summary(spans: Iterable[Mapping]) -> dict:
+    """Phase totals restricted to :data:`PHASE_SPANS` plus merged counters."""
+    spans = list(spans)
+    totals = phase_totals(spans)
+    return {
+        "phases": {name: totals[name] for name in PHASE_SPANS if name in totals},
+        "counts": merged_counts(spans),
+    }
+
+
+def _format_cell(entry: Mapping[str, float] | None) -> str:
+    if entry is None:
+        return "-"
+    return f"{entry['total_s'] * 1e3:10.2f} {entry['count']:>6d}"
+
+
+def render_phase_table(profiles: Mapping[str, Mapping]) -> str:
+    """Render per-scheduler phase breakdowns as an aligned text table.
+
+    ``profiles`` maps a column label (scheduler name) to a
+    :func:`phase_summary` result.  Each cell shows total milliseconds and
+    the span count; a trailing section lists the merged counters.
+    """
+    labels = list(profiles)
+    row_names = [
+        name
+        for name in PHASE_SPANS
+        if any(name in profiles[label]["phases"] for label in labels)
+    ]
+    name_width = max([len("phase")] + [len(name) for name in row_names])
+    header = f"{'phase':<{name_width}}"
+    for label in labels:
+        header += f"  {label + ' (ms, count)':>18}"
+    lines = [header, "-" * len(header)]
+    for name in row_names:
+        line = f"{name:<{name_width}}"
+        for label in labels:
+            line += f"  {_format_cell(profiles[label]['phases'].get(name)):>18}"
+        lines.append(line)
+
+    counter_names = sorted(
+        {name for label in labels for name in profiles[label]["counts"]}
+    )
+    if counter_names:
+        lines.append("")
+        counter_width = max([len("counter")] + [len(name) for name in counter_names])
+        header = f"{'counter':<{counter_width}}"
+        for label in labels:
+            header += f"  {label:>18}"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for name in counter_names:
+            line = f"{name:<{counter_width}}"
+            for label in labels:
+                amount = profiles[label]["counts"].get(name)
+                cell = "-" if amount is None else f"{amount:g}"
+                line += f"  {cell:>18}"
+            lines.append(line)
+    return "\n".join(lines)

@@ -1,0 +1,295 @@
+"""Span-based tracing with contextvar propagation.
+
+One :class:`Tracer` collects the spans of one traced run.  Entering the
+tracer (``with Tracer() as tracer:``) opens a root span and installs it in a
+:mod:`contextvars` context variable; every :func:`span` opened underneath
+nests below the innermost active span, across function boundaries and —
+because :mod:`contextvars` contexts can be copied into worker threads (see
+:class:`repro.api.session.RunEventStream`) — across threads.
+
+Design constraints, in priority order:
+
+1. **No-op by default.**  When no tracer is active, :func:`span` returns a
+   shared :data:`NOOP_SPAN` singleton and :func:`count` / :func:`annotate`
+   return after a single ``ContextVar.get`` — no allocation, no locking.
+   Instrumentation can therefore live permanently in hot paths
+   (``RuntimeManager`` arrivals, the admission pipeline, cache lookups).
+2. **Never perturb the simulation.**  Spans only *observe*: durations come
+   from :func:`time.perf_counter`, identifiers from a process-local counter,
+   and a traced run produces a bit-identical
+   :class:`~repro.runtime.log.ExecutionLog` to an untraced one (asserted by
+   the overhead benchmark's fingerprint check).
+3. **Thread-safe collection.**  Spans finish on whatever thread opened them;
+   the tracer's collector list is lock-guarded and bounded
+   (``max_spans``, overflow counted in :attr:`Tracer.dropped`).
+
+::
+
+    from repro import obs
+
+    with obs.Tracer(name="run:experiment") as tracer:
+        with obs.span("solve", category="scheduler", scheduler="mmkp-mdf"):
+            obs.count("cache.solve.hit")
+    tracer.span_dicts()        # JSON-ready records, in start order
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import threading
+import time
+import uuid
+from typing import Any, Mapping
+
+#: The innermost active span of the current context (``None`` = tracing off).
+_CURRENT: contextvars.ContextVar["Span | None"] = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+class NoopSpan:
+    """Absorbs the span API when no tracer is active (shared singleton)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def annotate(self, **values: Any) -> None:
+        pass
+
+    def count(self, name: str, amount: float = 1) -> None:
+        pass
+
+    def __repr__(self) -> str:  # pragma: no cover — debugging aid
+        return "NoopSpan()"
+
+
+#: The shared no-op span returned by :func:`span` when tracing is disabled.
+NOOP_SPAN = NoopSpan()
+
+
+class Span:
+    """One timed operation: a node of the trace tree.
+
+    Use as a context manager; entering records the monotonic start time and
+    makes the span the context's current one, exiting records the duration
+    and hands the finished span to its tracer's collector.  ``annotations``
+    carry arbitrary key → value facts, ``counts`` carry cheap accumulators
+    (cache hits, pack resumes) attached by :func:`count` while the span is
+    current.
+    """
+
+    __slots__ = (
+        "tracer",
+        "name",
+        "category",
+        "span_id",
+        "parent_id",
+        "thread",
+        "start",
+        "duration",
+        "annotations",
+        "counts",
+        "_token",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        category: str,
+        parent_id: int | None,
+        annotations: Mapping[str, Any] | None = None,
+    ):
+        self.tracer = tracer
+        self.name = name
+        self.category = category
+        self.span_id = tracer._next_id()
+        self.parent_id = parent_id
+        self.thread = threading.get_ident()
+        self.start = 0.0
+        self.duration = 0.0
+        self.annotations: dict[str, Any] = dict(annotations) if annotations else {}
+        self.counts: dict[str, float] = {}
+        self._token: contextvars.Token | None = None
+
+    @property
+    def trace_id(self) -> str:
+        """The owning tracer's trace identifier."""
+        return self.tracer.trace_id
+
+    def annotate(self, **values: Any) -> None:
+        """Attach key → value facts to the span."""
+        self.annotations.update(values)
+
+    def count(self, name: str, amount: float = 1) -> None:
+        """Accumulate a named counter on the span."""
+        self.counts[name] = self.counts.get(name, 0) + amount
+
+    def __enter__(self) -> "Span":
+        self._token = _CURRENT.set(self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration = time.perf_counter() - self.start
+        if self._token is not None:
+            _CURRENT.reset(self._token)
+            self._token = None
+        if exc_type is not None:
+            self.annotations.setdefault("error", exc_type.__name__)
+        self.tracer._collect(self)
+        return False
+
+    def to_dict(self) -> dict:
+        """A JSON-ready record (times relative to the tracer's epoch)."""
+        return {
+            "name": self.name,
+            "category": self.category,
+            "trace_id": self.tracer.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "thread": self.thread,
+            "start_s": self.start - self.tracer.epoch,
+            "duration_s": self.duration,
+            "annotations": dict(self.annotations),
+            "counts": dict(self.counts),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, id={self.span_id}, parent={self.parent_id}, "
+            f"duration={self.duration * 1e3:.3f}ms)"
+        )
+
+
+class Tracer:
+    """Collects the spans of one trace; also the in-memory test collector.
+
+    Entering the tracer opens a root span named after the tracer, so every
+    :func:`span` call anywhere below it (same thread, or a thread running a
+    copied context) nests under the root.  ``max_spans`` bounds memory on
+    pathological runs; overflow is counted, never raised.
+    """
+
+    def __init__(
+        self,
+        trace_id: str | None = None,
+        name: str = "trace",
+        max_spans: int = 200_000,
+    ):
+        self.trace_id = trace_id if trace_id else uuid.uuid4().hex[:16]
+        self.name = name
+        self.max_spans = max_spans
+        #: Monotonic zero point of the trace (span ``start_s`` are relative).
+        self.epoch = time.perf_counter()
+        self.dropped = 0
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        self._ids = itertools.count(1)
+        self._root: Span | None = None
+
+    def _next_id(self) -> int:
+        # ``next`` on an itertools.count is atomic under the GIL.
+        return next(self._ids)
+
+    def _collect(self, span: Span) -> None:
+        with self._lock:
+            if len(self._spans) < self.max_spans:
+                self._spans.append(span)
+            else:
+                self.dropped += 1
+
+    # ------------------------------------------------------------------ #
+    # Opening spans
+    # ------------------------------------------------------------------ #
+    def span(self, name: str, category: str = "", **annotations: Any) -> Span:
+        """Open a span of this tracer, parented to the context's current span."""
+        parent = _CURRENT.get()
+        parent_id = (
+            parent.span_id if parent is not None and parent.tracer is self else None
+        )
+        return Span(self, name, category, parent_id, annotations)
+
+    def __enter__(self) -> "Tracer":
+        if self._root is not None:
+            raise RuntimeError(f"tracer {self.trace_id} is already active")
+        self._root = self.span(self.name, category="trace")
+        self._root.__enter__()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        root, self._root = self._root, None
+        if root is not None:
+            root.__exit__(exc_type, exc, tb)
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Reading results
+    # ------------------------------------------------------------------ #
+    def spans(self) -> list[Span]:
+        """A snapshot of the finished spans (thread-safe copy)."""
+        with self._lock:
+            return list(self._spans)
+
+    def span_dicts(self) -> list[dict]:
+        """JSON-ready span records, sorted by start time."""
+        ordered = sorted(self.spans(), key=lambda s: (s.start, s.span_id))
+        return [span.to_dict() for span in ordered]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def __repr__(self) -> str:
+        return f"Tracer({self.trace_id!r}, spans={len(self)}, dropped={self.dropped})"
+
+
+# ---------------------------------------------------------------------- #
+# Module-level API (the instrumentation call sites)
+# ---------------------------------------------------------------------- #
+def current_span() -> Span | None:
+    """The innermost active span of this context, or ``None``."""
+    return _CURRENT.get()
+
+
+def current_tracer() -> Tracer | None:
+    """The active tracer of this context, or ``None``."""
+    span = _CURRENT.get()
+    return span.tracer if span is not None else None
+
+
+def active() -> bool:
+    """``True`` iff a tracer is active in this context."""
+    return _CURRENT.get() is not None
+
+
+def span(name: str, category: str = "", **annotations: Any):
+    """Open a child span of the current one, or :data:`NOOP_SPAN` when off.
+
+    The disabled path is one ``ContextVar.get`` plus returning a shared
+    singleton, so call sites can live in hot loops unconditionally.
+    """
+    parent = _CURRENT.get()
+    if parent is None:
+        return NOOP_SPAN
+    return Span(parent.tracer, name, category, parent.span_id, annotations)
+
+
+def count(name: str, amount: float = 1) -> None:
+    """Accumulate a named counter on the current span (no-op when off)."""
+    current = _CURRENT.get()
+    if current is not None:
+        current.counts[name] = current.counts.get(name, 0) + amount
+
+
+def annotate(**values: Any) -> None:
+    """Attach facts to the current span (no-op when off)."""
+    current = _CURRENT.get()
+    if current is not None:
+        current.annotations.update(values)

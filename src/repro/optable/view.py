@@ -16,6 +16,7 @@ import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Mapping
 
+from repro.obs import tracer as obs
 from repro.optable.table import OpTable, as_optable
 
 if TYPE_CHECKING:  # pragma: no cover — typing only
@@ -55,9 +56,11 @@ class SolveCache:
                 value = self._entries[key]
             except KeyError:
                 self.misses += 1
+                obs.count("cache.solve.miss")
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
+            obs.count("cache.solve.hit")
             return value
 
     def put(self, key, value) -> None:

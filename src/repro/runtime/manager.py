@@ -61,6 +61,7 @@ from repro.kernel.caches import KernelCaches
 from repro.kernel.pipeline import AdmissionPipeline, KernelRun
 from repro.kernel.runtime import kernel_enabled
 from repro.kernel.state import LoadLedger
+from repro.obs import tracer as obs
 from repro.optable.adapters import optables_for
 from repro.optable.runtime import columnar_enabled
 from repro.platforms.platform import Platform
@@ -403,15 +404,29 @@ class RuntimeManager:
             # Immediately before the try whose finally releases it, so a
             # failing run can never leave the scheduler's adoption dangling.
             self._scheduler.begin_run(ctx.kernel)
-        try:
-            if engine == "events":
-                self._run_events(trace, ctx)
-            else:
-                self._run_linear(trace, ctx)
-        finally:
-            if ctx.kernel is not None:
-                self._scheduler.end_run(ctx.kernel)
-        self._finalise_outcomes(ctx)
+        with obs.span(
+            "rm.run",
+            category="runtime",
+            scheduler=self._scheduler.name,
+            engine=engine,
+            kernel=ctx.kernel is not None,
+        ) as run_span:
+            try:
+                if engine == "events":
+                    self._run_events(trace, ctx)
+                else:
+                    self._run_linear(trace, ctx)
+            finally:
+                if ctx.kernel is not None:
+                    self._scheduler.end_run(ctx.kernel)
+            self._finalise_outcomes(ctx)
+            run_span.annotate(
+                requests=len(ctx.log.outcomes),
+                accepted=len(ctx.log.accepted),
+                activations=ctx.log.activations,
+                total_energy=ctx.log.total_energy,
+                makespan=ctx.log.makespan,
+            )
         if observer is not None:
             if ctx.kernel is not None:
                 # One summary event of the incremental engine's delta work;
@@ -465,6 +480,10 @@ class RuntimeManager:
     # Arrival handling
     # ------------------------------------------------------------------ #
     def _handle_arrival(self, ctx: _RunContext, event: RequestEvent) -> None:
+        with obs.span("rm.arrival", category="runtime", request=event.name):
+            self._admit_arrival(ctx, event)
+
+    def _admit_arrival(self, ctx: _RunContext, event: RequestEvent) -> None:
         if ctx.kernel is not None:
             # The incremental kernel's admission pipeline (snapshot →
             # candidates → solve → commit); the inline body below is the
@@ -572,14 +591,23 @@ class RuntimeManager:
             schedule = self._without_finished(schedule, active, ctx.now)
         if self._governor is None:
             return _Plan(schedule)
-        if ledger is not None and self._governor_takes_ledger:
-            scale = self._governor.select_scale(
-                schedule, active, ctx.now, self._platform, self._tables, ledger=ledger
-            )
-        else:
-            scale = self._governor.select_scale(
-                schedule, active, ctx.now, self._platform, self._tables
-            )
+        with obs.span(
+            "governor", category="energy", governor=self._governor.name
+        ) as governor_span:
+            if ledger is not None and self._governor_takes_ledger:
+                scale = self._governor.select_scale(
+                    schedule,
+                    active,
+                    ctx.now,
+                    self._platform,
+                    self._tables,
+                    ledger=ledger,
+                )
+            else:
+                scale = self._governor.select_scale(
+                    schedule, active, ctx.now, self._platform, self._tables
+                )
+            governor_span.annotate(scale=scale)
         if not 0.0 < scale <= 1.0 + _SCALE_EPSILON:
             raise SchedulingError(
                 f"governor {self._governor.name!r} selected invalid speed {scale}"
@@ -765,6 +793,10 @@ class RuntimeManager:
             ExecutedInterval(start, end, tuple(job_configs), energy)
         )
         ctx.log.total_energy += energy
+        # Energy-accounting breadcrumbs on the enclosing span (too frequent
+        # for spans of their own): interval count and charged joules.
+        obs.count("energy.intervals")
+        obs.count("energy.joules", energy)
         if ctx.observer is not None:
             # The energy tick of a streaming consumer: what ran, for how
             # long, and the joules charged for it.
@@ -836,26 +868,35 @@ class RuntimeManager:
 
     def _reschedule_at(self, ctx: _RunContext, time: float) -> None:
         """Re-activate the scheduler for the remaining jobs (remap on finish)."""
-        if ctx.kernel is not None:
-            self._pipeline.reschedule(ctx, time)
-            return
-        problem = SchedulingProblem(
-            self._capacity, self._tables, self._active_for_problem(ctx, time), now=time
-        )
-        result = self._scheduler.schedule(problem)
-        ctx.log.activations += 1
-        if result.feasible:
-            self._commit(ctx, result.schedule)
-        # If rescheduling fails the previously committed schedule (which is
-        # still feasible for the remaining jobs) stays in force.
+        with obs.span("rm.reschedule", category="runtime"):
+            if ctx.kernel is not None:
+                self._pipeline.reschedule(ctx, time)
+                return
+            problem = SchedulingProblem(
+                self._capacity,
+                self._tables,
+                self._active_for_problem(ctx, time),
+                now=time,
+            )
+            result = self._scheduler.schedule(problem)
+            ctx.log.activations += 1
+            if result.feasible:
+                self._commit(ctx, result.schedule)
+            # If rescheduling fails the previously committed schedule (which
+            # is still feasible for the remaining jobs) stays in force.
 
     # ------------------------------------------------------------------ #
     # Final bookkeeping
     # ------------------------------------------------------------------ #
     def _finalise_outcomes(self, ctx: _RunContext) -> None:
-        if ctx.meter is not None:
-            ctx.log.job_energy = dict(ctx.meter.job_joules)
-            ctx.log.cluster_energy = ctx.meter.cluster_breakdown()
+        with obs.span("energy.accounting", category="energy") as energy_span:
+            if ctx.meter is not None:
+                ctx.log.job_energy = dict(ctx.meter.job_joules)
+                ctx.log.cluster_energy = ctx.meter.cluster_breakdown()
+            energy_span.annotate(
+                total_energy=ctx.log.total_energy,
+                clusters=len(ctx.log.cluster_energy),
+            )
         for name, event in ctx.request_info.items():
             accepted, search_time = ctx.admissions[name]
             ctx.log.outcomes.append(

@@ -9,6 +9,7 @@ from typing import Mapping
 
 from repro.core.problem import SchedulingProblem
 from repro.core.segment import Schedule
+from repro.obs import tracer as obs
 
 
 @dataclass(frozen=True)
@@ -89,11 +90,23 @@ class Scheduler(abc.ABC):
 
         This is the public entry point; it wraps :meth:`_solve` with timing so
         every scheduler reports its overhead the same way (Fig. 4 of the
-        paper).
+        paper).  When a :mod:`repro.obs` tracer is active the solve runs
+        inside a ``solve`` span annotated with the scheduler's statistics
+        (subgradient iterations, packer calls, cache hits, ...).
         """
-        start = time.perf_counter()
-        result = self._solve(problem)
-        elapsed = time.perf_counter() - start
+        with obs.span("solve", category="scheduler", scheduler=self.name) as span:
+            start = time.perf_counter()
+            result = self._solve(problem)
+            elapsed = time.perf_counter() - start
+            span.annotate(
+                feasible=result.feasible,
+                jobs=len(problem.jobs),
+                **{
+                    key: value
+                    for key, value in result.statistics.items()
+                    if isinstance(value, (int, float))
+                },
+            )
         return SchedulingResult(
             schedule=result.schedule,
             assignment=result.assignment,

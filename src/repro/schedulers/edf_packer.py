@@ -263,6 +263,12 @@ def _pack_incremental(
         shared += 1
     segments = memo.resume(shared)
     memo.resumed_steps += shared
+    # Resume-vs-fallback outcome of this pack: a non-empty shared prefix
+    # resumes mid-placement, an empty one replays from scratch.  Counted on
+    # the memo (plain int — this runs once per candidate probe) and rolled
+    # onto the activation's phase.solve span by the admission pipeline.
+    if shared:
+        memo.resumed_packs += 1
     steps = memo.steps
     snapshots = memo.snapshots
     placements = memo.placements

@@ -44,6 +44,7 @@ from repro.core.config import ConfigTable
 from repro.core.problem import SchedulingProblem
 from repro.core.request import Job
 from repro.core.segment import JobMapping, MappingSegment, Schedule
+from repro.obs import tracer as obs
 from repro.schedulers.base import Scheduler, SchedulingResult
 
 
@@ -158,9 +159,11 @@ class ActivationCache:
             entry = self._entries.get(key)
             if entry is None:
                 self._misses += 1
+                obs.count("cache.activation.miss")
                 return None
             self._entries.move_to_end(key)
             self._hits += 1
+            obs.count("cache.activation.hit")
             return entry
 
     def put(self, key: tuple, result: SchedulingResult) -> None:

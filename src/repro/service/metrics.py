@@ -17,6 +17,7 @@ with its own daemon-level series.
 
 from __future__ import annotations
 
+import random
 import threading
 from typing import Iterable, Mapping
 
@@ -44,11 +45,15 @@ class Counter:
 
 
 class Histogram:
-    """A streaming histogram keeping summary statistics and raw samples.
+    """A streaming histogram keeping summary statistics and sampled values.
 
-    Samples are kept (up to ``max_samples``, reservoir-free: the first N) so
-    percentiles can be computed exactly for the batch sizes the service
-    handles; count/sum/min/max stay exact even beyond the sample cap.
+    Beyond ``max_samples`` observations the sample set is maintained by
+    reservoir sampling (Vitter's Algorithm R), so percentiles describe the
+    *whole* observation stream uniformly — not just the first N values, which
+    would bias p50/p90/p99 toward early traces on long runs.  The reservoir's
+    RNG is seeded deterministically from the histogram name, so identical
+    observation sequences reproduce identical percentiles across processes.
+    count/sum/min/max stay exact regardless of the cap.
     """
 
     def __init__(self, name: str, description: str = "", max_samples: int = 100_000):
@@ -61,6 +66,7 @@ class Histogram:
         self._min = float("inf")
         self._max = float("-inf")
         self._lock = threading.Lock()
+        self._reservoir = random.Random(name)
 
     def observe(self, value: float) -> None:
         """Record one sample."""
@@ -71,6 +77,12 @@ class Histogram:
             self._max = max(self._max, value)
             if len(self._samples) < self._max_samples:
                 self._samples.append(value)
+            else:
+                # Algorithm R: keep each of the _count observations seen so
+                # far in the reservoir with probability max_samples/_count.
+                slot = self._reservoir.randrange(self._count)
+                if slot < self._max_samples:
+                    self._samples[slot] = value
 
     @property
     def count(self) -> int:
@@ -122,10 +134,34 @@ class Histogram:
         }
 
 
+def escape_label_value(value) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double quote and line feed are the three characters the spec
+    requires escaping inside quoted label values.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def escape_help_text(text) -> str:
+    """Escape HELP text per the Prometheus text exposition format.
+
+    HELP lines escape backslash and line feed only (quotes are legal there).
+    """
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _prom_labels(labels: Mapping[str, str] | None) -> str:
     if not labels:
         return ""
-    body = ",".join(f'{key}="{value}"' for key, value in sorted(labels.items()))
+    body = ",".join(
+        f'{key}="{escape_label_value(value)}"' for key, value in sorted(labels.items())
+    )
     return "{" + body + "}"
 
 
@@ -147,13 +183,13 @@ def prometheus_lines(
     for counter in counters:
         name = f"{prefix}_{counter.name}"
         if counter.description:
-            lines.append(f"# HELP {name} {counter.description}")
+            lines.append(f"# HELP {name} {escape_help_text(counter.description)}")
         lines.append(f"# TYPE {name} counter")
         lines.append(f"{name}{tag} {counter.value:g}")
     for histogram in histograms:
         name = f"{prefix}_{histogram.name}"
         if histogram.description:
-            lines.append(f"# HELP {name} {histogram.description}")
+            lines.append(f"# HELP {name} {escape_help_text(histogram.description)}")
         lines.append(f"# TYPE {name} summary")
         lines.append(f"{name}_count{tag} {histogram.count}")
         lines.append(f"{name}_sum{tag} {histogram.total:g}")
@@ -165,6 +201,38 @@ def prometheus_lines(
                     f"{name}{_prom_labels(quantile)} "
                     f"{histogram.percentile(fraction):g}"
                 )
+    return lines
+
+
+def prometheus_grouped_lines(
+    name: str,
+    description: str,
+    grouped: Mapping[str, Histogram],
+    *,
+    prefix: str = "repro",
+    label: str = "phase",
+) -> list[str]:
+    """One summary metric whose series are distinguished by a label.
+
+    ``grouped`` maps label values (e.g. phase names) to histograms; unlike
+    calling :func:`prometheus_lines` per histogram, the shared metric name
+    gets exactly one HELP/TYPE header — duplicated headers are invalid in
+    the text exposition format.
+    """
+    full = f"{prefix}_{name}"
+    lines: list[str] = []
+    if grouped:
+        if description:
+            lines.append(f"# HELP {full} {escape_help_text(description)}")
+        lines.append(f"# TYPE {full} summary")
+    for value, histogram in sorted(grouped.items()):
+        tag = _prom_labels({label: value})
+        lines.append(f"{full}_count{tag} {histogram.count}")
+        lines.append(f"{full}_sum{tag} {histogram.total:g}")
+        if histogram.count:
+            for fraction in (0.5, 0.9, 0.99):
+                quantile = _prom_labels({label: value, "quantile": f"{fraction:g}"})
+                lines.append(f"{full}{quantile} {histogram.percentile(fraction):g}")
     return lines
 
 

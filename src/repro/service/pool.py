@@ -29,6 +29,7 @@ job's ``error`` string; the rest of the batch is unaffected.
 
 from __future__ import annotations
 
+import contextvars
 import hashlib
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
@@ -474,8 +475,17 @@ class SimulationService:
     def _run_threads(self, jobs, progress) -> list[SimulationResult]:
         results: list[SimulationResult | None] = [None] * len(jobs)
         with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            # Each job runs inside a copy of the submitting thread's
+            # contextvars context, so context-propagated state (a repro.obs
+            # tracer) follows the simulations onto the pool threads.
             futures = {
-                pool.submit(_simulate, job, self.cache, self.kernel_caches): index
+                pool.submit(
+                    contextvars.copy_context().run,
+                    _simulate,
+                    job,
+                    self.cache,
+                    self.kernel_caches,
+                ): index
                 for index, job in enumerate(jobs)
             }
             for future in as_completed(futures):

@@ -6,7 +6,12 @@ that breaks a snapshot here is a wire-schema change and must bump
 ``PROTOCOL_VERSION``.
 """
 
+import dataclasses
 import json
+import os
+import subprocess
+import sys
+from pathlib import Path
 
 import pytest
 
@@ -168,6 +173,68 @@ class TestEndEvent:
     def test_to_dict_is_idempotent_across_the_round_trip(self, end_event):
         wire = end_event.to_dict()
         assert RunEvent.from_dict(wire).to_dict() == wire
+
+
+class TestFingerprintStability:
+    """The summary fingerprint is the cross-process equivalence witness.
+
+    The gateway (and the trace-equivalence gate in
+    ``benchmarks/bench_obs_overhead.py``) compare fingerprints computed in
+    different processes, so the digest must be a pure function of the run's
+    deterministic fields — stable across interpreters, insensitive to
+    wall-clock measurements.
+    """
+
+    SPEC_NAME = "wire-fp"
+
+    @pytest.fixture(scope="class")
+    def log(self):
+        spec = ExperimentSpec(
+            name=self.SPEC_NAME, workload=WorkloadSpec.scenario("S1")
+        )
+        return Session.from_spec(spec).run()
+
+    def test_fingerprint_is_sha256_of_the_deterministic_fields(self, log):
+        fingerprint = log.fingerprint()
+        assert len(fingerprint) == 64
+        int(fingerprint, 16)
+        assert fingerprint == log.fingerprint()  # pure, not stateful
+
+    def test_fingerprint_matches_across_process_boundaries(self, log):
+        program = (
+            "from repro.api import ExperimentSpec, Session, WorkloadSpec\n"
+            f"spec = ExperimentSpec(name={self.SPEC_NAME!r}, "
+            "workload=WorkloadSpec.scenario('S1'))\n"
+            "print(Session.from_spec(spec).run().fingerprint())"
+        )
+        src = Path(__file__).resolve().parents[2] / "src"
+        env = {**os.environ, "PYTHONPATH": str(src)}
+        remote = subprocess.run(
+            [sys.executable, "-c", program],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        ).stdout.strip()
+        assert remote == log.fingerprint()
+
+    def test_fingerprint_ignores_wall_clock_scheduler_time(self, log):
+        doctored = dataclasses.replace(log)
+        doctored.outcomes = [
+            dataclasses.replace(outcome, scheduler_time=outcome.scheduler_time + 1.0)
+            for outcome in log.outcomes
+        ]
+        assert doctored.fingerprint() == log.fingerprint()
+
+    def test_fingerprint_is_sensitive_to_deterministic_fields(self, log):
+        doctored = dataclasses.replace(log)
+        doctored.outcomes = [
+            dataclasses.replace(outcome, energy=outcome.energy + 1e-9)
+            for outcome in log.outcomes
+        ]
+        assert doctored.fingerprint() != log.fingerprint()
+        assert dataclasses.replace(log, activations=log.activations + 1).fingerprint() \
+            != log.fingerprint()
 
 
 class TestFromDictValidation:

@@ -1,0 +1,99 @@
+"""repro.obs.profile — phase aggregation and the profile table renderer."""
+
+from __future__ import annotations
+
+from repro.obs import (
+    PHASE_SPANS,
+    merged_counts,
+    phase_summary,
+    phase_totals,
+    render_phase_table,
+)
+
+
+def _span(name, duration_s, counts=None):
+    return {"name": name, "duration_s": duration_s, "counts": counts or {}}
+
+
+SPANS = [
+    _span("rm.run", 1.0),
+    _span("rm.arrival", 0.25, {"cache.solve.hit": 2}),
+    _span("rm.arrival", 0.75, {"cache.solve.hit": 1, "cache.solve.miss": 4}),
+    _span("phase.solve", 0.4, {"pack.resume": 3}),
+    _span("not-a-phase", 9.0, {"ignored.by.phases": 1}),
+]
+
+
+class TestPhaseTotals:
+    def test_aggregates_count_total_mean_max(self):
+        totals = phase_totals(SPANS)
+        arrival = totals["rm.arrival"]
+        assert arrival["count"] == 2
+        assert arrival["total_s"] == 1.0
+        assert arrival["mean_s"] == 0.5
+        assert arrival["max_s"] == 0.75
+
+    def test_every_span_name_appears(self):
+        assert set(phase_totals(SPANS)) == {
+            "rm.run",
+            "rm.arrival",
+            "phase.solve",
+            "not-a-phase",
+        }
+
+
+class TestMergedCounts:
+    def test_sums_counters_across_spans(self):
+        assert merged_counts(SPANS) == {
+            "cache.solve.hit": 3,
+            "cache.solve.miss": 4,
+            "pack.resume": 3,
+            "ignored.by.phases": 1,
+        }
+
+    def test_empty(self):
+        assert merged_counts([]) == {}
+
+
+class TestPhaseSummary:
+    def test_restricts_phases_but_keeps_all_counts(self):
+        summary = phase_summary(SPANS)
+        assert set(summary["phases"]) == {"rm.run", "rm.arrival", "phase.solve"}
+        assert "not-a-phase" not in summary["phases"]
+        assert summary["counts"]["ignored.by.phases"] == 1
+
+    def test_phase_order_follows_registry(self):
+        order = list(phase_summary(SPANS)["phases"])
+        registry = [name for name in PHASE_SPANS if name in order]
+        assert order == registry
+
+    def test_consumes_a_generator_once(self):
+        summary = phase_summary(iter(SPANS))
+        assert summary["phases"]["rm.run"]["count"] == 1
+
+
+class TestRenderPhaseTable:
+    def test_table_lists_phases_and_counters_per_column(self):
+        profiles = {
+            "mmkp-mdf": phase_summary(SPANS),
+            "fixed": phase_summary([_span("rm.run", 0.5)]),
+        }
+        table = render_phase_table(profiles)
+        lines = table.splitlines()
+        assert "mmkp-mdf" in lines[0] and "fixed" in lines[0]
+        assert any(line.startswith("rm.arrival") for line in lines)
+        assert "not-a-phase" not in table
+        # fixed has no counters: its cells render as '-'.
+        counter_line = next(line for line in lines if line.startswith("pack.resume"))
+        assert counter_line.rstrip().endswith("-")
+
+    def test_missing_phase_renders_dash(self):
+        profiles = {
+            "a": phase_summary([_span("rm.run", 0.5)]),
+            "b": phase_summary([_span("solve", 0.1)]),
+        }
+        table = render_phase_table(profiles)
+        run_line = next(
+            line for line in table.splitlines() if line.startswith("rm.run")
+        )
+        assert run_line.rstrip().endswith("-")

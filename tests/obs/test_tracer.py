@@ -1,0 +1,218 @@
+"""repro.obs.tracer — span tree, no-op fast path, thread propagation, exporters."""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    NOOP_SPAN,
+    Tracer,
+    active,
+    annotate,
+    chrome_trace,
+    count,
+    current_span,
+    current_tracer,
+    merge_chrome_traces,
+    span,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+class TestDisabled:
+    def test_span_returns_shared_noop_singleton(self):
+        assert span("anything") is NOOP_SPAN
+        assert span("other", category="x", key="value") is NOOP_SPAN
+
+    def test_noop_span_absorbs_the_api(self):
+        with span("outer") as outer:
+            outer.annotate(key=1)
+            outer.count("hits")
+        assert outer is NOOP_SPAN
+
+    def test_count_and_annotate_are_noops(self):
+        count("cache.hit")
+        annotate(note="ignored")  # must not raise
+
+    def test_nothing_active(self):
+        assert not active()
+        assert current_span() is None
+        assert current_tracer() is None
+
+
+class TestSpanTree:
+    def test_root_span_opens_with_the_tracer(self):
+        tracer = Tracer(name="t")
+        with tracer:
+            assert active()
+            assert current_tracer() is tracer
+            root = current_span()
+            assert root.name == "t"
+            assert root.parent_id is None
+        assert not active()
+        assert len(tracer) == 1
+
+    def test_nesting_parents_by_context(self):
+        tracer = Tracer(name="t")
+        with tracer:
+            with span("outer") as outer:
+                with span("inner") as inner:
+                    assert inner.parent_id == outer.span_id
+                assert current_span() is outer
+        spans = {s.name: s for s in tracer.spans()}
+        assert spans["outer"].parent_id == spans["t"].span_id
+        assert spans["inner"].parent_id == spans["outer"].span_id
+        # Children exit before parents: durations nest.
+        assert spans["inner"].duration <= spans["outer"].duration
+
+    def test_span_ids_are_unique_and_increasing(self):
+        tracer = Tracer(name="t")
+        with tracer:
+            for _ in range(10):
+                with span("s"):
+                    pass
+        ids = [s.span_id for s in tracer.spans()]
+        assert len(ids) == len(set(ids)) == 11
+
+    def test_annotations_and_counts(self):
+        tracer = Tracer(name="t")
+        with tracer:
+            with span("work", category="test", scheduler="mmkp-mdf") as s:
+                annotate(feasible=True)
+                count("cache.hit")
+                count("cache.hit")
+                count("joules", 2.5)
+        assert s.annotations == {"scheduler": "mmkp-mdf", "feasible": True}
+        assert s.counts == {"cache.hit": 2, "joules": 2.5}
+
+    def test_exception_annotates_error_and_propagates(self):
+        tracer = Tracer(name="t")
+        with pytest.raises(ValueError):
+            with tracer:
+                with span("work"):
+                    raise ValueError("boom")
+        spans = {s.name: s for s in tracer.spans()}
+        assert spans["work"].annotations["error"] == "ValueError"
+        assert len(tracer) == 2  # failing spans are still collected
+
+    def test_reentering_an_active_tracer_raises(self):
+        tracer = Tracer(name="t")
+        with tracer:
+            with pytest.raises(RuntimeError):
+                tracer.__enter__()
+
+    def test_max_spans_drops_and_counts_overflow(self):
+        tracer = Tracer(name="t", max_spans=3)
+        with tracer:
+            for _ in range(5):
+                with span("s"):
+                    pass
+        assert len(tracer) == 3
+        assert tracer.dropped == 3  # 5 inner + root, capacity 3
+
+    def test_trace_id_is_stable_and_overridable(self):
+        assert Tracer(trace_id="abc123").trace_id == "abc123"
+        generated = Tracer().trace_id
+        assert len(generated) == 16 and generated != Tracer().trace_id
+
+
+class TestThreadPropagation:
+    def test_copied_context_carries_the_tracer_across_threads(self):
+        tracer = Tracer(name="t")
+        with tracer:
+            context = contextvars.copy_context()
+
+            def work():
+                with span("threaded"):
+                    count("thread.hits")
+
+            worker = threading.Thread(target=context.run, args=(work,))
+            worker.start()
+            worker.join()
+        spans = {s.name: s for s in tracer.spans()}
+        assert spans["threaded"].parent_id == spans["t"].span_id
+        assert spans["threaded"].counts == {"thread.hits": 1}
+        assert spans["threaded"].thread != spans["t"].thread
+
+    def test_plain_thread_does_not_inherit_the_tracer(self):
+        tracer = Tracer(name="t")
+        seen = []
+        with tracer:
+            worker = threading.Thread(target=lambda: seen.append(active()))
+            worker.start()
+            worker.join()
+        assert seen == [False]
+
+
+class TestSpanDicts:
+    def test_records_are_json_ready_and_start_ordered(self):
+        tracer = Tracer(name="t")
+        with tracer:
+            with span("a"):
+                pass
+            with span("b"):
+                pass
+        records = tracer.span_dicts()
+        json.dumps(records)  # must not raise
+        assert [r["name"] for r in records] == ["t", "a", "b"]  # start order
+        starts = [r["start_s"] for r in records]
+        assert starts == sorted(starts)
+        assert all(r["trace_id"] == tracer.trace_id for r in records)
+
+
+class TestChromeExport:
+    def _traced(self):
+        tracer = Tracer(name="t")
+        with tracer:
+            with span("outer", category="pipeline"):
+                with span("inner"):
+                    count("cache.hit")
+        return tracer
+
+    def test_document_shape(self):
+        tracer = self._traced()
+        document = chrome_trace(tracer)
+        json.dumps(document)
+        assert document["otherData"]["trace_id"] == tracer.trace_id
+        events = document["traceEvents"]
+        assert events[0]["ph"] == "M"  # process_name metadata first
+        complete = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in complete} == {"t", "outer", "inner"}
+        for event in complete:
+            assert event["dur"] >= 0 and event["ts"] >= 0  # microseconds
+
+    def test_nesting_is_derivable_from_time_bounds_and_parent_ids(self):
+        document = chrome_trace(self._traced())
+        by_name = {e["name"]: e for e in document["traceEvents"] if e["ph"] == "X"}
+        outer, inner = by_name["outer"], by_name["inner"]
+        assert inner["args"]["parent_id"] == outer["args"]["span_id"]
+        assert outer["ts"] <= inner["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1e-3
+        assert inner["args"]["cache.hit"] == 1
+
+    def test_write_and_merge(self, tmp_path):
+        tracer = self._traced()
+        path = tmp_path / "trace.json"
+        written = write_chrome_trace(path, tracer, pid=7, process_name="seven")
+        loaded = json.loads(path.read_text())
+        assert loaded == written
+        assert all(e["pid"] == 7 for e in loaded["traceEvents"])
+        other = chrome_trace(self._traced(), pid=8)
+        merged = merge_chrome_traces([written, other])
+        assert len(merged["traceEvents"]) == len(written["traceEvents"]) + len(
+            other["traceEvents"]
+        )
+        assert len(merged["otherData"]["trace_ids"]) == 2
+
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = self._traced()
+        path = tmp_path / "spans.jsonl"
+        lines = write_jsonl(path, tracer)
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(records) == lines == 3
+        assert {r["name"] for r in records} == {"t", "outer", "inner"}

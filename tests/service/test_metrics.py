@@ -4,7 +4,15 @@ import math
 
 import pytest
 
-from repro.service.metrics import Counter, Histogram, ServiceMetrics
+from repro.service.metrics import (
+    Counter,
+    Histogram,
+    ServiceMetrics,
+    escape_help_text,
+    escape_label_value,
+    prometheus_grouped_lines,
+    prometheus_lines,
+)
 from repro.service.pool import SimulationResult
 
 
@@ -48,6 +56,37 @@ class TestHistogram:
             histogram.observe(float(value))
         assert histogram.count == 100
         assert histogram.total == pytest.approx(4950.0)
+
+
+class TestReservoir:
+    def test_reservoir_keeps_a_subset_of_observed_values(self):
+        histogram = Histogram("h", max_samples=16)
+        observed = [float(value) for value in range(1000)]
+        for value in observed:
+            histogram.observe(value)
+        assert len(histogram._samples) == 16
+        assert set(histogram._samples) <= set(observed)
+        assert histogram.min == 0.0 and histogram.max == 999.0
+
+    def test_reservoir_sees_the_whole_stream_not_the_prefix(self):
+        # First-N retention would keep only values < 32; Algorithm R keeps a
+        # uniform sample, so late observations must be represented.
+        histogram = Histogram("h", max_samples=32)
+        for value in range(10_000):
+            histogram.observe(float(value))
+        assert max(histogram._samples) >= 1000
+        assert histogram.percentile(0.9) > histogram.percentile(0.1)
+
+    def test_reservoir_is_deterministic_per_name(self):
+        def fill(name):
+            histogram = Histogram(name, max_samples=8)
+            for value in range(500):
+                histogram.observe(float(value))
+            return histogram
+
+        assert fill("same")._samples == fill("same")._samples
+        assert fill("same").percentile(0.5) == fill("same").percentile(0.5)
+        assert fill("same")._samples != fill("other")._samples
 
 
 def ok_result(**overrides):
@@ -97,3 +136,56 @@ class TestServiceMetrics:
         assert "traces_run" in text
         assert "acceptance_rate" in text
         assert "trace_energy" in text
+
+
+class TestExpositionEscaping:
+    def test_label_values_escape_backslash_quote_and_newline(self):
+        assert escape_label_value('evil\\label"') == 'evil\\\\label\\"'
+        assert escape_label_value("line\nbreak") == "line\\nbreak"
+        assert escape_label_value("plain") == "plain"
+
+    def test_help_text_escapes_backslash_and_newline_only(self):
+        assert escape_help_text('keep "quotes"\nhere\\') == \
+            'keep "quotes"\\nhere\\\\'
+
+    def test_hostile_labels_stay_on_one_exposition_line(self):
+        counter = Counter("c", "multi\nline help")
+        counter.increment(3)
+        lines = prometheus_lines(
+            [counter], labels={"tenant": 'evil\\t"en\nant'}
+        )
+        assert lines == [
+            "# HELP repro_c multi\\nline help",
+            "# TYPE repro_c counter",
+            'repro_c{tenant="evil\\\\t\\"en\\nant"} 3',
+        ]
+
+
+class TestGroupedExposition:
+    def _grouped(self):
+        solve = Histogram("unused", "")
+        for value in (0.1, 0.2, 0.3):
+            solve.observe(value)
+        commit = Histogram("unused", "")
+        return {"phase.solve": solve, "phase.commit": commit}
+
+    def test_one_header_many_label_series(self):
+        lines = prometheus_grouped_lines(
+            "phase_seconds", "phase durations", self._grouped(), prefix="gw"
+        )
+        assert lines[0] == "# HELP gw_phase_seconds phase durations"
+        assert lines[1] == "# TYPE gw_phase_seconds summary"
+        assert sum(line.startswith("# ") for line in lines) == 2
+        assert 'gw_phase_seconds_count{phase="phase.solve"} 3' in lines
+        assert 'gw_phase_seconds_sum{phase="phase.solve"} 0.6' in lines
+
+    def test_empty_histogram_emits_count_but_no_quantiles(self):
+        lines = prometheus_grouped_lines(
+            "phase_seconds", "", self._grouped(), prefix="gw"
+        )
+        assert 'gw_phase_seconds_count{phase="phase.commit"} 0' in lines
+        assert not any('phase="phase.commit",quantile=' in line for line in lines)
+        assert any('phase="phase.solve",quantile="0.9"' in line for line in lines)
+
+    def test_empty_group_emits_nothing(self):
+        assert prometheus_grouped_lines("phase_seconds", "help", {}) == []
