@@ -62,6 +62,8 @@ SMOKE_ENV = {
     "REPRO_BENCH_FRACTION": "0.05",
     "REPRO_BENCH_MAX_POINTS": "8",
     "REPRO_BENCH_WORKERS": "2",
+    "REPRO_BENCH_STORE_POINTS": "6",
+    "REPRO_BENCH_STORE_REQUESTS": "10",
 }
 
 
@@ -253,6 +255,14 @@ def measure_kernel_metrics(repeats: int = 3) -> dict:
     import bench_gateway_throughput as gateway_bench
 
     metrics["gateway_throughput"] = gateway_bench.measure_gateway_throughput()
+
+    # repro.store + repro.cluster: warm-store rerun speedup and cluster
+    # core efficiency.  Measurements live in bench_store_warm so the gated
+    # CI metrics are exactly what the pytest benches assert.
+    import bench_store_warm as store_bench
+
+    metrics["store_warm"] = store_bench.measure_store_warm()
+    metrics["cluster_scaling"] = store_bench.measure_cluster_scaling()
     return metrics
 
 
@@ -301,6 +311,38 @@ def check_baseline(results: dict, tolerance: float) -> list[str]:
                     f"kernel_incremental: arrival-handling speedup "
                     f"{entry['speedup']:.3f} fell below {floor:.3f} "
                     f"(baseline {expected['speedup']:.3f} - {tolerance:.0%})"
+                )
+    expected = baseline.get("store_warm")
+    if expected is not None:
+        entry = results["metrics"].get("store_warm")
+        if entry is None:
+            failures.append("store_warm: missing from results")
+        else:
+            # An absolute floor: a warm-store rerun must skip essentially
+            # all scheduling work, regardless of host speed.
+            floor = expected["min_speedup"]
+            if entry["speedup"] < floor:
+                failures.append(
+                    f"store_warm: warm rerun {entry['speedup']:.1f}x over cold "
+                    f"fell below the absolute {floor:.0f}x floor"
+                )
+    expected = baseline.get("cluster_scaling")
+    if expected is not None:
+        entry = results["metrics"].get("cluster_scaling")
+        if entry is None:
+            failures.append("cluster_scaling: missing from results")
+        else:
+            # An absolute floor on speedup per *available* core, so the gate
+            # means "near-linear" on multi-core hosts and "no pathological
+            # overhead" on single-core ones.
+            floor = expected["min_core_efficiency"]
+            if entry["core_efficiency"] < floor:
+                failures.append(
+                    f"cluster_scaling: core efficiency "
+                    f"{entry['core_efficiency']:.2f} (speedup "
+                    f"{entry['speedup']:.2f}x over "
+                    f"{entry['available_parallelism']} cores) fell below "
+                    f"the {floor:.2f} floor"
                 )
     expected = baseline.get("tracing_overhead")
     if expected is not None:
@@ -368,6 +410,9 @@ def main(argv: list[str] | None = None) -> int:
                     "REPRO_BENCH_MAX_POINTS",
                     "REPRO_BENCH_SEED",
                     "REPRO_BENCH_WORKERS",
+                    "REPRO_BENCH_STORE_POINTS",
+                    "REPRO_BENCH_STORE_REQUESTS",
+                    "REPRO_BENCH_STORE_TRACES",
                 )
                 if os.environ.get(key) is not None
             },
@@ -394,6 +439,18 @@ def main(argv: list[str] | None = None) -> int:
         f"  gateway_throughput: {gateway['runs_per_s_warm']:.0f} runs/s warm "
         f"over {gateway['clients']} clients "
         f"({gateway['gateway_efficiency']:.0%} of in-process)"
+    )
+    store = results["metrics"]["store_warm"]
+    print(
+        f"  store_warm: {store['warm_s'] * 1e3:.0f} ms warm vs "
+        f"{store['cold_s'] * 1e3:.0f} ms cold ({store['speedup']:.1f}x, "
+        f"{store['warm_store_hits']} store hits)"
+    )
+    scaling = results["metrics"]["cluster_scaling"]
+    print(
+        f"  cluster_scaling: {scaling['speedup']:.2f}x with "
+        f"{scaling['workers']} workers on {scaling['cpus']} cpus "
+        f"({scaling['core_efficiency']:.0%} per available core)"
     )
     pareto = results["metrics"]["pareto_front"]
     print(

@@ -155,9 +155,15 @@ class Session:
         Optional pre-existing :class:`~repro.kernel.caches.KernelCaches` to
         adopt instead of building a fresh store — the gateway passes one per
         tenant so warm starts survive across sessions and requests.
+    store:
+        Optional persistent :class:`~repro.store.ContentStore` (or a path
+        for a SQLite-backed one).  When given and no ``kernel_caches`` were
+        injected, the session's caches — and any batch service it builds —
+        become store-backed, so runs warm each other across sessions,
+        processes and host restarts.  ``REPRO_STORE=0`` force-disables.
     """
 
-    def __init__(self, spec: ExperimentSpec, *, kernel_caches=None):
+    def __init__(self, spec: ExperimentSpec, *, kernel_caches=None, store=None):
         if not isinstance(spec, ExperimentSpec):
             raise WorkloadError(
                 f"Session expects an ExperimentSpec, got {type(spec).__name__}"
@@ -166,11 +172,16 @@ class Session:
         self._platform = None
         self._tables = None
         self._kernel_caches = kernel_caches
+        from repro.store.content import resolve_store
+
+        self._store = resolve_store(store)
 
     @classmethod
-    def from_spec(cls, spec: ExperimentSpec, *, kernel_caches=None) -> "Session":
+    def from_spec(
+        cls, spec: ExperimentSpec, *, kernel_caches=None, store=None
+    ) -> "Session":
         """The canonical constructor: ``Session.from_spec(spec).run()``."""
-        return cls(spec, kernel_caches=kernel_caches)
+        return cls(spec, kernel_caches=kernel_caches, store=store)
 
     @classmethod
     def from_file(cls, path) -> "Session":
@@ -209,10 +220,15 @@ class Session:
         memos.  Content-keyed, hence bit-identical reuse by construction.
         """
         if self._kernel_caches is None:
-            from repro.kernel.caches import KernelCaches
+            from repro.store.bindings import store_backed_caches
 
-            self._kernel_caches = KernelCaches()
+            self._kernel_caches = store_backed_caches(self._store)
         return self._kernel_caches
+
+    @property
+    def store(self):
+        """The session's content store, or ``None`` when not configured."""
+        return self._store
 
     def scheduler(self):
         """A fresh scheduler instance per call (schedulers may keep state)."""
@@ -338,6 +354,7 @@ class Session:
                 use_cache=use_cache,
                 cache_size=cache_size,
                 kernel_caches=self.kernel_caches,
+                store=self._store,
             )
         return service.run_batch(
             self.to_batch(trials=trials, seeds=seeds), progress=progress

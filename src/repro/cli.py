@@ -86,9 +86,10 @@ def _add_service_options(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--executor",
-        choices=["auto", "serial", "thread", "process"],
+        choices=["auto", "serial", "thread", "process", "cluster"],
         default="auto",
-        help="fan-out backend (auto: serial for one worker, threads otherwise)",
+        help="fan-out backend (auto: serial for one worker, threads otherwise; "
+        "cluster: sharded process pool with work stealing)",
     )
     parser.add_argument(
         "--no-cache", action="store_true", help="disable the activation cache"
@@ -96,18 +97,33 @@ def _add_service_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache-size", type=int, default=4096, help="activation cache capacity"
     )
+    parser.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="persistent content-addressed cache store (SQLite file); warm "
+        "reruns reuse solves across invocations ($REPRO_STORE also works, "
+        "REPRO_STORE=0 force-disables)",
+    )
 
 
 def _make_service(args: argparse.Namespace):
     """Build the SimulationService described by the shared flags."""
     from repro.service import SimulationService
 
-    return SimulationService(
+    service = SimulationService(
         workers=args.workers,
         executor=getattr(args, "executor", "auto"),
         use_cache=not getattr(args, "no_cache", False),
         cache_size=getattr(args, "cache_size", 4096),
+        store=getattr(args, "store", None),
     )
+    if service.store is not None:
+        # One CLI invocation is one process, so binding the process-global
+        # OpTable intern pool to the store is safe — and lets table builds
+        # warm across invocations like every other cache kind.
+        from repro.optable import bind_intern_store
+
+        bind_intern_store(service.store)
+    return service
 
 
 def _load_batch(path: str):
@@ -375,6 +391,34 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--batch-workers", type=int, default=1,
         help="SimulationService workers per batch submission",
+    )
+    serve.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="persistent content-addressed cache store shared by all tenants "
+        "(SQLite file; $REPRO_STORE also works, REPRO_STORE=0 disables)",
+    )
+
+    store = subparsers.add_parser(
+        "store",
+        help="inspect or maintain a persistent cache store",
+        description=(
+            "Maintenance surface of the repro.store content-addressed cache "
+            "(the --store flag of run/batch/serve): print hit/size statistics, "
+            "garbage-collect entries written by other repro versions, or wipe "
+            "the store entirely."
+        ),
+    )
+    store.add_argument("action", choices=["stats", "gc", "clear"])
+    store.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="store path (defaults to $REPRO_STORE)",
+    )
+    store.add_argument(
+        "--max-entries", type=int, default=None, metavar="N",
+        help="gc: additionally trim every cache kind to its N newest entries",
+    )
+    store.add_argument(
+        "--json", action="store_true", help="stats: print the raw JSON"
     )
 
     submit = subparsers.add_parser(
@@ -843,6 +887,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_per_tenant=args.max_per_tenant,
         queue_timeout_s=args.queue_timeout,
         batch_workers=args.batch_workers,
+        store_path=args.store,
     )
     try:
         asyncio.run(serve(config))
@@ -851,6 +896,48 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # this catches a second Ctrl-C pressed during the drain.
         pass
     return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.store import resolve_store
+
+    store = resolve_store(args.store)
+    if store is None:
+        print(
+            "error: no store configured (pass --store PATH or set REPRO_STORE)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        if args.action == "stats":
+            stats = store.stats()
+            if args.json:
+                print(json.dumps(stats, indent=2, sort_keys=True))
+                return 0
+            print(f"store {stats['path'] or '(in memory)'} "
+                  f"(version {stats['version']})")
+            namespaces = stats["namespaces"]
+            if not namespaces:
+                print("  empty")
+            for namespace, entry in sorted(namespaces.items()):
+                print(f"  {namespace}: {entry['entries']} entries, "
+                      f"{entry['bytes']} bytes")
+            for kind, counters in sorted(stats["kinds"].items()):
+                print(f"  [{kind}] hits {counters['hits']} "
+                      f"(local {counters['local_hits']}), "
+                      f"misses {counters['misses']}, puts {counters['puts']}")
+        elif args.action == "gc":
+            outcome = store.gc(max_entries_per_kind=args.max_entries)
+            print(f"gc: dropped {outcome['dropped']} stale entries, "
+                  f"trimmed {outcome['trimmed']}")
+        else:
+            store.clear()
+            print("store cleared")
+        return 0
+    finally:
+        store.close()
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
@@ -947,6 +1034,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "profile": _cmd_profile,
         "energy": _cmd_energy,
         "serve": _cmd_serve,
+        "store": _cmd_store,
         "submit": _cmd_submit,
     }
     return handlers[args.command](args)

@@ -1,0 +1,26 @@
+"""repro.cluster — sharded batch execution over the simulation service.
+
+A :class:`ShardCoordinator` splits a :class:`~repro.service.jobs.BatchSpec`
+into contiguous work units, dispatches them to an in-process worker pool
+with work stealing for skewed job costs, retries dead shards a bounded
+number of times, and merges results deterministically by absolute job
+index — so batch fingerprints are independent of worker count, steal order
+and retry history.  Combined with a shared :mod:`repro.store`
+content-addressed store, shards warm each other across processes and runs.
+"""
+
+from repro.cluster.coordinator import (
+    MODES,
+    CoordinatorStats,
+    ShardCoordinator,
+    WorkUnit,
+    split_units,
+)
+
+__all__ = [
+    "MODES",
+    "CoordinatorStats",
+    "ShardCoordinator",
+    "WorkUnit",
+    "split_units",
+]

@@ -84,6 +84,10 @@ class GatewayConfig:
     #: ``trace_id``, the span tree is served by ``GET /runs/{id}/trace`` and
     #: phase durations feed the ``/metrics`` exposition.
     trace_runs: bool = True
+    #: Path of a persistent :class:`~repro.store.ContentStore` shared by
+    #: every tenant's caches (``None``: tenants stay process-local; the
+    #: ``REPRO_STORE`` environment variable overrides either way).
+    store_path: str | None = None
 
 
 class GatewayMetrics:
@@ -190,7 +194,10 @@ class GatewayServer:
 
     def __init__(self, config: GatewayConfig | None = None):
         self.config = config or GatewayConfig()
-        self.store = SessionStore()
+        from repro.store.content import resolve_store
+
+        self.content_store = resolve_store(self.config.store_path)
+        self.store = SessionStore(self.content_store)
         self.registry = RunRegistry()
         self.admission = AdmissionController(
             max_concurrent=self.config.max_concurrent,
@@ -474,7 +481,42 @@ class GatewayServer:
                 prefix="repro_gateway",
             )
         )
+        lines.extend(self._store_lines())
         return "\n".join(lines) + "\n" + self.service_metrics.to_prometheus()
+
+    #: Store counter → Prometheus series description.  Every series is
+    #: ``repro_store_<name>`` with one sample per cache kind.
+    _STORE_SERIES = {
+        "hits": "store lookups served (local front or backend)",
+        "local_hits": "store lookups served by the local LRU front",
+        "misses": "store lookups that fell through to a recompute",
+        "puts": "entries written through to the backend",
+        "corrupt": "corrupted or truncated entries degraded to misses",
+        "errors": "backend failures degraded to misses",
+        "bytes_read": "payload bytes deserialised from the backend",
+        "bytes_written": "payload bytes written to the backend",
+        "evictions": "local-front LRU evictions",
+    }
+
+    def _store_lines(self) -> list[str]:
+        """``repro_store_*`` series of the shared content store (if any)."""
+        if self.content_store is None:
+            return []
+        counters = self.content_store.counters()
+        lines: list[str] = []
+        for stat, description in self._STORE_SERIES.items():
+            grouped = {kind: values[stat] for kind, values in counters.items()}
+            lines.extend(
+                prometheus_grouped_lines(
+                    f"store_{stat}",
+                    description,
+                    grouped,
+                    prefix="repro",
+                    label="kind",
+                    metric_type="counter",
+                )
+            )
+        return lines
 
     def _refuse_if_draining(self) -> None:
         if self.draining:
@@ -658,6 +700,7 @@ class GatewayServer:
                         workers=self.config.batch_workers,
                         metrics=self.service_metrics,
                         kernel_caches=session.kernel_caches,
+                        store=self.content_store,
                     )
                     results = session.run_batch(
                         trials=submission.trials,

@@ -16,7 +16,12 @@ session whose spec changes is transparently rebuilt (the caches persist;
 they are keyed by content, not by name).
 
 Tenants are isolated from each other by construction: nothing in one
-tenant's store is reachable from another's.
+tenant's store is reachable from another's.  A gateway configured with a
+persistent :class:`~repro.store.ContentStore` shares *entries* across
+tenants anyway — safely, because the content store is keyed purely by
+problem content (fingerprints, capacities, exact ratios), never by tenant:
+each tenant still gets its own :class:`KernelCaches` front, but all fronts
+write through to (and warm from) the one shared store.
 """
 
 from __future__ import annotations
@@ -51,9 +56,12 @@ class SessionStore:
     #: Named sessions kept per tenant before the least recently used drops.
     MAX_NAMED_SESSIONS = 32
 
-    def __init__(self) -> None:
+    def __init__(self, content_store=None) -> None:
         self._tenants: dict[str, TenantState] = {}
         self._lock = threading.Lock()
+        #: Optional shared repro.store.ContentStore backing every tenant's
+        #: caches (None keeps each tenant purely process-local, as before).
+        self.content_store = content_store
 
     def tenant(self, name: str) -> TenantState:
         """The (created-on-first-use) state of one tenant."""
@@ -73,9 +81,9 @@ class SessionStore:
         state = self.tenant(tenant)
         with state.lock:
             if state.kernel_caches is None:
-                from repro.kernel.caches import KernelCaches
+                from repro.store.bindings import store_backed_caches
 
-                state.kernel_caches = KernelCaches()
+                state.kernel_caches = store_backed_caches(self.content_store)
             return state.kernel_caches
 
     def session_for(self, tenant: str, session_name: str | None, spec):

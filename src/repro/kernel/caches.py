@@ -78,12 +78,14 @@ class KernelCaches:
 
     def exmem_columns(self, fingerprint: str, max_configs: int | None):
         """Cached EX-MEM candidate columns, or ``None`` when not yet stored."""
+        # Counting happens outside the lock (see SolveCache.get): the
+        # critical section covers only the OrderedDict mutation.
         with self._lock:
             entry = self._exmem.get((fingerprint, max_configs))
             if entry is not None:
                 self._exmem.move_to_end((fingerprint, max_configs))
-            obs.count("cache.exmem.hit" if entry is not None else "cache.exmem.miss")
-            return entry
+        obs.count("cache.exmem.hit" if entry is not None else "cache.exmem.miss")
+        return entry
 
     def store_exmem_columns(
         self, fingerprint: str, max_configs: int | None, columns: tuple

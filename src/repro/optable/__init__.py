@@ -44,6 +44,7 @@ from repro.optable.runtime import (
 from repro.optable.table import (
     OpTable,
     as_optable,
+    bind_intern_store,
     clear_intern_pool,
     fingerprint_points,
     intern_info,
@@ -57,6 +58,7 @@ __all__ = [
     "ProblemView",
     "SolveCache",
     "as_optable",
+    "bind_intern_store",
     "clear_intern_pool",
     "columnar_disabled",
     "columnar_enabled",

@@ -44,6 +44,10 @@ _INTERN_HITS = 0
 _INTERN_MISSES = 0
 #: Guards the pool — service thread workers intern concurrently.
 _INTERN_LOCK = threading.Lock()
+#: Optional persistent second level (a :class:`repro.store.ContentStore`):
+#: consulted on intern misses, written through on builds.  Bound per process
+#: via :func:`bind_intern_store`; ``None`` keeps interning purely local.
+_INTERN_STORE = None
 
 
 class OpTable:
@@ -304,8 +308,15 @@ def as_optable(source) -> OpTable:
             return table
         _INTERN_MISSES += 1
     # Column/aggregate construction happens outside the lock; a concurrent
-    # builder of the same table just loses the insertion race below.
-    table = OpTable(points, key)
+    # builder of the same table just loses the insertion race below.  A bound
+    # store is consulted first: a persisted table arrives with whatever lazy
+    # aggregates its writer had already materialised.
+    store = _INTERN_STORE
+    table = store.get("optable", key) if store is not None else None
+    if not isinstance(table, OpTable) or table.fingerprint != key:
+        table = OpTable(points, key)
+        if store is not None:
+            store.put("optable", key, table)
     with _INTERN_LOCK:
         existing = _INTERN.get(key)
         if existing is not None:
@@ -314,6 +325,20 @@ def as_optable(source) -> OpTable:
         while len(_INTERN) > _INTERN_MAX_TABLES:
             _INTERN.popitem(last=False)
     return table
+
+
+def bind_intern_store(store):
+    """Bind a ``ContentStore`` as the interning second level; returns the
+    previous binding (``None`` unbinds).
+
+    A module-level binding (rather than a parameter) because interning is
+    itself process-global — every ``as_optable`` call site shares the pool,
+    so they must share its persistent backing too.
+    """
+    global _INTERN_STORE
+    previous = _INTERN_STORE
+    _INTERN_STORE = store
+    return previous
 
 
 def intern_info() -> dict[str, int]:

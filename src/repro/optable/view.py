@@ -51,17 +51,21 @@ class SolveCache:
 
     def get(self, key):
         """Return the cached value for ``key`` or ``None``."""
+        # obs.count stays outside the lock: it reads a ContextVar and may
+        # touch tracer state, and nothing under the lock depends on it —
+        # keeping the critical section to pure dict work means a slow or
+        # re-entrant tracer can never serialise cache readers.
         with self._lock:
             try:
                 value = self._entries[key]
             except KeyError:
                 self.misses += 1
-                obs.count("cache.solve.miss")
-                return None
-            self._entries.move_to_end(key)
-            self.hits += 1
-            obs.count("cache.solve.hit")
-            return value
+                value = None
+            else:
+                self._entries.move_to_end(key)
+                self.hits += 1
+        obs.count("cache.solve.miss" if value is None else "cache.solve.hit")
+        return value
 
     def put(self, key, value) -> None:
         """Insert ``key → value``, evicting the least-recently-used entry."""

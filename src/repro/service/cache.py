@@ -155,16 +155,17 @@ class ActivationCache:
 
     def get(self, key: tuple) -> SchedulingResult | None:
         """Look up a canonical result, refreshing its recency on a hit."""
+        # Counting happens outside the lock (see SolveCache.get): the
+        # critical section covers only the OrderedDict mutation.
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
                 self._misses += 1
-                obs.count("cache.activation.miss")
-                return None
-            self._entries.move_to_end(key)
-            self._hits += 1
-            obs.count("cache.activation.hit")
-            return entry
+            else:
+                self._entries.move_to_end(key)
+                self._hits += 1
+        obs.count("cache.activation.miss" if entry is None else "cache.activation.hit")
+        return entry
 
     def put(self, key: tuple, result: SchedulingResult) -> None:
         """Store a canonical result, evicting the LRU entry when full."""

@@ -207,32 +207,41 @@ def prometheus_lines(
 def prometheus_grouped_lines(
     name: str,
     description: str,
-    grouped: Mapping[str, Histogram],
+    grouped: Mapping[str, "Histogram | float | int"],
     *,
     prefix: str = "repro",
     label: str = "phase",
+    metric_type: str = "summary",
 ) -> list[str]:
-    """One summary metric whose series are distinguished by a label.
+    """One metric whose series are distinguished by a label.
 
     ``grouped`` maps label values (e.g. phase names) to histograms; unlike
     calling :func:`prometheus_lines` per histogram, the shared metric name
     gets exactly one HELP/TYPE header — duplicated headers are invalid in
     the text exposition format.
+
+    With ``metric_type`` set to ``"counter"`` or ``"gauge"``, the mapping
+    values are plain numbers and each label value becomes one sample line —
+    the shape the store's per-kind hit/miss/byte counters (``repro_store_*``)
+    are exported in.
     """
     full = f"{prefix}_{name}"
     lines: list[str] = []
     if grouped:
         if description:
             lines.append(f"# HELP {full} {escape_help_text(description)}")
-        lines.append(f"# TYPE {full} summary")
-    for value, histogram in sorted(grouped.items()):
+        lines.append(f"# TYPE {full} {metric_type}")
+    for value, entry in sorted(grouped.items()):
         tag = _prom_labels({label: value})
-        lines.append(f"{full}_count{tag} {histogram.count}")
-        lines.append(f"{full}_sum{tag} {histogram.total:g}")
-        if histogram.count:
+        if metric_type != "summary":
+            lines.append(f"{full}{tag} {entry:g}")
+            continue
+        lines.append(f"{full}_count{tag} {entry.count}")
+        lines.append(f"{full}_sum{tag} {entry.total:g}")
+        if entry.count:
             for fraction in (0.5, 0.9, 0.99):
                 quantile = _prom_labels({label: value, "quantile": f"{fraction:g}"})
-                lines.append(f"{full}{quantile} {histogram.percentile(fraction):g}")
+                lines.append(f"{full}{quantile} {entry.percentile(fraction):g}")
     return lines
 
 

@@ -10,7 +10,17 @@ picklable :class:`SimulationResult`.  Three executors are available:
 * ``"thread"`` — a thread pool sharing one activation cache, so repeated
   activations *across* traces hit;
 * ``"process"`` — a process pool for CPU parallelism; each worker keeps a
-  process-local cache (cache statistics are not aggregated in this mode).
+  process-local cache (cache statistics are not aggregated in this mode);
+* ``"cluster"`` — the :class:`~repro.cluster.ShardCoordinator`: the batch is
+  split into work units executed by a process pool with work stealing and
+  bounded shard retry.
+
+A service may additionally be bound to a persistent
+:class:`~repro.store.ContentStore` (``store=`` or the ``REPRO_STORE``
+environment variable): the activation cache and kernel caches become
+store-backed, process workers reopen the store by path, and warm reruns
+start from every entry previous runs persisted.  With no store configured
+(or ``REPRO_STORE=0``) behaviour is bit-identical to the store-less code.
 
 Determinism guarantee
 ---------------------
@@ -48,9 +58,11 @@ from repro.runtime.manager import RuntimeManager
 from repro.service.cache import ActivationCache, CachingScheduler
 from repro.service.jobs import BatchSpec, SimulationJob
 from repro.service.metrics import ServiceMetrics
+from repro.store.bindings import store_backed_activation_cache, store_backed_caches
+from repro.store.content import ContentStore, resolve_store
 
 #: Executor names accepted by :class:`SimulationService`.
-EXECUTORS = ("auto", "serial", "thread", "process")
+EXECUTORS = ("auto", "serial", "thread", "process", "cluster")
 
 
 @dataclass(frozen=True)
@@ -344,20 +356,62 @@ _PROCESS_CACHE_SIZE: int = 0
 #: Per-process incremental-kernel warm starts (content-keyed, so sharing
 #: across the heterogeneous jobs of one worker process is always sound).
 _PROCESS_KERNEL_CACHES: KernelCaches | None = None
+#: Per-process content store, reopened from the parent's path token.  A
+#: SQLite store crosses the process boundary by *path*, not by object —
+#: each worker opens its own connection (see repro.store.backend).
+_PROCESS_STORE: ContentStore | None = None
+_PROCESS_STORE_TOKEN: str | None = None
 
 
-def _process_simulate(job_data: Mapping, cache_size: int) -> SimulationResult:
+def _process_store(store_token: str | None) -> ContentStore | None:
+    """The worker-process store for ``store_token`` (rebinding on change)."""
+    global _PROCESS_STORE, _PROCESS_STORE_TOKEN
+    if store_token != _PROCESS_STORE_TOKEN or (
+        store_token is not None and _PROCESS_STORE is None
+    ):
+        # resolve_store re-applies the REPRO_STORE escape hatch, so a
+        # worker inheriting REPRO_STORE=0 stays store-less no matter what
+        # token the parent sends.
+        _PROCESS_STORE = resolve_store(store_token) if store_token else None
+        _PROCESS_STORE_TOKEN = store_token
+        from repro.optable.table import bind_intern_store
+
+        bind_intern_store(_PROCESS_STORE)
+    return _PROCESS_STORE
+
+
+def _process_simulate(
+    job_data: Mapping, cache_size: int, store_token: str | None = None
+) -> SimulationResult:
     """Worker-process entry point: rebuild the job and simulate it."""
     global _PROCESS_CACHE, _PROCESS_CACHE_SIZE, _PROCESS_KERNEL_CACHES
+    store = _process_store(store_token)
     cache = None
     if cache_size > 0:
-        if _PROCESS_CACHE is None or _PROCESS_CACHE_SIZE != cache_size:
-            _PROCESS_CACHE = ActivationCache(cache_size)
+        if (
+            _PROCESS_CACHE is None
+            or _PROCESS_CACHE_SIZE != cache_size
+            or getattr(_PROCESS_CACHE, "store", None) is not store
+        ):
+            _PROCESS_CACHE = store_backed_activation_cache(store, cache_size)
             _PROCESS_CACHE_SIZE = cache_size
         cache = _PROCESS_CACHE
-    if _PROCESS_KERNEL_CACHES is None:
-        _PROCESS_KERNEL_CACHES = KernelCaches()
+    if (
+        _PROCESS_KERNEL_CACHES is None
+        or getattr(_PROCESS_KERNEL_CACHES, "store", None) is not store
+    ):
+        _PROCESS_KERNEL_CACHES = store_backed_caches(store)
     return _simulate(SimulationJob.from_dict(job_data), cache, _PROCESS_KERNEL_CACHES)
+
+
+def _process_run_unit(
+    job_datas: Sequence[Mapping], cache_size: int, store_token: str | None = None
+) -> list[SimulationResult]:
+    """Worker-process entry point for one shard (see :mod:`repro.cluster`)."""
+    return [
+        _process_simulate(job_data, cache_size, store_token)
+        for job_data in job_datas
+    ]
 
 
 class SimulationService:
@@ -378,6 +432,13 @@ class SimulationService:
     metrics:
         An existing :class:`ServiceMetrics` registry to record into; a fresh
         one is created when omitted.
+    store:
+        A persistent :class:`~repro.store.ContentStore` (or a path for a
+        SQLite-backed one) shared by the activation cache, the kernel
+        caches and — in ``"process"``/``"cluster"`` mode — every worker
+        process.  ``None`` (the default) keeps all caches process-local;
+        the ``REPRO_STORE`` environment variable can opt in (a path) or
+        force-disable (``0``) regardless of this argument.
 
     Examples
     --------
@@ -400,6 +461,7 @@ class SimulationService:
         cache_size: int = 4096,
         metrics: ServiceMetrics | None = None,
         kernel_caches: KernelCaches | None = None,
+        store: "ContentStore | str | None" = None,
     ):
         if workers < 1:
             raise WorkloadError(f"worker count must be positive, got {workers}")
@@ -411,15 +473,24 @@ class SimulationService:
         self.executor = executor
         self.use_cache = use_cache
         self.cache_size = cache_size
-        self.cache = ActivationCache(cache_size) if use_cache else None
+        self.store = resolve_store(store)
+        self.cache = (
+            store_backed_activation_cache(self.store, cache_size)
+            if use_cache
+            else None
+        )
         self.metrics = metrics if metrics is not None else ServiceMetrics()
+        #: Shard statistics of the most recent ``"cluster"`` batch.
+        self.cluster_stats = None
         #: Incremental-kernel warm starts shared by every job of every batch
         #: this service runs (content-keyed, hence safe across heterogeneous
         #: jobs): capacity-fitting table slices, MMKP-LR relaxations, EX-MEM
         #: candidate columns.  Callers may inject one to pool across
         #: services/sessions.
         self.kernel_caches = (
-            kernel_caches if kernel_caches is not None else KernelCaches()
+            kernel_caches
+            if kernel_caches is not None
+            else store_backed_caches(self.store)
         )
 
     # ------------------------------------------------------------------ #
@@ -448,12 +519,14 @@ class SimulationService:
             results = self._run_serial(jobs, progress)
         elif executor == "thread":
             results = self._run_threads(jobs, progress)
+        elif executor == "cluster":
+            results = self._run_cluster(jobs, progress)
         else:
             results = self._run_processes(jobs, progress)
 
         for result in results:
             self.metrics.observe_result(result)
-        if self.cache is not None and executor != "process":
+        if self.cache is not None and executor not in ("process", "cluster"):
             after = self.cache.info()
             self.metrics.observe_cache(
                 {
@@ -497,10 +570,13 @@ class SimulationService:
 
     def _run_processes(self, jobs, progress) -> list[SimulationResult]:
         cache_size = self.cache_size if self.use_cache else 0
+        token = self.store.process_token() if self.store is not None else None
         results: list[SimulationResult | None] = [None] * len(jobs)
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
             futures = {
-                pool.submit(_process_simulate, job.to_dict(), cache_size): index
+                pool.submit(
+                    _process_simulate, job.to_dict(), cache_size, token
+                ): index
                 for index, job in enumerate(jobs)
             }
             for future in as_completed(futures):
@@ -508,6 +584,20 @@ class SimulationService:
                 results[index] = future.result()
                 if progress is not None:
                     progress(index, results[index])
+        return results
+
+    def _run_cluster(self, jobs, progress) -> list[SimulationResult]:
+        # Imported lazily: repro.cluster imports this module.
+        from repro.cluster.coordinator import ShardCoordinator
+
+        coordinator = ShardCoordinator(
+            self.workers,
+            mode="process",
+            cache_size=self.cache_size if self.use_cache else 0,
+            store=self.store,
+        )
+        results = coordinator.run(jobs, progress)
+        self.cluster_stats = coordinator.stats
         return results
 
     def __repr__(self) -> str:

@@ -1,0 +1,48 @@
+"""repro.store — persistent content-addressed cache store.
+
+Public surface:
+
+* :class:`ContentStore` with :meth:`ContentStore.open` /
+  :meth:`ContentStore.in_memory`, plus ``stats()``/``gc()``/``clear()``
+  maintenance;
+* the :class:`CacheBackend` protocol with the :class:`SQLiteBackend` and
+  :class:`MemoryBackend` implementations;
+* store-backed drop-ins for the in-process caches
+  (:class:`StoreBackedKernelCaches`, :class:`StoreBackedSolveCache`,
+  :class:`StoreBackedActivationCache`);
+* :func:`resolve_store`, which applies the ``REPRO_STORE`` escape hatch
+  (``REPRO_STORE=0`` force-disables every binding, ``REPRO_STORE=path``
+  opts the whole process into a shared store).
+"""
+
+from repro.store.backend import CacheBackend, MemoryBackend, SQLiteBackend
+from repro.store.bindings import (
+    StoreBackedActivationCache,
+    StoreBackedKernelCaches,
+    StoreBackedSolveCache,
+    store_backed_activation_cache,
+    store_backed_caches,
+)
+from repro.store.content import (
+    STAT_NAMES,
+    ContentStore,
+    encode_key,
+    resolve_store,
+    store_enabled,
+)
+
+__all__ = [
+    "STAT_NAMES",
+    "CacheBackend",
+    "ContentStore",
+    "MemoryBackend",
+    "SQLiteBackend",
+    "StoreBackedActivationCache",
+    "StoreBackedKernelCaches",
+    "StoreBackedSolveCache",
+    "encode_key",
+    "resolve_store",
+    "store_backed_activation_cache",
+    "store_backed_caches",
+    "store_enabled",
+]

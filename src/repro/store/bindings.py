@@ -1,0 +1,191 @@
+"""Store-backed variants of the library's cache classes.
+
+Each binding keeps the original in-process cache as a hot local front and
+falls back to a shared :class:`~repro.store.content.ContentStore` on a
+local miss, promoting store hits into the local LRU and writing every new
+entry through.  The subclasses preserve the parent classes' observable
+surface (``hits``/``misses`` counters, ``info()``), so everything that
+already consumes a :class:`~repro.optable.view.SolveCache`, an
+:class:`~repro.service.cache.ActivationCache` or a
+:class:`~repro.kernel.caches.KernelCaches` — the LR scheduler's cache
+adoption, the service pool, the gateway's per-tenant state — works
+unchanged when handed the store-backed flavour.
+
+Store kinds used here: ``solve`` (LR segment relaxations), ``exmem``
+(EX-MEM candidate columns), ``activation`` (canonical scheduling results).
+OpTable interning binds separately via
+:func:`repro.optable.table.bind_intern_store` (kind ``optable``).
+"""
+
+from __future__ import annotations
+
+from repro.kernel.caches import KernelCaches
+from repro.obs import tracer as obs
+from repro.optable.view import SolveCache
+from repro.service.cache import ActivationCache
+from repro.store.content import ContentStore
+
+
+class StoreBackedSolveCache(SolveCache):
+    """A :class:`SolveCache` with a shared persistent second level.
+
+    The cached values are :class:`~repro.knapsack.lagrangian.LagrangianResult`
+    objects; their keys embed table fingerprints, capacities and exact
+    ratios, so a store hit replays the identical deterministic solve no
+    matter which process or run produced it.
+    """
+
+    KIND = "solve"
+
+    def __init__(self, store: ContentStore, max_entries: int = 4096):
+        super().__init__(max_entries)
+        self._store = store
+
+    @property
+    def store(self) -> ContentStore:
+        return self._store
+
+    def get(self, key):
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+        if value is not None:
+            obs.count("cache.solve.hit")
+            return value
+        value = self._store.get(self.KIND, key)
+        if value is None:
+            with self._lock:
+                self.misses += 1
+            obs.count("cache.solve.miss")
+            return None
+        with self._lock:
+            self.hits += 1
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+        obs.count("cache.solve.hit")
+        return value
+
+    def put(self, key, value) -> None:
+        super().put(key, value)
+        self._store.put(self.KIND, key, value)
+
+
+class StoreBackedActivationCache(ActivationCache):
+    """An :class:`ActivationCache` with a shared persistent second level.
+
+    Safe to share across runs because :class:`CachingScheduler` rehydrates
+    the canonical result on hits *and* misses — a warm store changes where
+    an entry comes from, never what the caller computes from it.
+    """
+
+    KIND = "activation"
+
+    def __init__(self, store: ContentStore, maxsize: int = 4096):
+        super().__init__(maxsize)
+        self._store = store
+
+    @property
+    def store(self) -> ContentStore:
+        return self._store
+
+    def get(self, key):
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+        if entry is not None:
+            obs.count("cache.activation.hit")
+            return entry
+        entry = self._store.get(self.KIND, key)
+        if entry is None:
+            with self._lock:
+                self._misses += 1
+            obs.count("cache.activation.miss")
+            return None
+        with self._lock:
+            self._hits += 1
+            if self._maxsize > 0:
+                self._entries[key] = entry
+                self._entries.move_to_end(key)
+                while len(self._entries) > self._maxsize:
+                    self._entries.popitem(last=False)
+        obs.count("cache.activation.hit")
+        return entry
+
+    def put(self, key, result) -> None:
+        super().put(key, result)
+        self._store.put(self.KIND, key, result)
+
+
+class StoreBackedKernelCaches(KernelCaches):
+    """:class:`KernelCaches` whose content-keyed members share a store.
+
+    * the LR solve memo becomes a :class:`StoreBackedSolveCache` (and flows
+      into ``MMKPLRScheduler`` through the existing ``begin_run`` adoption);
+    * EX-MEM candidate columns fall back to the store on a local miss;
+    * :class:`~repro.optable.view.SharedSlices` stay process-local — they
+      hold interned :class:`~repro.optable.table.OpTable` references and
+      are cheap to refill, so persisting them would buy nothing.
+    """
+
+    def __init__(self, store: ContentStore, solve_cache_entries: int = 4096):
+        super().__init__(solve_cache_entries)
+        self._store = store
+        self.solve_cache = StoreBackedSolveCache(store, solve_cache_entries)
+
+    @property
+    def store(self) -> ContentStore:
+        return self._store
+
+    def exmem_columns(self, fingerprint: str, max_configs: int | None):
+        entry = super().exmem_columns(fingerprint, max_configs)
+        if entry is not None:
+            return entry
+        entry = self._store.get("exmem", (fingerprint, max_configs))
+        if entry is not None:
+            # Promote through the parent so the local LRU bound applies.
+            super().store_exmem_columns(fingerprint, max_configs, entry)
+        return entry
+
+    def store_exmem_columns(
+        self, fingerprint: str, max_configs: int | None, columns: tuple
+    ) -> None:
+        super().store_exmem_columns(fingerprint, max_configs, columns)
+        self._store.put("exmem", (fingerprint, max_configs), columns)
+
+    def info(self) -> dict:
+        info = dict(super().info())
+        info["store"] = self._store.counters()
+        return info
+
+
+def store_backed_caches(
+    store: ContentStore | None, solve_cache_entries: int = 4096
+) -> KernelCaches:
+    """A :class:`KernelCaches` bound to ``store`` (plain caches when ``None``)."""
+    if store is None:
+        return KernelCaches(solve_cache_entries)
+    return StoreBackedKernelCaches(store, solve_cache_entries)
+
+
+def store_backed_activation_cache(
+    store: ContentStore | None, maxsize: int = 4096
+) -> ActivationCache:
+    """An :class:`ActivationCache` bound to ``store`` (plain when ``None``)."""
+    if store is None:
+        return ActivationCache(maxsize)
+    return StoreBackedActivationCache(store, maxsize)
+
+
+__all__ = [
+    "StoreBackedActivationCache",
+    "StoreBackedKernelCaches",
+    "StoreBackedSolveCache",
+    "store_backed_activation_cache",
+    "store_backed_caches",
+]

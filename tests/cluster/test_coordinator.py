@@ -1,0 +1,202 @@
+"""ShardCoordinator: unit splitting, stealing, retry and deterministic merge."""
+
+import threading
+
+import pytest
+
+from repro.cluster import MODES, ShardCoordinator, WorkUnit, split_units
+from repro.exceptions import WorkloadError
+from repro.service import BatchSpec, SimulationResult, SimulationService
+
+
+def sweep(name="batch", arrival_rates=(0.2, 0.5), traces_per_point=2):
+    return BatchSpec.sweep(
+        arrival_rates=list(arrival_rates),
+        traces_per_point=traces_per_point,
+        num_requests=5,
+        base_seed=3,
+        name=name,
+    )
+
+
+class TestSplitUnits:
+    def test_covers_all_jobs_contiguously(self):
+        jobs = sweep(traces_per_point=5).jobs  # 10 jobs
+        units = split_units(jobs, workers=2)
+        assert [unit.start for unit in units] == [0, 1, 2, 3, 4, 5, 6, 7, 8, 9]
+        assert sum(len(unit) for unit in units) == len(jobs)
+
+    def test_unit_size_override(self):
+        jobs = sweep(traces_per_point=5).jobs
+        units = split_units(jobs, workers=2, unit_size=4)
+        assert [len(unit) for unit in units] == [4, 4, 2]
+        assert units[1].start == 4
+        assert units[2].jobs == tuple(jobs[8:])
+
+    def test_default_targets_four_units_per_worker(self):
+        jobs = sweep(traces_per_point=8).jobs  # 16 jobs
+        assert len(split_units(jobs, workers=2)) == 8
+
+    def test_more_workers_than_jobs(self):
+        jobs = sweep(traces_per_point=1).jobs  # 2 jobs
+        units = split_units(jobs, workers=8)
+        assert [len(unit) for unit in units] == [1, 1]
+
+    def test_invalid_unit_size(self):
+        with pytest.raises(WorkloadError):
+            split_units(sweep().jobs, workers=2, unit_size=0)
+
+
+class TestCoordinatorValidation:
+    def test_rejects_bad_workers(self):
+        with pytest.raises(WorkloadError):
+            ShardCoordinator(0)
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(WorkloadError):
+            ShardCoordinator(2, mode="rocket")
+        assert MODES == ("thread", "process")
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(WorkloadError):
+            ShardCoordinator(2, max_retries=-1)
+
+
+class TestThreadMode:
+    def test_empty_batch(self):
+        assert ShardCoordinator(2, mode="thread").run([]) == []
+
+    def test_results_in_job_order(self):
+        spec = sweep(traces_per_point=4)
+        coordinator = ShardCoordinator(3, mode="thread", unit_size=2)
+        results = coordinator.run_batch(spec)
+        assert [r.job_name for r in results] == [j.name for j in spec.jobs]
+        assert all(r.ok for r in results)
+        stats = coordinator.stats
+        assert stats.units == 4
+        assert sum(stats.per_worker_units) == 4
+        assert stats.failed_units == 0
+
+    def test_fingerprint_independent_of_workers_and_unit_size(self):
+        spec = sweep(traces_per_point=3)
+        baseline = ShardCoordinator(1, mode="thread").run_batch(spec).fingerprint()
+        for workers, unit_size in [(2, 1), (3, 2), (4, None)]:
+            rerun = (
+                ShardCoordinator(workers, mode="thread", unit_size=unit_size)
+                .run_batch(spec)
+                .fingerprint()
+            )
+            assert rerun == baseline
+
+    def test_stealing_rebalances_skewed_queues(self):
+        spec = sweep(traces_per_point=6)  # 12 jobs -> 12 units of one job
+        release = threading.Event()
+        done = []
+        lock = threading.Lock()
+
+        class SlowFirstUnit(ShardCoordinator):
+            # Unit 0 stalls until every other unit has finished, so the
+            # worker holding it cannot touch the rest of its own deque and
+            # the other worker *must* steal to drain the batch.
+            def _execute_unit(self, unit):
+                if unit.index == 0:
+                    release.wait(timeout=30)
+                result = super()._execute_unit(unit)
+                with lock:
+                    done.append(unit.index)
+                    if len(done) == 11 and 0 not in done:
+                        release.set()
+                return result
+
+        coordinator = SlowFirstUnit(2, mode="thread", unit_size=1)
+        results = coordinator.run_batch(spec)
+        assert all(r.ok for r in results)
+        assert coordinator.stats.steals > 0
+
+    def test_progress_callback_sees_every_job(self):
+        spec = sweep(traces_per_point=3)
+        seen = {}
+        coordinator = ShardCoordinator(2, mode="thread", unit_size=2)
+        coordinator.run_batch(spec, progress=lambda i, r: seen.setdefault(i, r))
+        assert sorted(seen) == list(range(len(spec.jobs)))
+        assert all(isinstance(r, SimulationResult) for r in seen.values())
+
+
+class TestFailureIsolation:
+    def test_failed_unit_retries_then_errors_only_its_jobs(self):
+        spec = sweep(traces_per_point=3)  # 6 jobs
+
+        class FailsUnitOne(ShardCoordinator):
+            def _execute_unit(self, unit):
+                if unit.index == 1:
+                    raise RuntimeError("worker shot in the head")
+                return super()._execute_unit(unit)
+
+        coordinator = FailsUnitOne(2, mode="thread", unit_size=2, max_retries=2)
+        results = coordinator.run_batch(spec)
+        assert coordinator.stats.retries == 2
+        assert coordinator.stats.failed_units == 1
+        failed = [r for r in results if not r.ok]
+        assert [r.job_name for r in failed] == [j.name for j in spec.jobs[2:4]]
+        assert all("worker shot in the head" in r.error for r in failed)
+        assert all(r.ok for r in results[:2]) and all(r.ok for r in results[4:])
+
+    def test_transient_failure_recovers_within_retry_budget(self):
+        spec = sweep(traces_per_point=2)
+        attempts = {}
+        lock = threading.Lock()
+
+        class FlakyOnce(ShardCoordinator):
+            def _execute_unit(self, unit):
+                with lock:
+                    attempts[unit.index] = attempts.get(unit.index, 0) + 1
+                    first = attempts[unit.index] == 1
+                if first:
+                    raise OSError("transient")
+                return super()._execute_unit(unit)
+
+        coordinator = FlakyOnce(2, mode="thread", unit_size=2, max_retries=1)
+        results = coordinator.run_batch(spec)
+        assert all(r.ok for r in results)
+        assert coordinator.stats.failed_units == 0
+        assert coordinator.stats.retries == len(attempts)
+
+
+class TestProcessMode:
+    def test_process_mode_matches_thread_mode(self, tmp_path):
+        from repro.kernel.caches import KernelCaches
+        from repro.service.cache import ActivationCache
+        from repro.store import ContentStore
+
+        spec = sweep(traces_per_point=2)
+        # Process workers always carry activation/kernel caches, so the
+        # thread-mode baseline must run the same cache configuration (the
+        # seed's cached and uncached paths are *each* deterministic but pick
+        # different canonical results).
+        baseline = (
+            ShardCoordinator(
+                1, mode="thread", cache=ActivationCache(), kernel_caches=KernelCaches()
+            )
+            .run_batch(spec)
+            .fingerprint()
+        )
+        store = ContentStore.open(tmp_path / "store.db")
+        coordinator = ShardCoordinator(2, mode="process", store=store)
+        assert coordinator.run_batch(spec).fingerprint() == baseline
+        # Worker processes wrote through to the shared sqlite store.
+        assert store.stats()["namespaces"]
+        store.close()
+
+
+class TestServiceClusterExecutor:
+    def test_cluster_executor_reports_stats(self):
+        spec = sweep(traces_per_point=2)
+        service = SimulationService(workers=2, executor="cluster")
+        baseline = SimulationService().run_batch(spec).fingerprint()
+        assert service.run_batch(spec).fingerprint() == baseline
+        assert service.cluster_stats is not None
+        assert service.cluster_stats.units > 0
+
+    def test_work_unit_len(self):
+        unit = WorkUnit(index=0, start=3, jobs=tuple(sweep().jobs[:2]))
+        assert len(unit) == 2

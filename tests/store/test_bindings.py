@@ -1,0 +1,110 @@
+"""Store-backed cache drop-ins: warm sharing through one ContentStore."""
+
+from repro.kernel.caches import KernelCaches
+from repro.optable import as_optable, bind_intern_store, clear_intern_pool
+from repro.service.cache import ActivationCache
+from repro.store import (
+    ContentStore,
+    StoreBackedActivationCache,
+    StoreBackedKernelCaches,
+    StoreBackedSolveCache,
+    store_backed_activation_cache,
+    store_backed_caches,
+)
+from repro.workload.motivational import motivational_tables
+
+
+class TestStoreBackedSolveCache:
+    def test_warm_across_instances(self):
+        store = ContentStore.in_memory()
+        first = StoreBackedSolveCache(store)
+        first.put(("fp", 4.0), "solution")
+        second = StoreBackedSolveCache(store)
+        assert second.get(("fp", 4.0)) == "solution"
+        assert second.hits == 1 and second.misses == 0
+
+    def test_miss_counts(self):
+        cache = StoreBackedSolveCache(ContentStore.in_memory())
+        assert cache.get("absent") is None
+        assert cache.misses == 1
+
+    def test_local_eviction_falls_back_to_store(self):
+        store = ContentStore.in_memory()
+        cache = StoreBackedSolveCache(store, max_entries=2)
+        for index in range(5):
+            cache.put(index, index * 10)
+        assert len(cache) <= 2
+        assert cache.get(0) == 0  # evicted locally, recovered from the store
+
+
+class TestStoreBackedActivationCache:
+    def test_warm_across_instances(self):
+        store = ContentStore.in_memory()
+        first = StoreBackedActivationCache(store)
+        first.put(("sig",), "canonical-result")
+        second = StoreBackedActivationCache(store)
+        assert second.get(("sig",)) == "canonical-result"
+        assert second.hits == 1
+
+    def test_interface_matches_parent(self):
+        cache = StoreBackedActivationCache(ContentStore.in_memory())
+        info = cache.info()
+        assert set(info) == set(ActivationCache().info())
+
+
+class TestStoreBackedKernelCaches:
+    def test_solve_cache_is_store_backed(self):
+        caches = StoreBackedKernelCaches(ContentStore.in_memory())
+        assert isinstance(caches.solve_cache, StoreBackedSolveCache)
+
+    def test_exmem_columns_warm_across_instances(self):
+        store = ContentStore.in_memory()
+        first = StoreBackedKernelCaches(store)
+        first.store_exmem_columns("fp", 3, ("columns",))
+        second = StoreBackedKernelCaches(store)
+        assert second.exmem_columns("fp", 3) == ("columns",)
+        assert second.exmem_columns("fp", 4) is None
+
+    def test_info_includes_store_counters(self):
+        caches = StoreBackedKernelCaches(ContentStore.in_memory())
+        caches.store_exmem_columns("fp", None, ("c",))
+        info = caches.info()
+        assert info["store"]["exmem"]["puts"] == 1
+
+    def test_factories_degrade_to_plain_without_store(self):
+        assert type(store_backed_caches(None)) is KernelCaches
+        assert type(store_backed_activation_cache(None)) is ActivationCache
+        store = ContentStore.in_memory()
+        assert isinstance(store_backed_caches(store), StoreBackedKernelCaches)
+        assert isinstance(
+            store_backed_activation_cache(store), StoreBackedActivationCache
+        )
+
+
+class TestInternStoreBinding:
+    def test_intern_warm_through_store(self):
+        store = ContentStore.in_memory()
+        previous = bind_intern_store(store)
+        try:
+            clear_intern_pool()
+            points = list(motivational_tables()["lambda1"])
+            built = as_optable(points)
+            assert store.counters()["optable"]["puts"] >= 1
+            # A fresh process is simulated by clearing the intern pool: the
+            # rebuild must come from the store, not from a new construction.
+            clear_intern_pool()
+            warmed = as_optable(points)
+            assert warmed.fingerprint == built.fingerprint
+            assert warmed.times == built.times
+            assert store.counters()["optable"]["hits"] >= 1
+        finally:
+            bind_intern_store(previous)
+            clear_intern_pool()
+
+    def test_unbound_interning_untouched(self):
+        previous = bind_intern_store(None)
+        try:
+            points = list(motivational_tables()["lambda1"])
+            assert as_optable(points) is as_optable(points)
+        finally:
+            bind_intern_store(previous)

@@ -1,0 +1,176 @@
+"""ContentStore semantics: versioned namespaces, local front, degraded misses."""
+
+import pickle
+
+import pytest
+
+from repro.store.backend import MemoryBackend, SQLiteBackend
+from repro.store.content import ContentStore, encode_key, resolve_store
+
+
+class TestEncodeKey:
+    def test_stable_and_distinct(self):
+        key = ("fp", 4.0, 100, ("a", 0.5))
+        assert encode_key(key) == encode_key(("fp", 4.0, 100, ("a", 0.5)))
+        assert encode_key(key) != encode_key(("fp", 4.0, 101, ("a", 0.5)))
+
+    def test_float_repr_precision(self):
+        assert encode_key((0.1 + 0.2,)) != encode_key((0.3,))
+
+
+class TestContentStore:
+    def test_roundtrip(self):
+        store = ContentStore.in_memory()
+        store.put("solve", ("k", 1.5), {"answer": 42})
+        assert store.get("solve", ("k", 1.5)) == {"answer": 42}
+
+    def test_miss(self):
+        store = ContentStore.in_memory()
+        assert store.get("solve", "absent") is None
+        assert store.counters()["solve"]["misses"] == 1
+
+    def test_local_front_hit(self):
+        store = ContentStore.in_memory()
+        store.put("solve", "k", "v")
+        store.get("solve", "k")
+        counters = store.counters()["solve"]
+        assert counters["local_hits"] == 1
+        assert counters["hits"] == 1
+
+    def test_backend_hit_after_cold_front(self):
+        backend = MemoryBackend()
+        writer = ContentStore(backend)
+        writer.put("solve", "k", "v")
+        reader = ContentStore(backend)  # fresh front, same backend
+        assert reader.get("solve", "k") == "v"
+        counters = reader.counters()["solve"]
+        assert counters["hits"] == 1
+        assert counters["local_hits"] == 0
+        assert counters["bytes_read"] > 0
+
+    def test_local_front_bound_and_evictions(self):
+        store = ContentStore.in_memory(local_entries=2)
+        for index in range(5):
+            store.put("solve", index, index)
+        counters = store.counters()["solve"]
+        assert counters["evictions"] == 3
+        # Evicted from the front, still served by the backend.
+        assert store.get("solve", 0) == 0
+
+    def test_version_namespaces_isolate(self):
+        backend = MemoryBackend()
+        old = ContentStore(backend, version="1.0.0")
+        old.put("solve", "k", "v1")
+        new = ContentStore(backend, version="2.0.0")
+        assert new.get("solve", "k") is None
+        assert new.namespace("solve") == "solve:2.0.0"
+
+    def test_gc_drops_other_versions(self):
+        backend = MemoryBackend()
+        old = ContentStore(backend, version="1.0.0")
+        old.put("solve", "k", "v1")
+        new = ContentStore(backend, version="2.0.0")
+        new.put("solve", "k", "v2")
+        outcome = new.gc()
+        assert outcome["dropped"] == 1
+        assert backend.namespaces() == ["solve:2.0.0"]
+
+    def test_gc_trims_oversize_kinds(self):
+        store = ContentStore.in_memory()
+        for index in range(10):
+            store.put("solve", index, index)
+        outcome = store.gc(max_entries_per_kind=4)
+        assert outcome["trimmed"] == 6
+        assert store.backend.count(store.namespace("solve"))[0] == 4
+
+    def test_clear(self):
+        store = ContentStore.in_memory()
+        store.put("solve", "k", "v")
+        store.clear()
+        assert store.get("solve", "k") is None
+        assert store.backend.namespaces() == []
+
+    def test_stats_shape(self, tmp_path):
+        store = ContentStore.open(tmp_path / "s.db")
+        store.put("exmem", "k", (1, 2))
+        stats = store.stats()
+        assert stats["path"] == str(tmp_path / "s.db")
+        assert stats["namespaces"][store.namespace("exmem")]["entries"] == 1
+        assert stats["kinds"]["exmem"]["puts"] == 1
+        store.close()
+
+
+class TestDegradedMisses:
+    """A warm store may never make a run fail — only make it faster."""
+
+    def test_corrupted_entry_is_a_miss(self):
+        backend = MemoryBackend()
+        store = ContentStore(backend, local_entries=0)
+        store.put("solve", "k", "value")
+        backend.put(store.namespace("solve"), encode_key("k"), b"\x80garbage!")
+        assert store.get("solve", "k") is None
+        counters = store.counters()["solve"]
+        assert counters["corrupt"] == 1
+        # The bad row was dropped so the decode is never paid again.
+        assert backend.get(store.namespace("solve"), encode_key("k")) is None
+
+    def test_truncated_entry_is_a_miss(self):
+        backend = MemoryBackend()
+        store = ContentStore(backend, local_entries=0)
+        payload = pickle.dumps({"big": list(range(100))})
+        backend.put(store.namespace("solve"), encode_key("k"), payload[: len(payload) // 2])
+        assert store.get("solve", "k") is None
+        assert store.counters()["solve"]["corrupt"] == 1
+
+    def test_failing_backend_get_is_a_miss(self):
+        class FlakyBackend(MemoryBackend):
+            def get(self, namespace, key):
+                raise OSError("disk on fire")
+
+        store = ContentStore(FlakyBackend())
+        assert store.get("solve", "k") is None
+        counters = store.counters()["solve"]
+        assert counters["errors"] == 1
+        assert counters["misses"] == 1
+
+    def test_failing_backend_put_is_swallowed(self):
+        class FlakyBackend(MemoryBackend):
+            def put(self, namespace, key, value):
+                raise OSError("read-only filesystem")
+
+        store = ContentStore(FlakyBackend())
+        store.put("solve", "k", "v")
+        assert store.counters()["solve"]["errors"] == 1
+        # The local front still serves the value in-process.
+        assert store.get("solve", "k") == "v"
+
+
+class TestResolveStore:
+    def test_none_without_configuration(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        assert resolve_store(None) is None
+
+    def test_explicit_store_passes_through(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        store = ContentStore.in_memory()
+        assert resolve_store(store) is store
+
+    def test_explicit_path_opens_sqlite(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        store = resolve_store(tmp_path / "s.db")
+        assert isinstance(store.backend, SQLiteBackend)
+        store.close()
+
+    def test_env_path_opts_in(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "env.db"))
+        store = resolve_store(None)
+        assert store is not None
+        assert store.path == str(tmp_path / "env.db")
+        store.close()
+
+    @pytest.mark.parametrize("value", ["0", "false", "no", "off", " 0 "])
+    def test_escape_hatch_beats_everything(self, monkeypatch, value, tmp_path):
+        monkeypatch.setenv("REPRO_STORE", value)
+        assert resolve_store(None) is None
+        assert resolve_store(ContentStore.in_memory()) is None
+        assert resolve_store(tmp_path / "s.db") is None
