@@ -263,6 +263,13 @@ def measure_kernel_metrics(repeats: int = 3) -> dict:
 
     metrics["store_warm"] = store_bench.measure_store_warm()
     metrics["cluster_scaling"] = store_bench.measure_cluster_scaling()
+
+    # repro.knapsack._dense: batched numpy MMKP-LR admission vs the pure
+    # sequential reference (REPRO_SOLVER_NUMPY=1 vs =0).  Measurement lives
+    # in bench_lr_vectorised so the gated metric matches the pytest bench.
+    import bench_lr_vectorised as lr_bench
+
+    metrics["lr_vectorised"] = lr_bench.measure_lr_vectorised(repeats=repeats)
     return metrics
 
 
@@ -358,6 +365,36 @@ def check_baseline(results: dict, tolerance: float) -> list[str]:
                     f"tracing_overhead: enabled tracing costs "
                     f"{entry['enabled_overhead'] * 100:.2f} % (ceiling "
                     f"{ceiling * 100:.0f} %)"
+                )
+    expected = baseline.get("lr_vectorised")
+    if expected is not None:
+        entry = results["metrics"].get("lr_vectorised")
+        if entry is None:
+            failures.append("lr_vectorised: missing from results")
+        elif not entry.get("numpy", False):
+            # The dense backend cannot engage without numpy; the pure path
+            # is still exercised (and gated bit-identical) by the test
+            # suites, so a numpy-free host skips the throughput floor.
+            pass
+        else:
+            # An absolute floor: the dense backend's acceptance criterion
+            # is >= 3x batched admission throughput on any host.
+            floor = expected["min_activation_speedup"]
+            if entry["activation_speedup"] < floor:
+                failures.append(
+                    f"lr_vectorised: batched dense admission "
+                    f"{entry['activation_speedup']:.2f}x over the pure path "
+                    f"fell below the absolute {floor:.1f}x floor"
+                )
+            # The stacked-solver ratio is host-independent like the other
+            # same-host A/B ratios and gated with the standard tolerance.
+            floor = expected["solver_batch_speedup"] * (1.0 - tolerance)
+            if entry["solver_batch_speedup"] < floor:
+                failures.append(
+                    f"lr_vectorised: stacked solver speedup "
+                    f"{entry['solver_batch_speedup']:.2f} fell below "
+                    f"{floor:.2f} (baseline "
+                    f"{expected['solver_batch_speedup']:.2f} - {tolerance:.0%})"
                 )
     return failures
 
@@ -462,6 +499,13 @@ def main(argv: list[str] | None = None) -> int:
         f"  tracing_overhead: {tracing['enabled_ms']:.1f} ms traced vs "
         f"{tracing['disabled_ms']:.1f} ms untraced "
         f"({tracing['enabled_overhead']:+.2%}, {tracing['spans']} spans)"
+    )
+    lr = results["metrics"]["lr_vectorised"]
+    print(
+        f"  lr_vectorised: {lr['throughput_batched_per_s']:.0f}/s batched numpy "
+        f"vs {lr['throughput_pure_per_s']:.0f}/s pure "
+        f"({lr['activation_speedup']:.2f}x activations, "
+        f"{lr['solver_batch_speedup']:.1f}x stacked solver)"
     )
 
     exit_code = 0

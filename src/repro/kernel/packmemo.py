@@ -37,6 +37,19 @@ from __future__ import annotations
 SegmentRecord = tuple
 
 
+def usage_columns(segments: list, dimension: int) -> list[list[int]]:
+    """Struct-of-arrays twin of the records' usage tuples.
+
+    ``usage_columns(segments, d)[k][i]`` equals ``segments[i][3][k]`` — one
+    flat int list per resource type, so the packer's inner feasibility probe
+    scans a column instead of unpacking a record tuple per segment.  The
+    counts are plain ints (core counts), so the columnar probe performs the
+    exact arithmetic of the record loop.  Derived in one pass per pack and
+    kept in sync incrementally by the packer's placement mutations.
+    """
+    return [[record[3][k] for record in segments] for k in range(dimension)]
+
+
 class PackMemo:
     """Trajectory of the most recent EDF pack over one activation.
 

@@ -151,6 +151,7 @@ class AdmissionPipeline:
         stats["dirty_jobs"] += len(kernel.state.dirty)
         view = problem._view
         memo = getattr(view, "_pack_memo", None) if view is not None else None
+        current = obs.current_span()
         if memo is not None:
             stats["packs"] += memo.packs
             stats["resumed_steps"] += memo.resumed_steps
@@ -158,11 +159,13 @@ class AdmissionPipeline:
             # Pack resume-vs-fallback outcome of this activation, aggregated
             # here (once per solve) rather than in the per-candidate pack
             # hot path, where per-call counting would dominate the traced
-            # run's overhead.
-            obs.count("pack.resume", memo.resumed_packs)
-            obs.count("pack.scratch", memo.packs - memo.resumed_packs)
-            obs.count("pack.steps_resumed", memo.resumed_steps)
-        obs.annotate(dirty_jobs=len(kernel.state.dirty))
+            # run's overhead.  One ContextVar read for the whole burst.
+            if current is not None:
+                current.count("pack.resume", memo.resumed_packs)
+                current.count("pack.scratch", memo.packs - memo.resumed_packs)
+                current.count("pack.steps_resumed", memo.resumed_steps)
+        if current is not None:
+            current.annotate(dirty_jobs=len(kernel.state.dirty))
         kernel.state.dirty.clear()
         return result
 

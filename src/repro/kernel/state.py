@@ -60,11 +60,22 @@ class LoadLedger:
         entry = self._rows.get(id(segment))
         if entry is not None and entry[0] is segment:
             return entry[1]
-        counts = [0] * self._dimension
-        for mapping in segment:
-            row = self._optables[mapping.application].resources[mapping.config_index]
-            for k in range(self._dimension):
-                counts[k] += row[k]
+        optables = self._optables
+        if self._dimension == 2:
+            # Unrolled two-cluster sum: the same integer adds in the same
+            # mapping order as the generic loop, without the inner range().
+            c0 = c1 = 0
+            for mapping in segment:
+                row = optables[mapping.application].resources[mapping.config_index]
+                c0 += row[0]
+                c1 += row[1]
+            counts = [c0, c1]
+        else:
+            counts = [0] * self._dimension
+            for mapping in segment:
+                row = optables[mapping.application].resources[mapping.config_index]
+                for k in range(self._dimension):
+                    counts[k] += row[k]
         self._rows[id(segment)] = (segment, counts)
         return counts
 

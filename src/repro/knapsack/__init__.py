@@ -17,8 +17,18 @@ This package provides the problem container plus three solvers:
 
 from repro.knapsack.mmkp import MMKPItem, MMKPProblem, MMKPSolution
 from repro.knapsack.greedy import solve_greedy
-from repro.knapsack.lagrangian import LagrangianResult, solve_lagrangian
+from repro.knapsack.lagrangian import (
+    LagrangianResult,
+    solve_lagrangian,
+    solve_lagrangian_many,
+)
 from repro.knapsack.exact import solve_exact
+from repro.knapsack._dense import (
+    HAVE_NUMPY,
+    set_solver_numpy_enabled,
+    solver_numpy_enabled,
+    solver_numpy_override,
+)
 
 __all__ = [
     "MMKPItem",
@@ -26,6 +36,11 @@ __all__ = [
     "MMKPSolution",
     "solve_greedy",
     "solve_lagrangian",
+    "solve_lagrangian_many",
     "LagrangianResult",
     "solve_exact",
+    "HAVE_NUMPY",
+    "solver_numpy_enabled",
+    "set_solver_numpy_enabled",
+    "solver_numpy_override",
 ]

@@ -10,12 +10,22 @@ method used by Wildermann et al. that underlies the paper's MMKP-LR baseline
 
 Besides the dual bound and multipliers, the solver also reports a *primal*
 feasible solution obtained by greedily repairing the relaxed selection.
+
+Two implementations share this module's public surface.  The pure-Python
+subgradient loop below is the always-available reference; on hosts with numpy
+the :mod:`repro.knapsack._dense` backend runs the same method on padded
+ndarrays (and :func:`solve_lagrangian_many` runs whole batches of same-shape
+relaxations lock-step).  The dense path reproduces the pure path
+bit-identically — same selections, multipliers, dual bounds and iteration
+counts — and ``REPRO_SOLVER_NUMPY=0`` forces the pure path everywhere.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
+from repro.knapsack import _dense
 from repro.knapsack.mmkp import MMKPProblem, MMKPSolution
 
 
@@ -157,6 +167,58 @@ def solve_lagrangian(
     >>> result.solution.feasible
     True
     """
+    if _dense.use_dense_for(problem):
+        raw = _dense.solve_one(problem, max_iterations, initial_step)
+        return _wrap_dense_result(raw)
+    return _solve_lagrangian_pure(problem, max_iterations, initial_step)
+
+
+def solve_lagrangian_many(
+    problems: Sequence[MMKPProblem],
+    max_iterations: int = 100,
+    initial_step: float = 1.0,
+) -> list[LagrangianResult]:
+    """Solve many MMKP instances, batching same-shape relaxations.
+
+    With the dense backend enabled, problems whose padded
+    ``(groups, max_items, dims)`` shapes match are stacked into one 3-D
+    tensor and their subgradient loops run lock-step — a sweep's admission
+    solves amortise into a handful of array operations per iteration instead
+    of one Python loop nest per problem.  Without it (or without numpy) each
+    problem runs through the pure reference solver.  Either way the results
+    are bit-identical to calling :func:`solve_lagrangian` per problem, in
+    input order.
+    """
+    problems = list(problems)
+    if not problems:
+        return []
+    if _dense.solver_numpy_enabled():
+        raw = _dense.solve_many(problems, max_iterations, initial_step)
+        return [_wrap_dense_result(entry) for entry in raw]
+    return [
+        _solve_lagrangian_pure(problem, max_iterations, initial_step)
+        for problem in problems
+    ]
+
+
+def _wrap_dense_result(raw) -> LagrangianResult:
+    """Build the public result types from the dense backend's plain tuples."""
+    multipliers, dual_bound, (feasible, value, selection), iterations = raw
+    solution = MMKPSolution(selection, value, feasible, iterations)
+    return LagrangianResult(
+        multipliers=multipliers,
+        dual_bound=dual_bound,
+        solution=solution,
+        iterations=iterations,
+    )
+
+
+def _solve_lagrangian_pure(
+    problem: MMKPProblem,
+    max_iterations: int = 100,
+    initial_step: float = 1.0,
+) -> LagrangianResult:
+    """The pure-Python reference subgradient loop (always available)."""
     multipliers = [0.0] * problem.num_dimensions
     best_dual = float("inf")
     best_multipliers = list(multipliers)

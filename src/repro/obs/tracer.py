@@ -40,12 +40,19 @@ import itertools
 import threading
 import time
 import uuid
-from typing import Any, Mapping
+from typing import Any
 
 #: The innermost active span of the current context (``None`` = tracing off).
 _CURRENT: contextvars.ContextVar["Span | None"] = contextvars.ContextVar(
     "repro_obs_current_span", default=None
 )
+
+#: Pre-bound lookups for the hot module-level API: :func:`span` /
+#: :func:`count` / :func:`annotate` sit on instrumented inner loops, so the
+#: enabled path avoids re-resolving the attribute chain on every call.
+_get_current = _CURRENT.get
+_perf_counter = time.perf_counter
+_get_ident = threading.get_ident
 
 
 class NoopSpan:
@@ -104,17 +111,22 @@ class Span:
         name: str,
         category: str,
         parent_id: int | None,
-        annotations: Mapping[str, Any] | None = None,
+        annotations: dict[str, Any] | None = None,
     ):
         self.tracer = tracer
         self.name = name
         self.category = category
-        self.span_id = tracer._next_id()
+        # ``next`` on an itertools.count is atomic under the GIL; inlined
+        # here (rather than a method call) because every span pays it.
+        self.span_id = next(tracer._ids)
         self.parent_id = parent_id
-        self.thread = threading.get_ident()
+        self.thread = _get_ident()
         self.start = 0.0
         self.duration = 0.0
-        self.annotations: dict[str, Any] = dict(annotations) if annotations else {}
+        # The constructor takes ownership of ``annotations`` (all internal
+        # call sites build it fresh from ``**kwargs``) — no defensive copy
+        # on the hot open path.
+        self.annotations: dict[str, Any] = annotations if annotations is not None else {}
         self.counts: dict[str, float] = {}
         self._token: contextvars.Token | None = None
 
@@ -133,13 +145,14 @@ class Span:
 
     def __enter__(self) -> "Span":
         self._token = _CURRENT.set(self)
-        self.start = time.perf_counter()
+        self.start = _perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        self.duration = time.perf_counter() - self.start
-        if self._token is not None:
-            _CURRENT.reset(self._token)
+        self.duration = _perf_counter() - self.start
+        token = self._token
+        if token is not None:
+            _CURRENT.reset(token)
             self._token = None
         if exc_type is not None:
             self.annotations.setdefault("error", exc_type.__name__)
@@ -193,10 +206,6 @@ class Tracer:
         self._spans: list[Span] = []
         self._ids = itertools.count(1)
         self._root: Span | None = None
-
-    def _next_id(self) -> int:
-        # ``next`` on an itertools.count is atomic under the GIL.
-        return next(self._ids)
 
     def _collect(self, span: Span) -> None:
         with self._lock:
@@ -254,19 +263,24 @@ class Tracer:
 # Module-level API (the instrumentation call sites)
 # ---------------------------------------------------------------------- #
 def current_span() -> Span | None:
-    """The innermost active span of this context, or ``None``."""
-    return _CURRENT.get()
+    """The innermost active span of this context, or ``None``.
+
+    Hot call sites that emit several counts/annotations in a burst should
+    fetch the span once and use :meth:`Span.count` / :meth:`Span.annotate`
+    directly — one ``ContextVar`` read instead of one per emission.
+    """
+    return _get_current()
 
 
 def current_tracer() -> Tracer | None:
     """The active tracer of this context, or ``None``."""
-    span = _CURRENT.get()
+    span = _get_current()
     return span.tracer if span is not None else None
 
 
 def active() -> bool:
     """``True`` iff a tracer is active in this context."""
-    return _CURRENT.get() is not None
+    return _get_current() is not None
 
 
 def span(name: str, category: str = "", **annotations: Any):
@@ -275,7 +289,7 @@ def span(name: str, category: str = "", **annotations: Any):
     The disabled path is one ``ContextVar.get`` plus returning a shared
     singleton, so call sites can live in hot loops unconditionally.
     """
-    parent = _CURRENT.get()
+    parent = _get_current()
     if parent is None:
         return NOOP_SPAN
     return Span(parent.tracer, name, category, parent.span_id, annotations)
@@ -283,13 +297,14 @@ def span(name: str, category: str = "", **annotations: Any):
 
 def count(name: str, amount: float = 1) -> None:
     """Accumulate a named counter on the current span (no-op when off)."""
-    current = _CURRENT.get()
+    current = _get_current()
     if current is not None:
-        current.counts[name] = current.counts.get(name, 0) + amount
+        counts = current.counts
+        counts[name] = counts.get(name, 0) + amount
 
 
 def annotate(**values: Any) -> None:
     """Attach facts to the current span (no-op when off)."""
-    current = _CURRENT.get()
+    current = _get_current()
     if current is not None:
         current.annotations.update(values)

@@ -794,9 +794,12 @@ class RuntimeManager:
         )
         ctx.log.total_energy += energy
         # Energy-accounting breadcrumbs on the enclosing span (too frequent
-        # for spans of their own): interval count and charged joules.
-        obs.count("energy.intervals")
-        obs.count("energy.joules", energy)
+        # for spans of their own): interval count and charged joules, with
+        # one ContextVar read for the pair.
+        current = obs.current_span()
+        if current is not None:
+            current.count("energy.intervals")
+            current.count("energy.joules", energy)
         if ctx.observer is not None:
             # The energy tick of a streaming consumer: what ran, for how
             # long, and the joules charged for it.

@@ -16,6 +16,7 @@ from repro.core.problem import SchedulingProblem
 from repro.core.request import Job
 from repro.core.segment import JobMapping, MappingSegment, Schedule, TIME_EPSILON
 from repro.exceptions import SchedulingError
+from repro.kernel.packmemo import usage_columns
 from repro.kernel.runtime import kernel_enabled
 from repro.optable.runtime import columnar_enabled
 
@@ -107,8 +108,11 @@ def _pack_columnar(
     per-cluster usage counts from the :class:`~repro.optable.table.OpTable`
     demand columns — no :class:`Schedule` re-sort per placement, no
     ``resource_usage`` re-derivation per probe, no ``ResourceVector``
-    arithmetic in the inner loop.  The arithmetic (and therefore every float)
-    is identical to the seed path; the equivalence tests assert it.
+    arithmetic in the inner loop.  On two-cluster platforms (the paper's
+    big.LITTLE) the feasibility probe additionally runs on struct-of-arrays
+    usage columns — same integer adds and compares, no record unpacking per
+    probed segment.  The arithmetic (and therefore every float) is identical
+    to the seed path; the equivalence tests assert it.
     """
     view = problem.view()
     capacity = view.capacity
@@ -128,6 +132,11 @@ def _pack_columnar(
                 [segment.start, segment.end, list(segment.mappings), usage]
             )
 
+    two_dim = dimension == 2
+    if two_dim:
+        usage0, usage1 = usage_columns(segments, 2)
+        cap0, cap1 = capacity[0], capacity[1]
+
     for job in sorted(jobs, key=lambda j: (j.deadline, j.name)):
         config_index = assignment[job.name]
         table = view.optable(job.application)
@@ -136,18 +145,28 @@ def _pack_columnar(
         mapping = JobMapping(job, config_index)
         remaining_ratio = job.remaining_ratio
         finish_time: float | None = None
+        if two_dim:
+            row0, row1 = row[0], row[1]
 
         index = 0
         while index < len(segments) and remaining_ratio > _RATIO_EPSILON:
-            start, end, mappings, usage = segments[index]
-            fits = True
-            for k in range(dimension):
-                if usage[k] + row[k] > capacity[k]:
-                    fits = False
-                    break
-            if not fits:
-                index += 1
-                continue
+            if two_dim:
+                # SoA probe: the exact adds/compares of the record loop below,
+                # on flat per-cluster columns.
+                if usage0[index] + row0 > cap0 or usage1[index] + row1 > cap1:
+                    index += 1
+                    continue
+                start, end, mappings, usage = segments[index]
+            else:
+                start, end, mappings, usage = segments[index]
+                fits = True
+                for k in range(dimension):
+                    if usage[k] + row[k] > capacity[k]:
+                        fits = False
+                        break
+                if not fits:
+                    index += 1
+                    continue
 
             required = execution_time * min(1.0, remaining_ratio)
             duration = end - start
@@ -162,6 +181,9 @@ def _pack_columnar(
                 mappings.append(mapping)
                 for k in range(dimension):
                     usage[k] += row[k]
+                if two_dim:
+                    usage0[index] += row0
+                    usage1[index] += row1
                 remaining_ratio -= duration / execution_time
                 if remaining_ratio <= _RATIO_EPSILON:
                     remaining_ratio = 0.0
@@ -187,6 +209,10 @@ def _pack_columnar(
                 ]
                 second = [split_time, end, list(mappings), list(usage)]
                 segments[index : index + 1] = [first, second]
+                if two_dim:
+                    base0, base1 = usage0[index], usage1[index]
+                    usage0[index : index + 1] = [base0 + row0, base0]
+                    usage1[index : index + 1] = [base1 + row1, base1]
                 remaining_ratio = 0.0
                 finish_time = split_time
                 break
@@ -202,6 +228,9 @@ def _pack_columnar(
                     f"segment end {end} must be greater than start {start}"
                 )
             segments.append([start, end, [mapping], list(row)])
+            if two_dim:
+                usage0.append(row0)
+                usage1.append(row1)
             finish_time = end
 
         # Deadline check (Algorithm 2, line 23).
@@ -231,7 +260,10 @@ def _pack_incremental(
     with the activation's previous pack (see
     :class:`~repro.kernel.packmemo.PackMemo`).  Placements copy-on-write only
     the records they touch, so recording one snapshot per step is a pointer
-    copy.  The arithmetic — and therefore every float — is identical to the
+    copy.  On two-cluster platforms the feasibility probe runs on
+    struct-of-arrays usage columns (same integer adds and compares as the
+    record loop, derived once per pack from the resumed state).  The
+    arithmetic — and therefore every float — is identical to the
     from-scratch pack; the kernel equivalence tests assert it.
     """
     view = problem.view()
@@ -274,6 +306,11 @@ def _pack_incremental(
     placements = memo.placements
     add = int.__add__
 
+    two_dim = dimension == 2
+    if two_dim:
+        usage0, usage1 = usage_columns(segments, 2)
+        cap0, cap1 = capacity[0], capacity[1]
+
     # Validate (and derive placement constants for) every job of the dirty
     # suffix up front, like the seed's pre-loop — so an out-of-range
     # configuration raises even when an earlier placement fails its
@@ -304,18 +341,28 @@ def _pack_incremental(
         config_index, row, execution_time, mapping = placements[job_name]
         remaining_ratio = job.remaining_ratio
         finish_time: float | None = None
+        if two_dim:
+            row0, row1 = row[0], row[1]
 
         index = 0
         while index < len(segments) and remaining_ratio > _RATIO_EPSILON:
-            start, end, mappings, usage = segments[index]
-            fits = True
-            for k in range(dimension):
-                if usage[k] + row[k] > capacity[k]:
-                    fits = False
-                    break
-            if not fits:
-                index += 1
-                continue
+            if two_dim:
+                # SoA probe: the exact adds/compares of the record loop below,
+                # on flat per-cluster columns.
+                if usage0[index] + row0 > cap0 or usage1[index] + row1 > cap1:
+                    index += 1
+                    continue
+                start, end, mappings, usage = segments[index]
+            else:
+                start, end, mappings, usage = segments[index]
+                fits = True
+                for k in range(dimension):
+                    if usage[k] + row[k] > capacity[k]:
+                        fits = False
+                        break
+                if not fits:
+                    index += 1
+                    continue
 
             required = execution_time * min(1.0, remaining_ratio)
             duration = end - start
@@ -327,6 +374,9 @@ def _pack_incremental(
                     mappings + (mapping,),
                     tuple(map(add, usage, row)),
                 )
+                if two_dim:
+                    usage0[index] += row0
+                    usage1[index] += row1
                 remaining_ratio -= duration / execution_time
                 if remaining_ratio <= _RATIO_EPSILON:
                     remaining_ratio = 0.0
@@ -351,6 +401,10 @@ def _pack_incremental(
                 )
                 second = (split_time, end, mappings, usage)
                 segments[index : index + 1] = [first, second]
+                if two_dim:
+                    base0, base1 = usage0[index], usage1[index]
+                    usage0[index : index + 1] = [base0 + row0, base0]
+                    usage1[index : index + 1] = [base1 + row1, base1]
                 remaining_ratio = 0.0
                 finish_time = split_time
                 break
@@ -366,6 +420,9 @@ def _pack_incremental(
                     f"segment end {end} must be greater than start {start}"
                 )
             segments.append((start, end, (mapping,), row))
+            if two_dim:
+                usage0.append(row0)
+                usage1.append(row1)
             finish_time = end
 
         memo.replayed_steps += 1

@@ -16,13 +16,21 @@ MMKP-MDF removes.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.core.config import ConfigTable, OperatingPoint
 from repro.core.problem import SchedulingProblem
 from repro.core.request import Job
 from repro.core.segment import JobMapping, MappingSegment, Schedule
-from repro.knapsack import MMKPItem, MMKPProblem, solve_lagrangian
+from repro.knapsack import (
+    MMKPItem,
+    MMKPProblem,
+    solve_lagrangian,
+    solve_lagrangian_many,
+)
+from repro.obs import tracer as obs
 from repro.optable.runtime import columnar_enabled
 from repro.optable.view import ProblemView, SolveCache
 from repro.platforms.resources import ResourceVector
@@ -113,6 +121,124 @@ class MMKPLRScheduler(Scheduler):
     # Scheduler interface
     # ------------------------------------------------------------------ #
     def _solve(self, problem: SchedulingProblem) -> SchedulingResult:
+        """Drive :meth:`_solve_gen`, solving each requested relaxation inline.
+
+        The segment logic lives in the generator; this driver answers its
+        relaxation requests one at a time, which is exactly the seed's
+        sequential behaviour.  :meth:`schedule_many` drives many generators
+        lock-step instead and answers a whole round of requests with one
+        batched solve — same generator, so the schedules are identical by
+        construction.
+        """
+        generator = self._solve_gen(problem)
+        try:
+            request = generator.send(None)
+            while True:
+                _, mmkp = request
+                relaxation = solve_lagrangian(
+                    mmkp, max_iterations=self._max_iterations
+                )
+                request = generator.send(relaxation)
+        except StopIteration as stop:
+            return stop.value
+
+    # ------------------------------------------------------------------ #
+    # Batched admission
+    # ------------------------------------------------------------------ #
+    def schedule_many(
+        self, problems: Sequence[SchedulingProblem]
+    ) -> list[SchedulingResult]:
+        """Schedule many problems, batching their Lagrangian relaxations.
+
+        All problems' segment loops advance lock-step: each round collects
+        every activation's pending :class:`SolveCache` miss, deduplicates
+        identical relaxation keys and answers the round with one
+        :func:`~repro.knapsack.solve_lagrangian_many` call (a single stacked
+        subgradient solve with the dense backend).  Schedules, assignments,
+        energies and statistics are bit-identical to calling
+        :meth:`~repro.schedulers.base.Scheduler.schedule` per problem — only
+        the wall time changes, so ``search_time`` is reported as each
+        activation's equal share of the batch.
+
+        Falls back to sequential :meth:`schedule` calls when the columnar
+        path is disabled (``REPRO_OPTABLE=0``), where no solve-cache keys
+        exist to batch on.
+        """
+        problems = list(problems)
+        if not problems:
+            return []
+        if not columnar_enabled():
+            return [self.schedule(problem) for problem in problems]
+        with obs.span(
+            "solve_many", category="scheduler", scheduler=self.name
+        ) as span:
+            start = time.perf_counter()
+            raw = self._drive_many(problems)
+            elapsed = time.perf_counter() - start
+            span.annotate(problems=len(problems))
+        share = elapsed / len(problems)
+        return [
+            SchedulingResult(
+                schedule=result.schedule,
+                assignment=result.assignment,
+                energy=result.energy,
+                search_time=share,
+                statistics=result.statistics,
+            )
+            for result in raw
+        ]
+
+    def _drive_many(
+        self, problems: Sequence[SchedulingProblem]
+    ) -> list[SchedulingResult]:
+        """Advance all solve generators lock-step, round by round."""
+        results: list[SchedulingResult | None] = [None] * len(problems)
+        live: list[tuple[int, object, tuple]] = []
+        for index, problem in enumerate(problems):
+            generator = self._solve_gen(problem)
+            try:
+                request = generator.send(None)
+            except StopIteration as stop:
+                results[index] = stop.value
+            else:
+                live.append((index, generator, request))
+
+        while live:
+            # One batched solve answers the whole round; identical keys
+            # (same tables, ratios and capacity anywhere in the batch) are
+            # solved once, exactly as the SolveCache would replay them.
+            order: list = []
+            unique: dict = {}
+            for _, _, (key, mmkp) in live:
+                if key not in unique:
+                    unique[key] = mmkp
+                    order.append(key)
+            solved = solve_lagrangian_many(
+                [unique[key] for key in order],
+                max_iterations=self._max_iterations,
+            )
+            by_key = dict(zip(order, solved))
+
+            next_live: list[tuple[int, object, tuple]] = []
+            for index, generator, (key, _) in live:
+                try:
+                    request = generator.send(by_key[key])
+                except StopIteration as stop:
+                    results[index] = stop.value
+                else:
+                    next_live.append((index, generator, request))
+            live = next_live
+        return results
+
+    def _solve_gen(self, problem: SchedulingProblem):
+        """Generator form of the segment loop.
+
+        Yields ``(cache_key, MMKPProblem)`` whenever a segment relaxation
+        misses the :attr:`solve_cache` and expects the
+        :class:`~repro.knapsack.LagrangianResult` back via ``send`` — the
+        only solver-facing seam, so the single-problem and batched drivers
+        share every line of scheduling logic.
+        """
         columnar = columnar_enabled()
         view = problem.view() if columnar else None
         pending = [
@@ -139,7 +265,7 @@ class MMKPLRScheduler(Scheduler):
                     return self._reject(subgradient_iterations, segment_count)
 
             if columnar:
-                assignment, iterations = self._assign_segment_columnar(
+                assignment, iterations = yield from self._assign_segment_columnar(
                     view, active, now
                 )
             else:
@@ -323,15 +449,18 @@ class MMKPLRScheduler(Scheduler):
         view: ProblemView,
         active: list[_PendingJob],
         now: float,
-    ) -> tuple[dict[str, int], int]:
-        """Columnar twin of :meth:`_assign_segment`.
+    ):
+        """Columnar twin of :meth:`_assign_segment` (generator form).
 
         Builds the single-segment MMKP from the view's cached
         capacity-feasible slices (no ``MMKPItem`` churn) and memoises the
         Lagrangian solve in this scheduler's :attr:`solve_cache`, keyed by
         table fingerprints, exact remaining ratios and the capacity — a hit
         replays the identical deterministic relaxation without spending the
-        100 subgradient iterations again.
+        100 subgradient iterations again.  On a miss the relaxation is not
+        solved here: the ``(key, mmkp)`` pair is *yielded* to whichever
+        driver is advancing the generator (inline single solve or the
+        lock-step batch), and the result arrives back via ``send``.
         """
         capacity = view.capacity
         dimension = len(capacity)
@@ -356,7 +485,7 @@ class MMKPLRScheduler(Scheduler):
             mmkp = MMKPProblem.from_columns(
                 [float(c) for c in capacity], group_values, group_rows
             )
-            relaxation = solve_lagrangian(mmkp, max_iterations=self._max_iterations)
+            relaxation = yield (key, mmkp)
             self.solve_cache.put(key, relaxation)
         multipliers = relaxation.multipliers
 
