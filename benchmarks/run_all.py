@@ -64,6 +64,7 @@ SMOKE_ENV = {
     "REPRO_BENCH_WORKERS": "2",
     "REPRO_BENCH_STORE_POINTS": "6",
     "REPRO_BENCH_STORE_REQUESTS": "10",
+    "REPRO_BENCH_SWEEP_FRACTION": "0.005",
 }
 
 
@@ -264,6 +265,13 @@ def measure_kernel_metrics(repeats: int = 3) -> dict:
     metrics["store_warm"] = store_bench.measure_store_warm()
     metrics["cluster_scaling"] = store_bench.measure_cluster_scaling()
 
+    # repro.dse.sweep: planner dedupe + cross-point batched solves against
+    # the per-point serial path.  Measurement lives in bench_dse_sweep so
+    # the gated CI metric is exactly what the pytest bench asserts.
+    import bench_dse_sweep as sweep_bench
+
+    metrics["dse_sweep"] = sweep_bench.measure_dse_sweep()
+
     # repro.knapsack._dense: batched numpy MMKP-LR admission vs the pure
     # sequential reference (REPRO_SOLVER_NUMPY=1 vs =0).  Measurement lives
     # in bench_lr_vectorised so the gated metric matches the pytest bench.
@@ -332,6 +340,27 @@ def check_baseline(results: dict, tolerance: float) -> list[str]:
                 failures.append(
                     f"store_warm: warm rerun {entry['speedup']:.1f}x over cold "
                     f"fell below the absolute {floor:.0f}x floor"
+                )
+    expected = baseline.get("dse_sweep")
+    if expected is not None:
+        entry = results["metrics"].get("dse_sweep")
+        if entry is None:
+            failures.append("dse_sweep: missing from results")
+        else:
+            # An absolute floor, like store_warm: the sweep engine must beat
+            # the per-point serial path by the subsystem's acceptance
+            # criterion on any host (the bench itself asserts the frontier
+            # fingerprint and the cross-point dedupe counters).
+            floor = expected["min_speedup"]
+            if entry["speedup"] < floor:
+                failures.append(
+                    f"dse_sweep: sweep {entry['speedup']:.1f}x over the "
+                    f"serial per-point path fell below the absolute "
+                    f"{floor:.1f}x floor"
+                )
+            if entry["cross_point_deduped_solves"] <= 0:
+                failures.append(
+                    "dse_sweep: no cross-point solve sharing happened"
                 )
     expected = baseline.get("cluster_scaling")
     if expected is not None:
@@ -450,6 +479,9 @@ def main(argv: list[str] | None = None) -> int:
                     "REPRO_BENCH_STORE_POINTS",
                     "REPRO_BENCH_STORE_REQUESTS",
                     "REPRO_BENCH_STORE_TRACES",
+                    "REPRO_BENCH_SWEEP_SIZES",
+                    "REPRO_BENCH_SWEEP_SCENARIOS",
+                    "REPRO_BENCH_SWEEP_FRACTION",
                 )
                 if os.environ.get(key) is not None
             },
@@ -488,6 +520,12 @@ def main(argv: list[str] | None = None) -> int:
         f"  cluster_scaling: {scaling['speedup']:.2f}x with "
         f"{scaling['workers']} workers on {scaling['cpus']} cpus "
         f"({scaling['core_efficiency']:.0%} per available core)"
+    )
+    sweep = results["metrics"]["dse_sweep"]
+    print(
+        f"  dse_sweep: {sweep['speedup']:.1f}x over the serial per-point "
+        f"path ({sweep['explorations_deduped']} explorations deduped, "
+        f"{sweep['cross_point_deduped_solves']} cross-point solve shares)"
     )
     pareto = results["metrics"]["pareto_front"]
     print(

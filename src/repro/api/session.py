@@ -363,7 +363,14 @@ class Session:
     # ------------------------------------------------------------------ #
     # Design-space exploration
     # ------------------------------------------------------------------ #
-    def explore(self, graph=None):
+    def explore(
+        self,
+        graph=None,
+        *,
+        executor: str | None = None,
+        workers: int = 1,
+        store=None,
+    ):
         """Run the DSE flow of the spec's ``dse`` section.
 
         Without arguments, regenerates the full per-application table set on
@@ -372,6 +379,15 @@ class Session:
         points).  With ``graph``, explores that one KPN graph and returns
         its :class:`~repro.core.config.ConfigTable` without touching the
         session state.
+
+        ``executor`` routes the full-table regeneration through the
+        distributed sweep engine (:func:`repro.dse.sweep.run_sweep`) instead
+        of the serial explorer: ``"serial"``, ``"thread"``, ``"process"`` or
+        ``"cluster"``, with ``workers`` parallel workers and an optional
+        content ``store`` (instance or path) memoising exploration tasks
+        across workers and reruns.  The resulting tables are bit-identical
+        to the serial path; only the wall time changes.  ``store=None``
+        falls back to the session's own store.
         """
         from repro.dse.explorer import DesignSpaceExplorer
 
@@ -387,7 +403,31 @@ class Session:
             raise WorkloadError(
                 "experiment spec has no dse section; nothing to explore"
             )
-        self._tables = self._spec.dse.build_tables(self.platform)
+        if executor is None:
+            self._tables = self._spec.dse.build_tables(self.platform)
+            return self._tables
+        from repro.dse.sweep import SweepSpec, run_sweep
+        from repro.dse.tables import reduced_tables
+
+        dse = self._spec.dse
+        sweep_spec = SweepSpec(
+            platforms=(self.platform.name,),
+            input_sizes=dse.input_sizes,
+            sweep_opps=dse.sweep_opps,
+            schedulers=(),
+            scenarios=(),
+        )
+        result = run_sweep(
+            sweep_spec,
+            platforms=(self.platform,),
+            executor=executor,
+            workers=workers,
+            store=store if store is not None else self._store,
+        )
+        tables = result.tables_for(self.platform.name)
+        if dse.max_points is not None:
+            tables = reduced_tables(tables, max_points=dse.max_points)
+        self._tables = tables
         return self._tables
 
     def __repr__(self) -> str:

@@ -244,6 +244,67 @@ def _build_parser() -> argparse.ArgumentParser:
         help="cap every table at N points (the EX-MEM-sized reduction)",
     )
 
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="distributed store-aware design-space sweep",
+        description=(
+            "Plan a sweep over platforms × OPP scales × schedulers × "
+            "scenarios, deduplicate the shared exploration work, fan it out "
+            "through the shard coordinator and merge the shards into one "
+            "fingerprinted Pareto frontier (see repro.dse.sweep)."
+        ),
+    )
+    sweep.add_argument(
+        "--platforms", nargs="*", default=["odroid-xu4"],
+        help="platform registry names to sweep",
+    )
+    sweep.add_argument(
+        "--sizes", nargs="*", default=None,
+        help="input sizes to include (default: all)",
+    )
+    sweep.add_argument(
+        "--sweep-opps", action="store_true",
+        help="also sweep the DVFS operating points per platform",
+    )
+    sweep.add_argument(
+        "--schedulers", nargs="*", default=["mmkp-lr"],
+        help="schedulers evaluated per sweep point",
+    )
+    sweep.add_argument(
+        "--scenarios", type=int, default=2,
+        help="number of seeded census scenarios per (platform, scheduler)",
+    )
+    sweep.add_argument(
+        "--fraction", type=float, default=0.005,
+        help="census fraction of each scenario (Table III down-scaling)",
+    )
+    sweep.add_argument(
+        "--seed", type=int, default=2020,
+        help="base seed; scenario i uses seed+i",
+    )
+    sweep.add_argument(
+        "--max-points", type=int, default=None,
+        help="cap every policy table at N points",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=1, help="worker count for the fan-out"
+    )
+    sweep.add_argument(
+        "--executor",
+        choices=["serial", "thread", "process", "cluster"],
+        default="serial",
+        help="sweep executor (serial: inline; thread/process/cluster: "
+        "shard coordinator with work stealing)",
+    )
+    sweep.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="content store memoising exploration tasks and solves across "
+        "workers and reruns ($REPRO_STORE also works)",
+    )
+    sweep.add_argument(
+        "--output", default=None, help="write the full SweepResult JSON"
+    )
+
     workload = subparsers.add_parser("workload", help="generate the evaluation suite")
     workload.add_argument("--tables", default=None, help="operating-point JSON (default: run DSE)")
     workload.add_argument("--output", default="workload.json", help="output JSON file")
@@ -572,6 +633,57 @@ def _cmd_dse(args: argparse.Namespace) -> int:
         scales = {point.frequency_scale for point in table}
         note = f", {len(scales)} frequency scales" if len(scales) > 1 else ""
         print(f"  {name}: {len(table)} Pareto points{note}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.dse.sweep import SweepScenario, SweepSpec, run_sweep
+
+    spec = SweepSpec(
+        platforms=tuple(args.platforms),
+        input_sizes=tuple(args.sizes) if args.sizes else None,
+        sweep_opps=args.sweep_opps,
+        schedulers=tuple(args.schedulers),
+        scenarios=tuple(
+            SweepScenario(f"s{index}", fraction=args.fraction, seed=args.seed + index)
+            for index in range(args.scenarios)
+        ),
+        max_points=args.max_points,
+    )
+    result = run_sweep(
+        spec,
+        executor=args.executor,
+        workers=args.workers,
+        store=args.store,
+    )
+    stats = result.stats
+    print(
+        f"sweep: {stats['platforms']} platform(s), {stats['variants']} variant(s), "
+        f"{stats['points']} point(s) via {stats['executor']}"
+        f" ({stats['workers']} worker(s))"
+    )
+    print(
+        f"  explorations: {stats['explorations_unique']} unique of "
+        f"{stats['explorations_demanded']} demanded "
+        f"({stats['explorations_deduped']} deduped), "
+        f"store hits {stats['store_hits']}/{stats['store_hits'] + stats['store_misses']}"
+    )
+    solver = stats.get("solver")
+    if solver:
+        print(
+            f"  solver: {solver['solved']} solved of {solver['requested']} requested "
+            f"in {solver['rounds']} round(s), {solver['deduped']} deduped "
+            f"({solver['cross_group_deduped']} cross-point)"
+        )
+    print(f"  frontier fingerprint: {result.frontier_fingerprint}")
+    for point in result.points:
+        print(
+            f"  {point['point']}: {point['feasible']}/{point['cases']} feasible, "
+            f"energy {point['energy']:.3f} J"
+        )
+    if args.output:
+        save_json(result.to_dict(), args.output)
+        print(f"wrote sweep result to {args.output}")
     return 0
 
 
@@ -1026,6 +1138,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "run": _cmd_run,
         "dse": _cmd_dse,
+        "sweep": _cmd_sweep,
         "workload": _cmd_workload,
         "schedule": _cmd_schedule,
         "evaluate": _cmd_evaluate,

@@ -51,6 +51,11 @@ from repro.store.content import ContentStore
 MODES = ("thread", "process")
 
 
+def _job_payload(job: SimulationJob) -> dict:
+    """Default payload converter: the job's JSON-serialisable dict form."""
+    return job.to_dict()
+
+
 @dataclass(frozen=True)
 class WorkUnit:
     """A contiguous shard of a batch: jobs ``start .. start+len(jobs)-1``."""
@@ -132,6 +137,23 @@ class ShardCoordinator:
     store:
         The shared :class:`~repro.store.ContentStore`; process workers
         reopen it via :meth:`~repro.store.ContentStore.process_token`.
+    thread_runner:
+        Optional ``job -> result`` callable executed per job in ``"thread"``
+        mode; defaults to the simulation runner.  Together with
+        ``process_entry``/``payload``/``failure`` this turns the coordinator
+        into a generic shard executor (the DSE sweep runs exploration tasks
+        through it) while the default wiring stays the simulation batch.
+    process_entry:
+        Optional top-level (picklable) ``(payloads, cache_size, token) ->
+        results`` function executed per unit in ``"process"`` mode; defaults
+        to the simulation unit entry.
+    payload:
+        Optional ``job -> picklable payload`` converter used before shipping
+        a unit to a worker process; defaults to ``job.to_dict()``.
+    failure:
+        Optional ``(job, error_message) -> result`` converter recording a
+        shard that exhausted its retries; defaults to
+        :meth:`SimulationResult.from_error`.
     """
 
     def __init__(
@@ -145,6 +167,10 @@ class ShardCoordinator:
         kernel_caches: KernelCaches | None = None,
         cache_size: int = 4096,
         store: ContentStore | None = None,
+        thread_runner: Callable | None = None,
+        process_entry: Callable | None = None,
+        payload: Callable | None = None,
+        failure: Callable | None = None,
     ):
         if workers < 1:
             raise WorkloadError(f"worker count must be positive, got {workers}")
@@ -160,6 +186,10 @@ class ShardCoordinator:
         self.kernel_caches = kernel_caches
         self.cache_size = cache_size
         self.store = store
+        self._thread_runner = thread_runner
+        self._process_entry = process_entry
+        self._payload = payload
+        self._failure = failure
         self.stats = CoordinatorStats()
         self._pool: ProcessPoolExecutor | None = None
         self._pool_generation = 0
@@ -266,18 +296,24 @@ class ShardCoordinator:
             except Exception as exc:  # noqa: BLE001 — shard-level isolation
                 error = f"{type(exc).__name__}: {exc}"
         self.stats.failed_units += 1
+        if self._failure is not None:
+            return [self._failure(job, error) for job in unit.jobs]
         return [SimulationResult.from_error(job, error) for job in unit.jobs]
 
     def _execute_unit(self, unit: WorkUnit) -> list[SimulationResult]:
         if self.mode == "thread":
+            if self._thread_runner is not None:
+                return [self._thread_runner(job) for job in unit.jobs]
             return [
                 _simulate(job, self.cache, self.kernel_caches) for job in unit.jobs
             ]
         pool, generation = self._acquire_pool()
         token = self.store.process_token() if self.store is not None else None
+        entry = self._process_entry if self._process_entry is not None else _process_run_unit
+        to_payload = self._payload if self._payload is not None else _job_payload
         future = pool.submit(
-            _process_run_unit,
-            [job.to_dict() for job in unit.jobs],
+            entry,
+            [to_payload(job) for job in unit.jobs],
             self.cache_size,
             token,
         )

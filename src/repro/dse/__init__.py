@@ -10,6 +10,14 @@ it with the trace-driven simulator and Pareto-filters the results.
 from repro.dse.pareto import pareto_front
 from repro.dse.explorer import DesignSpaceExplorer, ExplorationResult
 from repro.dse.tables import paper_operating_points, reduced_tables
+from repro.dse.sweep import (
+    SweepResult,
+    SweepScenario,
+    SweepSpec,
+    frontier_fingerprint,
+    plan_sweep,
+    run_sweep,
+)
 
 __all__ = [
     "pareto_front",
@@ -17,4 +25,10 @@ __all__ = [
     "ExplorationResult",
     "paper_operating_points",
     "reduced_tables",
+    "SweepResult",
+    "SweepScenario",
+    "SweepSpec",
+    "frontier_fingerprint",
+    "plan_sweep",
+    "run_sweep",
 ]

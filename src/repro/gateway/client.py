@@ -5,6 +5,13 @@ The client is deliberately dependency-free and synchronous: tests, the
 through it, so it doubles as the reference consumer of the wire schema in
 :mod:`repro.gateway.protocol`.
 
+Requests go out with ``Connection: keep-alive`` and reuse one cached socket
+across submit/poll calls; a stale socket (daemon restart, idle timeout) is
+transparently replaced with one reconnect attempt.  SSE streams always run
+on their own connection because the daemon closes the socket when the run
+ends.  Call :meth:`GatewayClient.close` (or use the client as a context
+manager) to release the cached connection.
+
 ::
 
     client = GatewayClient("http://127.0.0.1:8023", tenant="acme")
@@ -56,26 +63,60 @@ class GatewayClient:
         self.port = int(port) if port else 80
         self.tenant = tenant
         self.timeout = timeout
+        self._connection: http.client.HTTPConnection | None = None
 
     # ------------------------------------------------------------------ #
     # Transport
     # ------------------------------------------------------------------ #
-    def _connection(self) -> http.client.HTTPConnection:
+    def _fresh_connection(self) -> http.client.HTTPConnection:
         return http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+
+    def _cached_connection(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            self._connection = self._fresh_connection()
+        return self._connection
+
+    def _discard_connection(self) -> None:
+        if self._connection is not None:
+            try:
+                self._connection.close()
+            except OSError:
+                pass
+            self._connection = None
+
+    def close(self) -> None:
+        """Release the cached keep-alive connection (idempotent)."""
+        self._discard_connection()
+
+    def __enter__(self) -> "GatewayClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def _request(
         self, method: str, path: str, body: Mapping[str, Any] | None = None
     ) -> Any:
-        connection = self._connection()
-        try:
-            payload = None
-            headers = {"Accept": "application/json"}
-            if body is not None:
-                payload = json.dumps(body).encode("utf-8")
-                headers["Content-Type"] = "application/json"
-            connection.request(method, path, body=payload, headers=headers)
-            response = connection.getresponse()
-            raw = response.read().decode("utf-8")
+        payload = None
+        headers = {"Accept": "application/json", "Connection": "keep-alive"}
+        if body is not None:
+            payload = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        for attempt in (0, 1):
+            connection = self._cached_connection()
+            try:
+                connection.request(method, path, body=payload, headers=headers)
+                response = connection.getresponse()
+                raw = response.read().decode("utf-8")
+            except (http.client.HTTPException, ConnectionError, OSError):
+                # The cached socket went stale between requests (daemon
+                # restart, idle timeout): replace it and retry once.
+                self._discard_connection()
+                if attempt:
+                    raise
+                continue
+            if response.will_close:
+                self._discard_connection()
             try:
                 data = json.loads(raw) if raw else None
             except json.JSONDecodeError:
@@ -83,8 +124,6 @@ class GatewayClient:
             if response.status >= 400:
                 raise GatewayError(response.status, data)
             return data
-        finally:
-            connection.close()
 
     # ------------------------------------------------------------------ #
     # Daemon state
@@ -155,7 +194,7 @@ class GatewayClient:
         final ``{"kind": "error", ...}`` frame.  Use
         :meth:`repro.api.events.RunEvent.from_dict` to rebuild typed events.
         """
-        connection = self._connection()
+        connection = self._fresh_connection()
         try:
             connection.request(
                 "GET",

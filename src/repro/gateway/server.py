@@ -17,9 +17,11 @@ repository is offline-installable, so no web framework).  Endpoints:
 ``GET /metrics``          Prometheus text exposition
 ========================  =====================================================
 
-One connection serves one request (``Connection: close``) — simple, robust,
-and plenty for the simulation-bound workloads the daemon fronts; SSE
-responses stream until the run ends.  ``SIGTERM``/``SIGINT`` trigger a
+Connections default to one request per socket (``Connection: close``), but a
+client that sends ``Connection: keep-alive`` gets the connection back for the
+next request — the blocking :class:`~repro.gateway.client.GatewayClient` uses
+this to run submit/poll loops over a single socket.  SSE responses always
+stream until the run ends and then close.  ``SIGTERM``/``SIGINT`` trigger a
 graceful drain: new submissions get 503, in-flight and queued work finishes,
 then the daemon exits.
 """
@@ -328,16 +330,18 @@ class GatewayServer:
         body: Mapping[str, Any] | None,
         *,
         content_type: str = "application/json",
+        keep_alive: bool = False,
     ) -> None:
         payload = b""
         if body is not None:
             payload = (json.dumps(body, sort_keys=True) + "\n").encode("utf-8")
+        connection = "keep-alive" if keep_alive else "close"
         writer.write(
             (
                 f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
                 f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(payload)}\r\n"
-                "Connection: close\r\n"
+                f"Connection: {connection}\r\n"
                 "\r\n"
             ).encode("latin-1")
         )
@@ -345,15 +349,21 @@ class GatewayServer:
 
     @staticmethod
     def _write_text(
-        writer: asyncio.StreamWriter, status: int, text: str, content_type: str
+        writer: asyncio.StreamWriter,
+        status: int,
+        text: str,
+        content_type: str,
+        *,
+        keep_alive: bool = False,
     ) -> None:
         payload = text.encode("utf-8")
+        connection = "keep-alive" if keep_alive else "close"
         writer.write(
             (
                 f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
                 f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(payload)}\r\n"
-                "Connection: close\r\n"
+                f"Connection: {connection}\r\n"
                 "\r\n"
             ).encode("latin-1")
         )
@@ -363,48 +373,72 @@ class GatewayServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         try:
-            try:
-                request = await asyncio.wait_for(
-                    self._read_request(reader), _READ_TIMEOUT_S
-                )
-                if request is None:
+            again = True
+            while again:
+                again = False
+                try:
+                    request = await asyncio.wait_for(
+                        self._read_request(reader), _READ_TIMEOUT_S
+                    )
+                    if request is None:
+                        return
+                    self.metrics.http_requests.increment()
+                    keep_alive = (
+                        request.headers.get("connection", "").strip().lower()
+                        == "keep-alive"
+                    )
+                    again = await self._route(request, writer, keep_alive)
+                except _HttpError as error:
+                    self._write_response(writer, error.status, error.body)
+                except ProtocolError as error:
+                    self._write_response(writer, 400, protocol.error_from(error))
+                except (
+                    asyncio.IncompleteReadError,
+                    asyncio.TimeoutError,
+                    ConnectionError,
+                ):
                     return
-                self.metrics.http_requests.increment()
-                await self._route(request, writer)
-            except _HttpError as error:
-                self._write_response(writer, error.status, error.body)
-            except ProtocolError as error:
-                self._write_response(writer, 400, protocol.error_from(error))
-            except (
-                asyncio.IncompleteReadError,
-                asyncio.TimeoutError,
-                ConnectionError,
-            ):
-                return
-            except Exception as error:  # noqa: BLE001 — last-resort 500
-                self._write_response(writer, 500, protocol.error_from(error))
-            await writer.drain()
+                except Exception as error:  # noqa: BLE001 — last-resort 500
+                    self._write_response(writer, 500, protocol.error_from(error))
+                await writer.drain()
         except (ConnectionError, asyncio.CancelledError):
             pass
         finally:
+            # A kept-alive handler parked on the next read may be cancelled
+            # at shutdown; wait_closed() then re-raises the cancellation.
             try:
                 writer.close()
                 await writer.wait_closed()
-            except (ConnectionError, OSError):
+            except (ConnectionError, OSError, asyncio.CancelledError):
                 pass
 
-    async def _route(self, request: _Request, writer: asyncio.StreamWriter) -> None:
+    async def _route(
+        self, request: _Request, writer: asyncio.StreamWriter, keep_alive: bool
+    ) -> bool:
+        """Dispatch one request; return True when the socket may be reused.
+
+        ``keep_alive`` is what the client asked for; every plain response
+        echoes it, while SSE streams and error paths always close.
+        """
         method, path = request.method, request.path
         if path == "/healthz" and method == "GET":
-            return self._write_response(writer, 200, self._health())
+            self._write_response(writer, 200, self._health(), keep_alive=keep_alive)
+            return keep_alive
         if path == "/metrics" and method == "GET":
-            return self._write_text(
-                writer, 200, self._prometheus(), "text/plain; version=0.0.4"
+            self._write_text(
+                writer,
+                200,
+                self._prometheus(),
+                "text/plain; version=0.0.4",
+                keep_alive=keep_alive,
             )
+            return keep_alive
         if path == "/runs" and method == "POST":
-            return await self._submit_run(request, writer)
+            await self._submit_run(request, writer, keep_alive)
+            return keep_alive
         if path == "/batches" and method == "POST":
-            return await self._submit_batch(request, writer)
+            await self._submit_batch(request, writer, keep_alive)
+            return keep_alive
         parts = [part for part in path.split("/") if part]
         if len(parts) >= 2 and parts[0] in ("runs", "batches") and method == "GET":
             lookup = self.registry.run if parts[0] == "runs" else self.registry.batch
@@ -417,14 +451,21 @@ class GatewayServer:
                     ),
                 )
             if len(parts) == 2:
-                return self._write_response(writer, 200, record.status())
+                self._write_response(
+                    writer, 200, record.status(), keep_alive=keep_alive
+                )
+                return keep_alive
             if len(parts) == 3 and parts[2] == "wait":
                 await record.wait_done()
-                return self._write_response(writer, 200, record.status())
+                self._write_response(
+                    writer, 200, record.status(), keep_alive=keep_alive
+                )
+                return keep_alive
             if len(parts) == 3 and parts[2] == "events" and parts[0] == "runs":
-                return await self._stream_events(request, record, writer)
+                await self._stream_events(request, record, writer)
+                return False
             if len(parts) == 3 and parts[2] == "trace" and parts[0] == "runs":
-                return self._write_response(
+                self._write_response(
                     writer,
                     200,
                     {
@@ -433,7 +474,9 @@ class GatewayServer:
                         "state": record.state.value,
                         "spans": record.trace or [],
                     },
+                    keep_alive=keep_alive,
                 )
+                return keep_alive
         if path in ("/runs", "/batches") or (
             len(parts) >= 2 and parts[0] in ("runs", "batches")
         ):
@@ -529,7 +572,7 @@ class GatewayServer:
             )
 
     async def _submit_run(
-        self, request: _Request, writer: asyncio.StreamWriter
+        self, request: _Request, writer: asyncio.StreamWriter, keep_alive: bool
     ) -> None:
         self._refuse_if_draining()
         submission = protocol.parse_run_submission(request.json())
@@ -539,10 +582,10 @@ class GatewayServer:
         )
         self.metrics.runs_submitted.increment()
         self._spawn(self._execute_run(record, submission))
-        self._write_response(writer, 202, record.status())
+        self._write_response(writer, 202, record.status(), keep_alive=keep_alive)
 
     async def _submit_batch(
-        self, request: _Request, writer: asyncio.StreamWriter
+        self, request: _Request, writer: asyncio.StreamWriter, keep_alive: bool
     ) -> None:
         self._refuse_if_draining()
         submission = protocol.parse_batch_submission(request.json())
@@ -551,7 +594,7 @@ class GatewayServer:
         )
         self.metrics.batches_submitted.increment()
         self._spawn(self._execute_batch(record, submission))
-        self._write_response(writer, 202, record.status())
+        self._write_response(writer, 202, record.status(), keep_alive=keep_alive)
 
     async def _stream_events(
         self, request: _Request, record, writer: asyncio.StreamWriter

@@ -13,6 +13,8 @@ from repro.io.serialization import (
     batch_spec_to_dict,
     config_table_from_dict,
     config_table_to_dict,
+    exploration_result_from_dict,
+    exploration_result_to_dict,
     job_from_dict,
     job_to_dict,
     load_json,
@@ -24,6 +26,8 @@ from repro.io.serialization import (
     schedule_to_dict,
     simulation_job_from_dict,
     simulation_job_to_dict,
+    sweep_result_from_dict,
+    sweep_result_to_dict,
     tables_from_dict,
     tables_to_dict,
     test_case_from_dict,
@@ -42,6 +46,10 @@ __all__ = [
     "config_table_from_dict",
     "tables_to_dict",
     "tables_from_dict",
+    "exploration_result_to_dict",
+    "exploration_result_from_dict",
+    "sweep_result_to_dict",
+    "sweep_result_from_dict",
     "job_to_dict",
     "job_from_dict",
     "test_case_to_dict",

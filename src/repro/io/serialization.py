@@ -314,6 +314,117 @@ def batch_results_to_dict(results) -> dict:
 
 
 # ---------------------------------------------------------------------- #
+# Design-space exploration
+# ---------------------------------------------------------------------- #
+def exploration_result_to_dict(result) -> dict:
+    """Serialise one :class:`~repro.dse.explorer.ExplorationResult`.
+
+    The process-to-core assignment is stored by core name (``"A15.2"``), so
+    the document is platform-independent JSON; :func:`exploration_result_from_dict`
+    needs the graph and platform back to rebuild the live mapping.
+    """
+    point = result.operating_point
+    entry = {
+        "allocation": list(result.allocation),
+        "assignment": {
+            process: core.name for process, core in result.mapping.assignment.items()
+        },
+        "simulation": {
+            "execution_time": result.simulation.execution_time,
+            "energy": result.simulation.energy,
+            "core_busy_time": dict(result.simulation.core_busy_time),
+            "communication_bytes": result.simulation.communication_bytes,
+        },
+        "operating_point": {
+            "resources": list(point.resources),
+            "execution_time": point.execution_time,
+            "energy": point.energy,
+        },
+    }
+    if point.frequency_scale != 1.0:
+        entry["operating_point"]["frequency_scale"] = point.frequency_scale
+    return entry
+
+
+def exploration_result_from_dict(data: Mapping[str, Any], graph, platform):
+    """Reconstruct an :class:`~repro.dse.explorer.ExplorationResult`.
+
+    ``graph`` and ``platform`` provide the live context the JSON document
+    references by name (an OPP-swept result re-pins the platform itself via
+    the stored ``frequency_scale``, exactly as the explorer did).
+    """
+    from repro.dse.explorer import ExplorationResult
+    from repro.energy.opp import SCALE_EPSILON, scaled_platform
+    from repro.mapping.mapping import Core, ProcessMapping
+    from repro.mapping.simulate import SimulationResult
+
+    point_data = _require(data, "operating_point", "exploration result")
+    point = OperatingPoint(
+        resources=ResourceVector(
+            int(c) for c in _require(point_data, "resources", "operating point")
+        ),
+        execution_time=float(_require(point_data, "execution_time", "operating point")),
+        energy=float(_require(point_data, "energy", "operating point")),
+        frequency_scale=float(point_data.get("frequency_scale", 1.0)),
+    )
+    if abs(point.frequency_scale - 1.0) > SCALE_EPSILON:
+        platform = scaled_platform(platform, point.frequency_scale)
+    assignment = {}
+    for process, core_name in _require(data, "assignment", "exploration result").items():
+        type_name, _, index = str(core_name).rpartition(".")
+        if not type_name or not index.isdigit():
+            raise SerializationError(
+                f"exploration result: malformed core name {core_name!r}"
+            )
+        assignment[process] = Core(platform.processor_type(type_name), int(index))
+    simulation_data = _require(data, "simulation", "exploration result")
+    simulation = SimulationResult(
+        execution_time=float(
+            _require(simulation_data, "execution_time", "simulation result")
+        ),
+        energy=float(_require(simulation_data, "energy", "simulation result")),
+        core_busy_time={
+            str(core): float(busy)
+            for core, busy in _require(
+                simulation_data, "core_busy_time", "simulation result"
+            ).items()
+        },
+        communication_bytes=float(
+            _require(simulation_data, "communication_bytes", "simulation result")
+        ),
+    )
+    return ExplorationResult(
+        allocation=ResourceVector(
+            int(c) for c in _require(data, "allocation", "exploration result")
+        ),
+        mapping=ProcessMapping(graph, platform, assignment),
+        simulation=simulation,
+        operating_point=point,
+    )
+
+
+def sweep_result_to_dict(result) -> dict:
+    """Serialise a :class:`~repro.dse.sweep.SweepResult` (archive/merge form)."""
+    return result.to_dict()
+
+
+def sweep_result_from_dict(data: Mapping[str, Any]):
+    """Reconstruct a :class:`~repro.dse.sweep.SweepResult`.
+
+    The frontier fingerprint is recomputed from the archived tables and
+    checked against the stored digest, so a truncated or hand-edited archive
+    fails loudly instead of silently merging wrong frontiers.
+    """
+    from repro.dse.sweep import SweepResult
+    from repro.exceptions import WorkloadError
+
+    try:
+        return SweepResult.from_dict(data)
+    except (KeyError, TypeError, WorkloadError) as error:
+        raise SerializationError(f"invalid sweep result: {error}") from None
+
+
+# ---------------------------------------------------------------------- #
 # File helpers
 # ---------------------------------------------------------------------- #
 def save_json(data: Mapping[str, Any], path: str | Path) -> None:

@@ -25,6 +25,10 @@ PHASE_SPANS = (
     "solve",
     "governor",
     "energy.accounting",
+    "sweep.plan",
+    "sweep.execute",
+    "sweep.solve",
+    "sweep.merge",
 )
 
 

@@ -88,6 +88,11 @@ class MMKPLRScheduler(Scheduler):
         self.solve_cache = solve_cache if solve_cache is not None else SolveCache()
         self._own_cache = solve_cache is None
         self._pre_run_cache = None
+        #: Counters of the most recent :meth:`schedule_many` call — batching
+        #: telemetry only (round count, deduplicated relaxations and how many
+        #: of those crossed ``groups`` boundaries); schedules never depend on
+        #: it.  ``None`` until the first batched call.
+        self.last_batch_stats: dict[str, object] | None = None
 
     # ------------------------------------------------------------------ #
     # Incremental-kernel hooks
@@ -146,7 +151,9 @@ class MMKPLRScheduler(Scheduler):
     # Batched admission
     # ------------------------------------------------------------------ #
     def schedule_many(
-        self, problems: Sequence[SchedulingProblem]
+        self,
+        problems: Sequence[SchedulingProblem],
+        groups: Sequence[object] | None = None,
     ) -> list[SchedulingResult]:
         """Schedule many problems, batching their Lagrangian relaxations.
 
@@ -160,20 +167,42 @@ class MMKPLRScheduler(Scheduler):
         the wall time changes, so ``search_time`` is reported as each
         activation's equal share of the batch.
 
+        ``groups`` optionally labels each problem with an opaque group token
+        (a DSE sweep passes its sweep-point key).  Groups never influence the
+        schedules; they only split :attr:`last_batch_stats`'s deduplication
+        counter into same-group and cross-group shares, which is how the
+        sweep engine proves that relaxations were shared *across* sweep
+        points rather than merely within one.
+
         Falls back to sequential :meth:`schedule` calls when the columnar
         path is disabled (``REPRO_OPTABLE=0``), where no solve-cache keys
         exist to batch on.
         """
         problems = list(problems)
+        if groups is not None:
+            groups = list(groups)
+            if len(groups) != len(problems):
+                raise ValueError(
+                    f"groups has {len(groups)} entries for {len(problems)} problems"
+                )
         if not problems:
             return []
         if not columnar_enabled():
+            self.last_batch_stats = {
+                "batched": False,
+                "problems": len(problems),
+                "rounds": 0,
+                "requested": 0,
+                "solved": 0,
+                "deduped": 0,
+                "cross_group_deduped": 0,
+            }
             return [self.schedule(problem) for problem in problems]
         with obs.span(
             "solve_many", category="scheduler", scheduler=self.name
         ) as span:
             start = time.perf_counter()
-            raw = self._drive_many(problems)
+            raw = self._drive_many(problems, groups)
             elapsed = time.perf_counter() - start
             span.annotate(problems=len(problems))
         share = elapsed / len(problems)
@@ -189,7 +218,9 @@ class MMKPLRScheduler(Scheduler):
         ]
 
     def _drive_many(
-        self, problems: Sequence[SchedulingProblem]
+        self,
+        problems: Sequence[SchedulingProblem],
+        groups: Sequence[object] | None = None,
     ) -> list[SchedulingResult]:
         """Advance all solve generators lock-step, round by round."""
         results: list[SchedulingResult | None] = [None] * len(problems)
@@ -203,16 +234,36 @@ class MMKPLRScheduler(Scheduler):
             else:
                 live.append((index, generator, request))
 
+        stats = {
+            "batched": True,
+            "problems": len(problems),
+            "rounds": 0,
+            "requested": 0,
+            "solved": 0,
+            "deduped": 0,
+            "cross_group_deduped": 0,
+        }
+        self.last_batch_stats = stats
         while live:
             # One batched solve answers the whole round; identical keys
             # (same tables, ratios and capacity anywhere in the batch) are
             # solved once, exactly as the SolveCache would replay them.
             order: list = []
             unique: dict = {}
-            for _, _, (key, mmkp) in live:
+            first_group: dict = {}
+            stats["rounds"] += 1
+            stats["requested"] += len(live)
+            for index, _, (key, mmkp) in live:
+                group = None if groups is None else groups[index]
                 if key not in unique:
                     unique[key] = mmkp
                     order.append(key)
+                    first_group[key] = group
+                else:
+                    stats["deduped"] += 1
+                    if groups is not None and first_group[key] != group:
+                        stats["cross_group_deduped"] += 1
+            stats["solved"] += len(order)
             solved = solve_lagrangian_many(
                 [unique[key] for key in order],
                 max_iterations=self._max_iterations,

@@ -1,0 +1,210 @@
+"""Determinism and equivalence tests for the DSE sweep engine.
+
+The contract under test: a sweep's frontier fingerprint and every point
+summary are a pure function of the spec — independent of the executor, the
+worker count, the store temperature and the solver backend — and bit-equal
+to what the serial explorer produces.
+"""
+
+import json
+
+import pytest
+
+from repro.api import DSESpec, ExperimentSpec, Session, WorkloadSpec
+from repro.dse import paper_operating_points
+from repro.dse.sweep import (
+    EXECUTORS,
+    SweepScenario,
+    SweepSpec,
+    frontier_fingerprint,
+    plan_sweep,
+    run_sweep,
+)
+from repro.exceptions import WorkloadError
+from repro.io import sweep_result_from_dict, sweep_result_to_dict
+from repro.knapsack import HAVE_NUMPY, solver_numpy_override
+from repro.platforms import odroid_xu4
+from repro.schedulers import MMKPLRScheduler
+
+#: A small but non-trivial sweep: two scenarios with different seeds on one
+#: platform, small variants only, MMKP-LR points (the batching scheduler).
+SPEC = SweepSpec(
+    platforms=("odroid-xu4",),
+    input_sizes=("small",),
+    schedulers=("mmkp-lr",),
+    scenarios=(
+        SweepScenario("a", fraction=0.005, seed=2020),
+        SweepScenario("b", fraction=0.005, seed=2021),
+    ),
+)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return run_sweep(SPEC, executor="serial")
+
+
+class TestPlan:
+    def test_points_redemand_deduped_explorations(self):
+        plan = plan_sweep(SPEC)
+        variants = plan.stats["variants"]
+        assert plan.stats["points"] == 2
+        assert plan.stats["explorations_demanded"] == 2 * variants
+        assert plan.stats["explorations_unique"] == variants
+        assert plan.stats["explorations_deduped"] == variants
+
+    def test_identical_platforms_share_tasks(self):
+        twin = SweepSpec(
+            platforms=("odroid-xu4", "odroid-xu4"),
+            input_sizes=("small",),
+            scenarios=(),
+        )
+        plan = plan_sweep(twin)
+        assert plan.stats["platforms"] == 2
+        assert plan.stats["explorations_unique"] == plan.stats["variants"]
+
+    def test_unknown_sizes_are_rejected(self):
+        with pytest.raises(WorkloadError):
+            plan_sweep(SweepSpec(input_sizes=("colossal",)))
+
+
+class TestDeterminismMatrix:
+    def test_fingerprint_matches_the_serial_explorer(self, reference):
+        tables = paper_operating_points(odroid_xu4(), input_sizes=("small",))
+        assert reference.frontier_fingerprint == frontier_fingerprint(
+            {"odroid-xu4": tables}
+        )
+
+    @pytest.mark.parametrize(
+        "executor", [name for name in EXECUTORS if name != "serial"]
+    )
+    def test_every_executor_matches_serial(self, reference, executor):
+        result = run_sweep(SPEC, executor=executor, workers=2)
+        assert result.frontier_fingerprint == reference.frontier_fingerprint
+        assert result.points == reference.points
+
+    def test_solver_backend_does_not_change_answers(self, reference):
+        with solver_numpy_override(False):
+            pure = run_sweep(SPEC, executor="serial")
+        assert pure.frontier_fingerprint == reference.frontier_fingerprint
+        assert pure.points == reference.points
+        if HAVE_NUMPY:
+            with solver_numpy_override(True):
+                dense = run_sweep(SPEC, executor="serial")
+            assert dense.frontier_fingerprint == reference.frontier_fingerprint
+            assert dense.points == reference.points
+
+    def test_cold_then_warm_store_is_invisible_in_the_answers(
+        self, reference, tmp_path
+    ):
+        path = str(tmp_path / "sweep-store.db")
+        cold = run_sweep(SPEC, executor="serial", store=path)
+        warm = run_sweep(SPEC, executor="serial", store=path)
+        assert cold.stats["store_hits"] == 0
+        assert warm.stats["store_hits"] == warm.stats["explorations_unique"]
+        assert warm.stats["solver"]["solved"] == 0  # solves served by store
+        for result in (cold, warm):
+            assert result.frontier_fingerprint == reference.frontier_fingerprint
+            assert result.points == reference.points
+
+    def test_warm_store_warms_other_executors(self, reference, tmp_path):
+        path = str(tmp_path / "shared-store.db")
+        run_sweep(SPEC, executor="serial", store=path)
+        clustered = run_sweep(SPEC, executor="cluster", workers=2, store=path)
+        assert clustered.stats["store_hits"] == clustered.stats[
+            "explorations_unique"
+        ]
+        assert clustered.frontier_fingerprint == reference.frontier_fingerprint
+        assert clustered.points == reference.points
+
+
+class TestCrossPointBatching:
+    def test_sweep_shares_relaxations_across_points(self, reference):
+        solver = reference.stats["solver"]
+        assert solver["problems"] == sum(p["cases"] for p in reference.points)
+        assert solver["cross_group_deduped"] > 0
+
+    def test_schedule_many_validates_group_labels(self):
+        with pytest.raises(ValueError):
+            MMKPLRScheduler().schedule_many([], groups=["one-label-too-many"])
+
+
+class TestSweepResultSerialization:
+    def test_json_round_trip_is_exact(self, reference):
+        wire = json.loads(json.dumps(sweep_result_to_dict(reference)))
+        restored = sweep_result_from_dict(wire)
+        assert restored.frontier_fingerprint == reference.frontier_fingerprint
+        assert restored.points == reference.points
+        assert restored.spec == reference.spec
+
+    def test_tampered_archive_is_rejected(self, reference):
+        wire = json.loads(json.dumps(sweep_result_to_dict(reference)))
+        wire["frontier_fingerprint"] = "0" * 64
+        from repro.exceptions import SerializationError
+
+        with pytest.raises(SerializationError):
+            sweep_result_from_dict(wire)
+
+    def test_merge_unions_points_and_keeps_the_frontier(self, reference):
+        halves = [
+            run_sweep(
+                SweepSpec(
+                    platforms=SPEC.platforms,
+                    input_sizes=SPEC.input_sizes,
+                    schedulers=SPEC.schedulers,
+                    scenarios=(scenario,),
+                ),
+                executor="serial",
+            )
+            for scenario in SPEC.scenarios
+        ]
+        merged = halves[0].merge(halves[1])
+        assert merged.frontier_fingerprint == reference.frontier_fingerprint
+        assert {p["point"] for p in merged.points} == {
+            p["point"] for p in reference.points
+        }
+
+
+class TestSessionIntegration:
+    def test_session_explore_executor_matches_the_serial_path(self):
+        spec = ExperimentSpec(
+            name="sweep-session",
+            workload=WorkloadSpec.scenario("S1"),
+            dse=DSESpec(input_sizes=("small",)),
+            tables=None,
+        )
+        serial = Session.from_spec(spec).explore()
+        swept = Session.from_spec(spec).explore(executor="serial")
+        assert frontier_fingerprint({"p": swept}) == frontier_fingerprint(
+            {"p": serial}
+        )
+
+    def test_session_explore_rejects_unknown_executor(self):
+        spec = ExperimentSpec(
+            name="sweep-session-bad",
+            workload=WorkloadSpec.scenario("S1"),
+            dse=DSESpec(input_sizes=("small",)),
+            tables=None,
+        )
+        with pytest.raises(WorkloadError):
+            Session.from_spec(spec).explore(executor="quantum")
+
+
+class TestCoordinatorHooks:
+    def test_failure_hook_replaces_default_simulation_error(self):
+        from repro.cluster.coordinator import ShardCoordinator
+
+        def boom(job):
+            raise RuntimeError("shard exploded")
+
+        coordinator = ShardCoordinator(
+            1,
+            mode="thread",
+            max_retries=1,
+            thread_runner=boom,
+            failure=lambda job, error: ("failed", job, error),
+        )
+        results = coordinator.run(["j1", "j2"])
+        assert [r[0] for r in results] == ["failed", "failed"]
+        assert [r[1] for r in results] == ["j1", "j2"]
+        assert all("shard exploded" in r[2] for r in results)

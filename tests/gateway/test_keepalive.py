@@ -1,0 +1,156 @@
+"""HTTP keep-alive behaviour of the gateway server and blocking client.
+
+The server grants connection reuse only when the client asks for it
+(``Connection: keep-alive``); error responses and SSE streams always close.
+The client rides one cached socket across submit/poll calls and replaces it
+transparently when the daemon drops it between requests.
+"""
+
+import socket
+import threading
+import urllib.parse
+
+import pytest
+
+from repro.api import ExperimentSpec, SchedulerSpec, WorkloadSpec
+from repro.gateway.client import GatewayClient
+from repro.gateway.server import GatewayConfig, InProcessGateway
+
+
+@pytest.fixture(scope="module")
+def gateway():
+    with InProcessGateway(GatewayConfig(port=0)) as gw:
+        yield gw
+
+
+def _endpoint(gateway) -> tuple[str, int]:
+    split = urllib.parse.urlsplit(gateway.base_url)
+    return split.hostname, split.port
+
+
+def _recv_response(sock: socket.socket) -> bytes:
+    """Read one Content-Length-framed HTTP response off the socket."""
+    data = b""
+    while b"\r\n\r\n" not in data:
+        chunk = sock.recv(4096)
+        assert chunk, "server closed the connection mid-headers"
+        data += chunk
+    head, _, body = data.partition(b"\r\n\r\n")
+    length = 0
+    for line in head.split(b"\r\n"):
+        name, _, value = line.partition(b":")
+        if name.strip().lower() == b"content-length":
+            length = int(value.strip())
+    while len(body) < length:
+        chunk = sock.recv(4096)
+        assert chunk, "server closed the connection mid-body"
+        body += chunk
+    return head + b"\r\n\r\n" + body
+
+
+class TestServerKeepAlive:
+    def test_two_requests_share_one_socket(self, gateway):
+        request = (
+            b"GET /healthz HTTP/1.1\r\n"
+            b"Host: gateway\r\n"
+            b"Connection: keep-alive\r\n"
+            b"\r\n"
+        )
+        with socket.create_connection(_endpoint(gateway), timeout=10) as sock:
+            sock.sendall(request)
+            first = _recv_response(sock)
+            assert b"Connection: keep-alive" in first
+            assert b'"status"' in first
+            sock.sendall(request)  # same socket, second request
+            second = _recv_response(sock)
+            assert b"Connection: keep-alive" in second
+            assert b'"status"' in second
+
+    def test_connection_close_remains_the_default(self, gateway):
+        with socket.create_connection(_endpoint(gateway), timeout=10) as sock:
+            sock.sendall(b"GET /healthz HTTP/1.1\r\nHost: gateway\r\n\r\n")
+            response = _recv_response(sock)
+            assert b"Connection: close" in response
+            assert sock.recv(4096) == b""  # server hung up
+
+    def test_error_responses_close_even_when_keep_alive_requested(self, gateway):
+        with socket.create_connection(_endpoint(gateway), timeout=10) as sock:
+            sock.sendall(
+                b"GET /no-such-route HTTP/1.1\r\n"
+                b"Host: gateway\r\n"
+                b"Connection: keep-alive\r\n"
+                b"\r\n"
+            )
+            response = _recv_response(sock)
+            assert response.startswith(b"HTTP/1.1 404")
+            assert b"Connection: close" in response
+            assert sock.recv(4096) == b""
+
+
+class TestClientKeepAlive:
+    def test_client_reuses_one_cached_connection(self, gateway):
+        with GatewayClient(gateway.base_url) as client:
+            client.healthz()
+            cached = client._connection
+            assert cached is not None
+            local_port = cached.sock.getsockname()[1]
+            for _ in range(3):
+                client.healthz()
+                client.metrics_text()
+            assert client._connection is cached
+            assert cached.sock.getsockname()[1] == local_port
+        assert client._connection is None  # context manager released it
+
+    def test_submit_poll_events_cycle_keeps_cached_socket(self, gateway):
+        spec = ExperimentSpec(
+            name="gw-keepalive",
+            workload=WorkloadSpec.scenario("S1"),
+            scheduler=SchedulerSpec(name="mmkp-mdf"),
+        )
+        with GatewayClient(gateway.base_url) as client:
+            record = client.submit_run(spec)
+            cached = client._connection
+            status = client.wait_run(record["id"])
+            assert status["state"] == "done"
+            # SSE runs on its own throwaway connection; the cached socket
+            # survives and serves the follow-up status request.
+            assert list(client.events(record["id"]))
+            assert client._connection is cached
+            assert client.run_status(record["id"])["state"] == "done"
+
+
+class TestStaleSocketRetry:
+    def test_request_reconnects_once_when_cached_socket_goes_stale(self):
+        listener = socket.create_server(("127.0.0.1", 0))
+        peers = []
+
+        def serve():
+            # Advertise keep-alive but drop the socket after each response —
+            # the shape of a daemon restart between two client requests.
+            for _ in range(2):
+                conn, _addr = listener.accept()
+                with conn:
+                    data = conn.recv(65536)
+                    assert b"Connection: keep-alive" in data
+                    body = b"{}\n"
+                    conn.sendall(
+                        b"HTTP/1.1 200 OK\r\n"
+                        b"Content-Type: application/json\r\n"
+                        b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+                        b"Connection: keep-alive\r\n"
+                        b"\r\n" + body
+                    )
+                    peers.append(conn.getpeername())
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        host, port = listener.getsockname()
+        try:
+            with GatewayClient(f"http://{host}:{port}", timeout=10) as client:
+                assert client._request("GET", "/first") == {}
+                assert client._request("GET", "/second") == {}
+            thread.join(timeout=10)
+            assert len(peers) == 2
+            assert peers[0] != peers[1]  # second request used a new socket
+        finally:
+            listener.close()

@@ -112,6 +112,44 @@ class TestTraceAndScheduleSerialization:
         assert {"start", "end", "mappings"} <= set(first)
 
 
+class TestExplorationResultRoundTrip:
+    def test_round_trip_is_exact(self):
+        import json
+
+        from repro.dataflow import audio_filter
+        from repro.dse import DesignSpaceExplorer
+        from repro.io import exploration_result_from_dict, exploration_result_to_dict
+        from repro.platforms.resources import ResourceVector
+
+        platform = odroid_xu4()
+        graph = audio_filter().graph
+        result = DesignSpaceExplorer(platform).evaluate_allocation(
+            graph, ResourceVector([2, 1])
+        )
+        wire = json.loads(json.dumps(exploration_result_to_dict(result)))
+        restored = exploration_result_from_dict(wire, graph, platform)
+        assert restored.operating_point == result.operating_point
+        assert restored.simulation.execution_time == result.simulation.execution_time
+        assert restored.mapping.assignment == result.mapping.assignment
+
+    def test_malformed_core_name_is_rejected(self):
+        from repro.dataflow import audio_filter
+        from repro.dse import DesignSpaceExplorer
+        from repro.io import exploration_result_from_dict, exploration_result_to_dict
+        from repro.platforms.resources import ResourceVector
+
+        platform = odroid_xu4()
+        graph = audio_filter().graph
+        result = DesignSpaceExplorer(platform).evaluate_allocation(
+            graph, ResourceVector([1, 1])
+        )
+        wire = exploration_result_to_dict(result)
+        process = next(iter(wire["assignment"]))
+        wire["assignment"][process] = "no-dot-separator"
+        with pytest.raises(SerializationError):
+            exploration_result_from_dict(wire, graph, platform)
+
+
 class TestFileHelpers:
     def test_save_and_load(self, tmp_path):
         path = tmp_path / "nested" / "data.json"

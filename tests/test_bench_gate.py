@@ -58,6 +58,14 @@ def _passing_metrics() -> dict:
             "workers": 2,
             "cpus": 2,
         },
+        "dse_sweep": {
+            "speedup": 3.5,
+            "points": 3,
+            "explorations_deduped": 6,
+            "cross_point_deduped_solves": 2,
+            "baseline_s": 0.5,
+            "sweep_s": 0.14,
+        },
         "tracing_overhead": {
             "enabled_overhead": 0.01,
             "enabled_ms": 101.0,
@@ -98,6 +106,8 @@ def test_passing_metrics_produce_no_failures():
         ("tracing_overhead", "enabled_overhead", 0.2, "tracing_overhead"),
         ("lr_vectorised", "activation_speedup", 1.5, "lr_vectorised"),
         ("lr_vectorised", "solver_batch_speedup", 1.0, "stacked solver"),
+        ("dse_sweep", "speedup", 1.5, "dse_sweep"),
+        ("dse_sweep", "cross_point_deduped_solves", 0, "cross-point"),
     ],
 )
 def test_each_gate_flags_its_regression(metric, field, bad_value, needle):
